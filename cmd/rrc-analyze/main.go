@@ -1,0 +1,197 @@
+// Command rrc-analyze profiles a consumption event log the way the
+// paper's §5.1 profiles Gowalla and Last.fm: sequence-length distribution,
+// repeat ratio, reconsumption-gap histogram, candidate-set sizes and
+// feature-rank steepness (Fig. 4). Useful before training to judge
+// whether a dataset has enough repeat structure for RRC to matter.
+//
+// Usage:
+//
+//	rrc-analyze -data events.tsv -window 100 -omega 10
+//	rrc-analyze -data checkins.tsv -format events -time-col 1 -item-col 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tsppr/internal/dataset"
+	"tsppr/internal/features"
+	"tsppr/internal/seq"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "input log (required)")
+		format  = flag.String("format", "seq", "input format: seq (user<TAB>item, time-ordered) or events (user, time, item columns)")
+		comma   = flag.String("comma", "\t", "field separator for -format events")
+		userCol = flag.Int("user-col", 0, "user column for -format events")
+		timeCol = flag.Int("time-col", 1, "time column for -format events")
+		itemCol = flag.Int("item-col", 2, "item column for -format events")
+		window  = flag.Int("window", 100, "time window capacity |W|")
+		omega   = flag.Int("omega", 10, "minimum gap Ω")
+	)
+	flag.Parse()
+	if err := run(*data, *format, *comma, *userCol, *timeCol, *itemCol, *window, *omega); err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, format, comma string, userCol, timeCol, itemCol, window, omega int) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if omega < 0 || omega >= window {
+		return fmt.Errorf("omega %d out of [0, window %d)", omega, window)
+	}
+	var ds *dataset.Dataset
+	switch format {
+	case "seq":
+		var err error
+		ds, err = dataset.LoadFile(data)
+		if err != nil {
+			return err
+		}
+	case "events":
+		f, err := os.Open(data)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sep := '\t'
+		if len(comma) > 0 {
+			sep = rune(comma[0])
+		}
+		bad := 0
+		ds, _, err = dataset.ReadEvents(f, dataset.EventReaderOptions{
+			Comma:   sep,
+			UserCol: userCol, TimeCol: timeCol, ItemCol: itemCol,
+			OnBadLine: func(int, string, error) error { bad++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "skipped %d unparseable lines\n", bad)
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	ds, numItems := ds.Compact()
+
+	st := ds.Stats()
+	fmt.Printf("dataset: %s\n", st)
+
+	// Sequence-length distribution.
+	lengths := make([]int, 0, ds.NumUsers())
+	for _, s := range ds.Seqs {
+		lengths = append(lengths, len(s))
+	}
+	sort.Ints(lengths)
+	fmt.Printf("sequence length quartiles: p25=%d p50=%d p75=%d p95=%d\n",
+		quantileInt(lengths, 0.25), quantileInt(lengths, 0.5),
+		quantileInt(lengths, 0.75), quantileInt(lengths, 0.95))
+
+	// Repeat structure over the chosen window.
+	var (
+		events, repeats, eligible int
+		gapHist                   = map[int]int{} // bucketed by decade
+		candSum, candEvents       int
+	)
+	var cands []seq.Item
+	for _, s := range ds.Seqs {
+		seq.Scan(s, window, func(ev seq.Event, w *seq.Window) bool {
+			events++
+			if ev.Repeat {
+				repeats++
+				gapHist[ev.Gap/10]++
+				if ev.Eligible(omega) {
+					eligible++
+					cands = w.Candidates(omega, cands[:0])
+					candSum += len(cands)
+					candEvents++
+				}
+			}
+			return true
+		})
+	}
+	if events == 0 {
+		return fmt.Errorf("no full-window events: every sequence shorter than |W|=%d", window)
+	}
+	fmt.Printf("\nfull-window events: %d\n", events)
+	fmt.Printf("repeat ratio:       %.3f (paper: Lastfm ≈ 0.77)\n", float64(repeats)/float64(events))
+	fmt.Printf("eligible (gap>%d):  %d (%.1f%% of repeats)\n",
+		omega, eligible, 100*float64(eligible)/float64(maxInt(repeats, 1)))
+	if candEvents > 0 {
+		fmt.Printf("mean candidate set: %.1f items\n", float64(candSum)/float64(candEvents))
+	}
+
+	fmt.Println("\nreconsumption gap histogram (gap decade → share of repeats):")
+	decades := make([]int, 0, len(gapHist))
+	for d := range gapHist {
+		decades = append(decades, d)
+	}
+	sort.Ints(decades)
+	for _, d := range decades {
+		share := float64(gapHist[d]) / float64(repeats)
+		fmt.Printf("  %3d-%3d  %5.1f%%  %s\n", d*10, d*10+9, 100*share, strings.Repeat("#", int(60*share)))
+	}
+
+	// Fig. 4-style feature steepness: share of eligible repeats whose item
+	// ranks first in its window on each feature.
+	b := features.NewBuilder(numItems, window, omega)
+	for _, s := range ds.Seqs {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	var top1 [features.NumKinds]int
+	total := 0
+	for _, s := range ds.Seqs {
+		seq.Scan(s, window, func(ev seq.Event, w *seq.Window) bool {
+			if !ev.Eligible(omega) {
+				return true
+			}
+			total++
+			cands = w.Candidates(omega, cands[:0])
+			for k := features.Kind(0); k < features.NumKinds; k++ {
+				truth := ex.Value(k, ev.Next, w)
+				best := true
+				for _, c := range cands {
+					if c != ev.Next && ex.Value(k, c, w) > truth {
+						best = false
+						break
+					}
+				}
+				if best {
+					top1[k]++
+				}
+			}
+			return true
+		})
+	}
+	if total > 0 {
+		fmt.Println("\nfeature steepness (share of eligible repeats where the reconsumed item ranks #1):")
+		for k := features.Kind(0); k < features.NumKinds; k++ {
+			fmt.Printf("  %s  %5.1f%%\n", k, 100*float64(top1[k])/float64(total))
+		}
+		fmt.Println("steeper features → behavioural models (TS-PPR) have more to work with.")
+	}
+	return nil
+}
+
+func quantileInt(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/datagen"
+)
+
+func writeSeqDataset(t *testing.T) string {
+	t.Helper()
+	cfg := datagen.GowallaLike(6, 5)
+	cfg.MinLen, cfg.MaxLen = 80, 150
+	cfg.WindowCap = 20
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.tsv")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeSeqFormat(t *testing.T) {
+	path := writeSeqDataset(t)
+	if err := run(path, "seq", "\t", 0, 1, 2, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeEventsFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.tsv")
+	content := "u1\t3\ta\nu1\t1\tb\nu1\t2\ta\nu2\t1\tb\nbadline\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Window 2 so the 3-event user produces a full-window event.
+	if err := run(path, "events", "\t", 0, 1, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	path := writeSeqDataset(t)
+	if err := run("", "seq", "\t", 0, 1, 2, 20, 3); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := run(path, "xml", "\t", 0, 1, 2, 20, 3); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(path, "seq", "\t", 0, 1, 2, 20, 25); err == nil {
+		t.Error("omega > window accepted")
+	}
+	if err := run(path, "seq", "\t", 0, 1, 2, 100000, 3); err == nil {
+		t.Error("window larger than all sequences accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.tsv"), "seq", "\t", 0, 1, 2, 20, 3); err == nil {
+		t.Error("missing file accepted")
+	}
+}

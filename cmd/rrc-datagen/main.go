@@ -1,0 +1,53 @@
+// Command rrc-datagen generates a synthetic consumption-event workload
+// (Gowalla-like check-ins or Lastfm-like listening) and writes it as a TSV
+// event log.
+//
+// Usage:
+//
+//	rrc-datagen -preset gowalla -users 300 -seed 42 -out gowalla.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsppr/internal/datagen"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "gowalla", "workload preset: gowalla or lastfm")
+		users  = flag.Int("users", 300, "number of users to synthesize")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		out    = flag.String("out", "", "output TSV path (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*preset, *users, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, users int, seed uint64, out string) error {
+	var cfg *datagen.Config
+	switch preset {
+	case "gowalla":
+		cfg = datagen.GowallaLike(users, seed)
+	case "lastfm":
+		cfg = datagen.LastfmLike(users, seed)
+	default:
+		return fmt.Errorf("unknown preset %q (want gowalla or lastfm)", preset)
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	st := ds.Stats()
+	fmt.Fprintf(os.Stderr, "generated %s: %s\n", ds.Name, st)
+	if out == "" {
+		return ds.Write(os.Stdout)
+	}
+	return ds.SaveFile(out)
+}

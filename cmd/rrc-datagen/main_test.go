@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/dataset"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.tsv")
+	if err := run("gowalla", 5, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 5 {
+		t.Fatalf("users = %d", ds.NumUsers())
+	}
+	if ds.Name != "gowalla-sim" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+}
+
+func TestRunLastfmPreset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.tsv")
+	if err := run("lastfm", 2, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	if err := run("netflix", 5, 7, ""); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestRunRejectsBadUserCount(t *testing.T) {
+	if err := run("gowalla", 0, 7, ""); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Command rrc-eval regenerates the paper's tables and figures on the
+// synthetic workloads.
+//
+// Usage:
+//
+//	rrc-eval -exp fig5           # one experiment
+//	rrc-eval -exp all            # the whole evaluation section
+//	rrc-eval -exp fig9 -quick    # shrunken sweep for a fast look
+//	rrc-eval -list               # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tsppr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
+		gowalla = flag.Int("gowalla-users", 0, "override gowalla-sim user count")
+		lastfm  = flag.Int("lastfm-users", 0, "override lastfm-sim user count")
+		seed    = flag.Uint64("seed", 0, "override suite seed")
+		steps   = flag.Int("steps", 0, "override TS-PPR max SGD steps")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "rrc-eval: -exp is required (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	p := experiments.Params{
+		GowallaUsers: *gowalla,
+		LastfmUsers:  *lastfm,
+		Seed:         *seed,
+		MaxSteps:     *steps,
+		Quick:        *quick,
+	}
+	if *quick {
+		if p.GowallaUsers == 0 {
+			p.GowallaUsers = 60
+		}
+		if p.LastfmUsers == 0 {
+			p.LastfmUsers = 30
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rrc-eval: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==> %s\n", id)
+		start := time.Now()
+		if err := run(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "rrc-eval: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("<== %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,269 @@
+// Command rrc-server serves online RRC recommendations from a trained
+// TS-PPR model over a small JSON HTTP API.
+//
+// Endpoints:
+//
+//	GET  /healthz          → {"status":"ok"}
+//	GET  /stats            → request counters and model shape
+//	POST /recommend        → body {"user":0,"history":[1,2,3,...],"n":5,"omega":10}
+//	                         reply {"items":[...],"scores":[...]}
+//	POST /recommend/batch  → body {"requests":[{...},{...}]}
+//	                         reply {"responses":[{...}|{"error":...},...]}
+//
+// The caller supplies the user's recent consumption history (most recent
+// last); the server replays it into a time window and ranks the
+// reconsumable candidates. The process drains in-flight requests on
+// SIGINT/SIGTERM. Usage:
+//
+//	rrc-server -model model.tsppr -addr :8395 -window 100
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tsppr/internal/core"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model file (required)")
+		addr      = flag.String("addr", ":8395", "listen address")
+		window    = flag.Int("window", 100, "time window capacity |W|")
+		omega     = flag.Int("omega", 10, "default minimum gap Ω")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "rrc-server: -model is required")
+		os.Exit(2)
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-server:", err)
+		os.Exit(1)
+	}
+	srv := &server{model: model, windowCap: *window, defaultOmega: *omega}
+	log.Printf("serving model (users=%d items=%d K=%d F=%d) on %s",
+		model.NumUsers(), model.NumItems(), model.K, model.F, *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Drain in-flight requests on SIGINT/SIGTERM.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(idle)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-idle
+}
+
+type server struct {
+	model        *core.Model
+	windowCap    int
+	defaultOmega int
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	items    atomic.Int64
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /recommend", s.handleRecommend)
+	mux.HandleFunc("POST /recommend/batch", s.handleBatch)
+	return mux
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
+	ItemsRecommended int64 `json:"items_recommended"`
+	Users            int   `json:"users"`
+	Items            int   `json:"items"`
+	K                int   `json:"k"`
+	F                int   `json:"f"`
+	WindowCap        int   `json:"window"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		ItemsRecommended: s.items.Load(),
+		Users:            s.model.NumUsers(),
+		Items:            s.model.NumItems(),
+		K:                s.model.K,
+		F:                s.model.F,
+		WindowCap:        s.windowCap,
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// recommendRequest is the POST /recommend body.
+type recommendRequest struct {
+	User    int   `json:"user"`
+	History []int `json:"history"`
+	N       int   `json:"n"`
+	Omega   *int  `json:"omega,omitempty"`
+}
+
+// recommendResponse is the POST /recommend reply.
+type recommendResponse struct {
+	Items  []int     `json:"items"`
+	Scores []float64 `json:"scores"`
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req recommendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.recommend(req)
+	if err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.items.Add(int64(len(resp.Items)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the POST /recommend/batch body.
+type batchRequest struct {
+	Requests []recommendRequest `json:"requests"`
+}
+
+// batchEntry is one element of the batch reply: either a response or an
+// error, never both.
+type batchEntry struct {
+	Items  []int     `json:"items,omitempty"`
+	Scores []float64 `json:"scores,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// batchResponse is the POST /recommend/batch reply, parallel to the
+// request slice.
+type batchResponse struct {
+	Responses []batchEntry `json:"responses"`
+}
+
+const maxBatch = 256
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Requests) == 0 || len(req.Requests) > maxBatch {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch size %d out of [1,%d]", len(req.Requests), maxBatch))
+		return
+	}
+	out := batchResponse{Responses: make([]batchEntry, len(req.Requests))}
+	for i, one := range req.Requests {
+		resp, err := s.recommend(one)
+		if err != nil {
+			s.errors.Add(1)
+			out.Responses[i] = batchEntry{Error: err.Error()}
+			continue
+		}
+		s.items.Add(int64(len(resp.Items)))
+		out.Responses[i] = batchEntry{Items: resp.Items, Scores: resp.Scores}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) recommend(req recommendRequest) (*recommendResponse, error) {
+	if req.User < 0 || req.User >= s.model.NumUsers() {
+		return nil, fmt.Errorf("user %d out of range [0,%d)", req.User, s.model.NumUsers())
+	}
+	if req.N <= 0 {
+		req.N = 10
+	}
+	if req.N > s.windowCap {
+		req.N = s.windowCap
+	}
+	omega := s.defaultOmega
+	if req.Omega != nil {
+		omega = *req.Omega
+	}
+	if omega < 0 || omega >= s.windowCap {
+		return nil, fmt.Errorf("omega %d out of [0,%d)", omega, s.windowCap)
+	}
+	if len(req.History) == 0 {
+		return nil, errors.New("history is empty")
+	}
+	history := make(seq.Sequence, len(req.History))
+	win := seq.NewWindow(s.windowCap)
+	for i, it := range req.History {
+		if it < 0 {
+			return nil, fmt.Errorf("history[%d] = %d is negative", i, it)
+		}
+		history[i] = seq.Item(it)
+		win.Push(seq.Item(it))
+	}
+	ctx := rec.Context{User: req.User, Window: win, History: history, Omega: omega}
+	sc := s.model.NewScorer()
+	items := sc.Recommend(&ctx, req.N, nil)
+	resp := &recommendResponse{Items: make([]int, len(items)), Scores: make([]float64, len(items))}
+	for i, it := range items {
+		resp.Items[i] = int(it)
+		resp.Scores[i] = sc.Score(req.User, it, win)
+	}
+	return resp, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("rrc-server: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := datagen.GowallaLike(6, 5)
+	cfg.MinLen, cfg.MaxLen = 80, 150
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.tsv")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	data := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "model.tsppr")
+	err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 20_000, 1, "hyperbolic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 8 || m.F != 4 {
+		t.Fatalf("model shape K=%d F=%d", m.K, m.F)
+	}
+}
+
+func TestTrainExponentialRecency(t *testing.T) {
+	data := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "model.tsppr")
+	if err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 5_000, 1, "exponential"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "m")
+	if err := run("", "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "linear"); err == nil {
+		t.Error("bad recency kind accepted")
+	}
+	if err := run(data, "xml", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run(data, "seq", out, 0.7, 100_000, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+		t.Error("window larger than every sequence accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.tsv"), "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command rrc-tune grid-searches TS-PPR hyper-parameters on the synthetic
+// workloads and reports MaAP@1 / MaAP@10 per configuration, best first. It
+// exists so the defaults baked into the experiment suite are reproducible
+// decisions rather than folklore.
+//
+//	rrc-tune -gowalla-users 300 -lastfm-users 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/experiments"
+	"tsppr/internal/features"
+	"tsppr/internal/tuning"
+)
+
+func main() {
+	var (
+		gowallaUsers = flag.Int("gowalla-users", 60, "gowalla-sim user count")
+		lastfmUsers  = flag.Int("lastfm-users", 30, "lastfm-sim user count")
+		topN         = flag.Int("objective", 1, "TopN that ranks configurations")
+	)
+	flag.Parse()
+
+	if err := run(*gowallaUsers, *lastfmUsers, *topN); err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gowallaUsers, lastfmUsers, topN int) error {
+	p := experiments.Params{GowallaUsers: gowallaUsers, LastfmUsers: lastfmUsers, Quick: true}.Defaults()
+	gow, lfm, err := experiments.Workloads(p)
+	if err != nil {
+		return err
+	}
+	grid := tuning.Grid{
+		Lambdas:       []float64{0.001, 0.01, 0.1},
+		Gammas:        []float64{0.01, 0.05, 0.1},
+		LearningRates: []float64{0.03, 0.05},
+		Ks:            []int{40},
+		TwoPhase:      []bool{true},
+	}
+	for _, ds := range []*dataset.Dataset{gow, lfm} {
+		if err := tuneDataset(ds, p, grid, topN); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func tuneDataset(ds *dataset.Dataset, p experiments.Params, grid tuning.Grid, topN int) error {
+	pl, err := experiments.NewPipeline(ds, p, features.AllFeatures, features.Hyperbolic)
+	if err != nil {
+		return err
+	}
+	outcomes, err := tuning.Search(tuning.Task{
+		Train: pl.Train, Test: pl.Test, NumItems: pl.NumItems,
+		Extractor: pl.Ex, Set: pl.Set,
+		Eval:          eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed},
+		ObjectiveTopN: topN,
+		Seed:          p.Seed,
+	}, grid)
+	if err != nil {
+		return err
+	}
+	tuning.Rank(outcomes, topN)
+	fmt.Printf("\n%s — %d configurations, best first (objective MaAP@%d)\n", ds.Name, len(outcomes), topN)
+	for i, o := range outcomes {
+		if o.Err != nil {
+			fmt.Printf("%2d. %s  FAILED: %v\n", i+1, o.Point, o.Err)
+			continue
+		}
+		ma1, _ := o.Result.At(1)
+		ma10, _ := o.Result.At(10)
+		fmt.Printf("%2d. %s  MaAP@1=%.4f MaAP@10=%.4f conv=%v\n",
+			i+1, o.Point, ma1, ma10, o.Stats.Converged)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package tsppr is a from-scratch Go reproduction of "Recommendation for
+// Repeat Consumption from User Implicit Feedback" (Chen, Wang, Wang, Yu;
+// ICDE 2017): the TS-PPR time-sensitive personalized pairwise ranking
+// model, the six baselines the paper compares against, the STREC
+// repeat-or-novel classifier it composes with, synthetic stand-ins for the
+// Gowalla and Last.fm workloads, and a harness that regenerates every
+// table and figure of the paper's evaluation section.
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and examples/quickstart for a runnable
+// end-to-end tour. The public surface lives under internal/ packages used
+// by the cmd/ binaries and examples/; the model itself is
+// internal/core.
+package tsppr

@@ -1,0 +1,93 @@
+// Ablation: which behavioural feature earns its keep? Retrains TS-PPR
+// with each of IP/IR/RE/DF removed in turn (the paper's Fig. 7 study) on a
+// small check-in workload and reports the accuracy drop.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/eval"
+	"tsppr/internal/experiments"
+	"tsppr/internal/features"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+)
+
+const (
+	window    = 100
+	omega     = 10
+	trainFrac = 0.7
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ds, err := datagen.Generate(datagen.GowallaLike(60, 6))
+	if err != nil {
+		return err
+	}
+	ds = ds.FilterMinTrain(trainFrac, window)
+	ds, numItems := ds.Compact()
+	train, test := ds.Split(trainFrac)
+	fmt.Printf("workload: %s\n\n", ds.Stats())
+
+	type variant struct {
+		name string
+		mask features.Mask
+	}
+	variants := []variant{{"All", features.AllFeatures}}
+	for k := features.Kind(0); k < features.NumKinds; k++ {
+		variants = append(variants, variant{"-" + k.String(), features.AllFeatures.Without(k)})
+	}
+
+	t := experiments.NewTable("Variant", "MaAP@10", "MiAP@10", "Δ vs All")
+	var base float64
+	for i, v := range variants {
+		ma10, mi10, err := trainAndScore(train, test, numItems, v.mask)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		if i == 0 {
+			base = ma10
+			t.AddRow(v.name, fmt.Sprintf("%.4f", ma10), fmt.Sprintf("%.4f", mi10), "—")
+			continue
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.4f", ma10), fmt.Sprintf("%.4f", mi10),
+			fmt.Sprintf("%+.4f", ma10-base))
+	}
+	return t.Render(os.Stdout)
+}
+
+func trainAndScore(train, test []seq.Sequence, numItems int, mask features.Mask) (ma10, mi10 float64, err error) {
+	b := features.NewBuilder(numItems, window, omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(mask, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: window, Omega: omega, S: 10, Seed: 6})
+	if err != nil {
+		return 0, 0, err
+	}
+	model, _, err := core.Train(set, len(train), numItems, ex, core.Config{TwoPhase: true, Seed: 6})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := eval.Evaluate(train, test, model.Factory(), eval.Options{
+		WindowCap: window, Omega: omega, Seed: 6,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ma10, mi10 = res.At(10)
+	return ma10, mi10, nil
+}

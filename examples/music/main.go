@@ -1,0 +1,134 @@
+// Music: the paper's §5.7 pipeline on a Last.fm-like listening workload.
+// A STREC classifier first decides, at each listening step, whether the
+// next play will be a repeat; when it says yes, TS-PPR recommends which
+// previously played track it will be.
+//
+//	go run ./examples/music
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/rec"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+	"tsppr/internal/strec"
+)
+
+const (
+	window    = 100
+	omega     = 10
+	trainFrac = 0.7
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Last.fm-like: long sequences, ~77% repeat ratio, flat preferences.
+	ds, err := datagen.Generate(datagen.LastfmLike(40, 2))
+	if err != nil {
+		return err
+	}
+	ds = ds.FilterMinTrain(trainFrac, window)
+	ds, numItems := ds.Compact()
+	fmt.Printf("listening log: %s\n", ds.Stats())
+	train, test := ds.Split(trainFrac)
+
+	// STREC: will the next play be a repeat?
+	classifier, err := strec.Train(train, numItems, strec.Config{WindowCap: window, Seed: 2})
+	if err != nil {
+		return err
+	}
+	cls := classifier.Evaluate(train, test)
+	fmt.Printf("STREC: accuracy=%.3f precision=%.3f recall=%.3f over %d events\n",
+		cls.Accuracy, cls.Precision, cls.Recall, cls.Events)
+
+	// TS-PPR: which track will be replayed?
+	model, err := trainTSPPR(ds, train, numItems)
+	if err != nil {
+		return err
+	}
+	res, err := eval.Evaluate(train, test, model.Factory(), eval.Options{
+		WindowCap: window, Omega: omega, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	ma1, _ := res.At(1)
+	ma10, _ := res.At(10)
+	fmt.Printf("TS-PPR: MaAP@1=%.3f MaAP@10=%.3f over %d eligible repeats\n", ma1, ma10, res.Events)
+	fmt.Printf("joint pipeline accuracy (STREC × TS-PPR@10): %.3f\n", cls.Accuracy*ma10)
+
+	// Demo the live pipeline on one user's last few plays.
+	demoUser(classifier, model, train[0], test[0])
+	return nil
+}
+
+func trainTSPPR(ds *dataset.Dataset, train []seq.Sequence, numItems int) (*core.Model, error) {
+	b := features.NewBuilder(numItems, window, omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: window, Omega: omega, S: 10, Seed: 2})
+	if err != nil {
+		return nil, err
+	}
+	model, _, err := core.Train(set, ds.NumUsers(), numItems, ex, core.Config{TwoPhase: true, Seed: 2})
+	return model, err
+}
+
+// demoUser replays one user's test stream through the live classify-then-
+// recommend pipeline, printing the first few decisions.
+func demoUser(classifier *strec.Model, model *core.Model, train, test seq.Sequence) {
+	fmt.Println("\nlive pipeline for user 0 (first 5 decisions):")
+	w := seq.NewWindow(window)
+	repeats, events := 0, 0
+	seq.Scan(train, window, func(ev seq.Event, _ *seq.Window) bool {
+		events++
+		if ev.Repeat {
+			repeats++
+		}
+		return true
+	})
+	history := append(seq.Sequence{}, train...)
+	for _, v := range train {
+		w.Push(v)
+	}
+	scorer := model.NewScorer()
+	shown := 0
+	for _, v := range test {
+		if shown >= 5 {
+			break
+		}
+		p := classifier.Predict(w, repeats, events)
+		if p >= 0.5 {
+			ctx := &rec.Context{User: 0, Window: w, History: history, Omega: omega}
+			top := scorer.Recommend(ctx, 3, nil)
+			hit := " miss"
+			for _, item := range top {
+				if item == v {
+					hit = " HIT"
+				}
+			}
+			fmt.Printf("  P(repeat)=%.2f → recommend %v; actually played %d%s\n", p, top, v, hit)
+			shown++
+		}
+		events++
+		if gap, ok := w.Gap(v); ok && gap > 0 {
+			repeats++
+		}
+		w.Push(v)
+		history = append(history, v)
+	}
+}

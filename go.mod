@@ -1,0 +1,3 @@
+module tsppr
+
+go 1.22

@@ -1,0 +1,149 @@
+package tsppr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/mixer"
+	"tsppr/internal/rec"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+	"tsppr/internal/strec"
+)
+
+// TestEndToEndPipeline exercises the whole stack across module boundaries:
+// generate → persist → reload → filter/split → features → sample → train →
+// persist model → reload model → evaluate → mixed serving. Every arrow is
+// a cross-package interface; this test is the contract that they compose.
+func TestEndToEndPipeline(t *testing.T) {
+	const (
+		window    = 30
+		omega     = 5
+		trainFrac = 0.7
+	)
+	dir := t.TempDir()
+
+	// Generate and round-trip the dataset through disk.
+	cfg := datagen.GowallaLike(16, 99)
+	cfg.MinLen, cfg.MaxLen = 120, 260
+	cfg.WindowCap = window
+	generated, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsPath := filepath.Join(dir, "events.tsv")
+	if err := generated.SaveFile(dsPath); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = ds.FilterMinTrain(trainFrac, window)
+	ds, numItems := ds.Compact()
+	if ds.NumUsers() == 0 {
+		t.Fatal("all users filtered out")
+	}
+	train, test := ds.Split(trainFrac)
+
+	// Features and training set.
+	b := features.NewBuilder(numItems, window, omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: window, Omega: omega, S: 6, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train and round-trip the model through disk.
+	trained, _, err := core.Train(set, ds.NumUsers(), numItems, ex, core.Config{
+		K: 12, MaxSteps: 40_000, TwoPhase: true, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.tsppr")
+	if err := trained.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.LoadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reloaded model must evaluate identically to the in-memory one
+	// and beat Random.
+	opt := eval.Options{WindowCap: window, Omega: omega, Seed: 99, KeepPerUser: true}
+	rs, err := eval.EvaluateAll(train, test,
+		[]rec.Factory{model.Factory(), trained.Factory(), randomBaseline()}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, inMemory, random := rs[0], rs[1], rs[2]
+	for i := range reloaded.MaAP {
+		if reloaded.MaAP[i] != inMemory.MaAP[i] {
+			t.Fatalf("reloaded model differs at TopN[%d]: %v vs %v", i, reloaded.MaAP[i], inMemory.MaAP[i])
+		}
+	}
+	ourMa, _ := reloaded.At(10)
+	rndMa, _ := random.At(10)
+	if ourMa <= rndMa {
+		t.Fatalf("TS-PPR (%v) did not beat Random (%v) @10", ourMa, rndMa)
+	}
+
+	// The bootstrap must agree the win over Random is significant.
+	cmp, err := eval.PairedBootstrap(reloaded, random, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At @10 the small candidate sets let Random saturate, so test @1
+	// where the model's ranking actually matters.
+	if !cmp.SignificantMaAP(0) {
+		t.Fatalf("TS-PPR vs Random not significant at Top-1: %+v", cmp.DeltaMaAP)
+	}
+
+	// Full mixed-serving stack on the reloaded model.
+	classifier, err := strec.Train(train, numItems, strec.Config{WindowCap: window, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel, err := mixer.NewNovelRecommender(model, train, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := mixer.NewPipeline(classifier, model, novel, train, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seq.NewWindow(window)
+	for _, v := range train[0] {
+		w.Push(v)
+	}
+	d := pipe.Recommend(&rec.Context{User: 0, Window: w, History: train[0], Omega: omega}, 5)
+	if len(d.Mixed) == 0 {
+		t.Fatal("mixed slate empty")
+	}
+}
+
+func randomBaseline() rec.Factory {
+	return rec.Factory{Name: "Random", New: func(seed uint64) rec.Recommender {
+		state := seed | 1
+		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			for i := 0; i < n && len(cands) > 0; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				j := int(state>>33) % len(cands)
+				dst = append(dst, cands[j])
+				cands = append(cands[:j], cands[j+1:]...)
+			}
+			return dst
+		})
+	}}
+}

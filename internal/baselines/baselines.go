@@ -1,0 +1,154 @@
+// Package baselines implements the six comparison methods of the paper's
+// evaluation (§5.2), adapted — exactly as the paper does — to the RRC
+// setting: every method ranks only the reconsumable candidates, i.e. the
+// distinct items of the current time window not consumed in the last Ω
+// steps.
+//
+//   - Random: uniform choice among candidates.
+//   - Pop: rank by item popularity ln(1+n_v) from the training set.
+//   - Recency: rank by exponential decay e^{−Δt} of the consumption gap.
+//   - DYRC: learned mixture of item quality and recency (Anderson et al.).
+//   - FPMC: factorized personalized Markov chain (Rendle et al.), scoring
+//     the window-set→item transition.
+//   - Survival: discrete-time Cox proportional-hazards return-time model
+//     (Kapoor et al.), with the deliberately expensive online
+//     time-weighted average return-time feature.
+package baselines
+
+import (
+	"math"
+
+	"tsppr/internal/rec"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+	"tsppr/internal/topk"
+)
+
+// rankTopN pushes every candidate with its score into a top-n selector and
+// appends the ranked items to dst. It is the shared tail of all
+// deterministic baselines.
+func rankTopN(cands []seq.Item, score func(seq.Item) float64, n int, dst []seq.Item) []seq.Item {
+	if n <= 0 || len(cands) == 0 {
+		return dst
+	}
+	sel := topk.New(n)
+	for _, v := range cands {
+		sel.Push(v, score(v))
+	}
+	return sel.Items(dst)
+}
+
+// Random recommends a uniform random sample of the candidate set, the
+// weakest baseline.
+type Random struct {
+	rng   *rngutil.RNG
+	cands []seq.Item
+}
+
+// NewRandom returns a Random recommender with its own deterministic
+// stream.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: rngutil.New(seed)}
+}
+
+// Recommend implements rec.Recommender.
+func (r *Random) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	if n <= 0 || len(r.cands) == 0 {
+		return dst
+	}
+	if n > len(r.cands) {
+		n = len(r.cands)
+	}
+	// Partial Fisher-Yates: the first n slots become a uniform sample.
+	for i := 0; i < n; i++ {
+		j := i + r.rng.Intn(len(r.cands)-i)
+		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
+		dst = append(dst, r.cands[i])
+	}
+	return dst
+}
+
+// RandomFactory returns the Random baseline factory.
+func RandomFactory() rec.Factory {
+	return rec.Factory{Name: "Random", New: func(seed uint64) rec.Recommender {
+		return NewRandom(seed)
+	}}
+}
+
+// Pop ranks candidates by global item popularity ln(1+n_v) measured on
+// the training set.
+type Pop struct {
+	score []float64 // indexed by item
+}
+
+// NewPop counts item frequencies over the training sequences. numItems
+// sizes the table; larger IDs score zero.
+func NewPop(train []seq.Sequence, numItems int) *Pop {
+	freq := make([]int, numItems)
+	for _, s := range train {
+		for _, v := range s {
+			if int(v) < len(freq) {
+				freq[v]++
+			}
+		}
+	}
+	p := &Pop{score: make([]float64, numItems)}
+	for v, f := range freq {
+		p.score[v] = math.Log1p(float64(f))
+	}
+	return p
+}
+
+// Score returns the popularity score of v.
+func (p *Pop) Score(v seq.Item) float64 {
+	if v < 0 || int(v) >= len(p.score) {
+		return 0
+	}
+	return p.score[v]
+}
+
+type popRec struct {
+	p     *Pop
+	cands []seq.Item
+}
+
+func (r *popRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	return rankTopN(r.cands, r.p.Score, n, dst)
+}
+
+// Factory returns the Pop baseline factory over the shared table.
+func (p *Pop) Factory() rec.Factory {
+	return rec.Factory{Name: "Pop", New: func(uint64) rec.Recommender {
+		return &popRec{p: p}
+	}}
+}
+
+// Recency ranks candidates by e^{−Δt} where Δt is the gap since the
+// user's last consumption of the item (paper §5.2). Because e^{−x} is
+// strictly decreasing, this is equivalent to preferring the smallest gap,
+// but we keep the exponential form — including its cost — to mirror the
+// paper's efficiency discussion.
+type Recency struct {
+	cands []seq.Item
+}
+
+// Recommend implements rec.Recommender.
+func (r *Recency) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	return rankTopN(r.cands, func(v seq.Item) float64 {
+		gap, ok := ctx.Window.Gap(v)
+		if !ok {
+			return 0
+		}
+		return math.Exp(-float64(gap))
+	}, n, dst)
+}
+
+// RecencyFactory returns the Recency baseline factory.
+func RecencyFactory() rec.Factory {
+	return rec.Factory{Name: "Recency", New: func(uint64) rec.Recommender {
+		return &Recency{}
+	}}
+}

@@ -1,0 +1,382 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"tsppr/internal/datagen"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// corpus returns a small training corpus plus a warm window/history for
+// recommendation-time tests.
+func corpus(t testing.TB) (train []seq.Sequence, numItems int, ctx *rec.Context) {
+	t.Helper()
+	cfg := datagen.GowallaLike(12, 9)
+	cfg.MinLen, cfg.MaxLen = 80, 160
+	cfg.WindowCap = 20
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numItems = ds.NumItems()
+	train = ds.Seqs
+	w := seq.NewWindow(20)
+	for _, v := range train[0] {
+		w.Push(v)
+	}
+	ctx = &rec.Context{User: 0, Window: w, History: train[0], Omega: 3}
+	return train, numItems, ctx
+}
+
+// checkRecommendations asserts the universal recommender contract:
+// unique candidates only, at most n of them.
+func checkRecommendations(t *testing.T, name string, got []seq.Item, ctx *rec.Context, n int) {
+	t.Helper()
+	cands := ctx.Window.Candidates(ctx.Omega, nil)
+	want := n
+	if len(cands) < want {
+		want = len(cands)
+	}
+	if len(got) > n {
+		t.Fatalf("%s returned %d items for n=%d", name, len(got), n)
+	}
+	if len(got) != want {
+		t.Fatalf("%s returned %d items, want %d", name, len(got), want)
+	}
+	inCands := map[seq.Item]bool{}
+	for _, c := range cands {
+		inCands[c] = true
+	}
+	seen := map[seq.Item]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("%s returned duplicate %d", name, v)
+		}
+		seen[v] = true
+		if !inCands[v] {
+			t.Fatalf("%s recommended non-candidate %d", name, v)
+		}
+	}
+}
+
+func TestRandomContract(t *testing.T) {
+	_, _, ctx := corpus(t)
+	r := NewRandom(4)
+	got := r.Recommend(ctx, 5, nil)
+	checkRecommendations(t, "Random", got, ctx, 5)
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	_, _, ctx := corpus(t)
+	a := NewRandom(4).Recommend(ctx, 5, nil)
+	b := NewRandom(4).Recommend(ctx, 5, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed Random diverged")
+		}
+	}
+}
+
+func TestRandomFactory(t *testing.T) {
+	f := RandomFactory()
+	if f.Name != "Random" {
+		t.Errorf("name %q", f.Name)
+	}
+	_, _, ctx := corpus(t)
+	got := f.New(1).Recommend(ctx, 3, nil)
+	checkRecommendations(t, "Random", got, ctx, 3)
+}
+
+func TestPopRanksByFrequency(t *testing.T) {
+	train := []seq.Sequence{{0, 0, 0, 1, 1, 2}}
+	p := NewPop(train, 3)
+	if p.Score(0) <= p.Score(1) || p.Score(1) <= p.Score(2) {
+		t.Fatal("Pop scores not ordered by frequency")
+	}
+	if p.Score(7) != 0 || p.Score(-1) != 0 {
+		t.Fatal("out-of-range items should score 0")
+	}
+	if p.Score(0) != math.Log1p(3) {
+		t.Fatalf("Score(0) = %v", p.Score(0))
+	}
+}
+
+func TestPopRecommend(t *testing.T) {
+	train, numItems, ctx := corpus(t)
+	p := NewPop(train, numItems)
+	got := p.Factory().New(0).Recommend(ctx, 10, nil)
+	checkRecommendations(t, "Pop", got, ctx, 10)
+	// Verify descending popularity.
+	for i := 1; i < len(got); i++ {
+		if p.Score(got[i]) > p.Score(got[i-1]) {
+			t.Fatal("Pop ranking not descending")
+		}
+	}
+}
+
+func TestRecencyPrefersSmallGap(t *testing.T) {
+	_, _, ctx := corpus(t)
+	got := (&Recency{}).Recommend(ctx, 10, nil)
+	checkRecommendations(t, "Recency", got, ctx, 10)
+	prev := -1
+	for _, v := range got {
+		gap, ok := ctx.Window.Gap(v)
+		if !ok {
+			t.Fatalf("recommended absent item %d", v)
+		}
+		if gap < prev {
+			t.Fatalf("Recency ranking not by ascending gap: %d after %d", gap, prev)
+		}
+		prev = gap
+	}
+	if RecencyFactory().Name != "Recency" {
+		t.Error("factory name wrong")
+	}
+}
+
+func TestDYRCTrainsAndRecommends(t *testing.T) {
+	train, numItems, ctx := corpus(t)
+	d, err := TrainDYRC(train, numItems, DYRCConfig{WindowCap: 20, Omega: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a quality+recency-driven corpus both weights should move off zero.
+	if d.ThetaQ == 0 && d.ThetaC == 0 {
+		t.Fatal("DYRC learned nothing")
+	}
+	if math.IsNaN(d.ThetaQ) || math.IsNaN(d.ThetaC) {
+		t.Fatal("NaN weights")
+	}
+	if d.LogLikelihood > 0 {
+		t.Fatalf("mean log-likelihood %v > 0", d.LogLikelihood)
+	}
+	got := d.Factory().New(0).Recommend(ctx, 5, nil)
+	checkRecommendations(t, "DYRC", got, ctx, 5)
+}
+
+func TestDYRCConfigValidation(t *testing.T) {
+	if _, err := TrainDYRC(nil, 0, DYRCConfig{WindowCap: 0}); err == nil {
+		t.Error("WindowCap 0 accepted")
+	}
+	if _, err := TrainDYRC(nil, 0, DYRCConfig{WindowCap: 5, Omega: 5}); err == nil {
+		t.Error("Omega == WindowCap accepted")
+	}
+}
+
+func TestDYRCLearnsAntiRecencyOnCyclicCorpus(t *testing.T) {
+	// In a strict cycle the reconsumed item is always the *oldest*
+	// candidate (largest gap), so the fitted recency weight must be
+	// negative — the model correctly learns the anti-recency structure.
+	var s seq.Sequence
+	for i := 0; i < 200; i++ {
+		s = append(s, seq.Item(i%7))
+	}
+	d, err := TrainDYRC([]seq.Sequence{s}, 7, DYRCConfig{WindowCap: 14, Omega: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ThetaC >= 0 {
+		t.Fatalf("ThetaC = %v, want < 0 on cyclic corpus", d.ThetaC)
+	}
+	// And its Top-1 must actually pick the oldest candidate.
+	w := seq.NewWindow(14)
+	for _, v := range s[:100] {
+		w.Push(v)
+	}
+	ctx := &rec.Context{User: 0, Window: w, History: s[:100], Omega: 2}
+	got := d.Factory().New(0).Recommend(ctx, 1, nil)
+	if len(got) != 1 || got[0] != s[100] {
+		t.Fatalf("Top-1 = %v, want %d", got, s[100])
+	}
+}
+
+func TestFPMCTrainsAndRecommends(t *testing.T) {
+	train, numItems, ctx := corpus(t)
+	m, err := TrainFPMC(train, numItems, FPMCConfig{WindowCap: 20, Omega: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 16 {
+		t.Fatalf("default K = %d", m.K)
+	}
+	got := m.Factory().New(0).Recommend(ctx, 5, nil)
+	checkRecommendations(t, "FPMC", got, ctx, 5)
+	for _, x := range m.IL.Data {
+		if math.IsNaN(x) {
+			t.Fatal("NaN in FPMC factors")
+		}
+	}
+}
+
+func TestFPMCDeterminism(t *testing.T) {
+	train, numItems, _ := corpus(t)
+	cfg := FPMCConfig{WindowCap: 20, Omega: 3, Seed: 5, Epochs: 2}
+	a, _ := TrainFPMC(train, numItems, cfg)
+	b, _ := TrainFPMC(train, numItems, cfg)
+	for i := range a.IL.Data {
+		if a.IL.Data[i] != b.IL.Data[i] {
+			t.Fatal("FPMC training not deterministic")
+		}
+	}
+}
+
+func TestFPMCConfigValidation(t *testing.T) {
+	if _, err := TrainFPMC(nil, 0, FPMCConfig{}); err == nil {
+		t.Error("WindowCap 0 accepted")
+	}
+	if _, err := TrainFPMC(nil, 0, FPMCConfig{WindowCap: 5, Omega: 7}); err == nil {
+		t.Error("Omega > WindowCap accepted")
+	}
+}
+
+func TestSurvivalTrainsAndRecommends(t *testing.T) {
+	train, numItems, ctx := corpus(t)
+	sv, err := TrainSurvival(train, numItems, SurvivalConfig{WindowCap: 20, Omega: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumEvents == 0 {
+		t.Fatal("no spells observed")
+	}
+	if sv.NumCensored == 0 {
+		t.Fatal("no censored spells — every item returned before end?")
+	}
+	for _, b := range sv.Beta {
+		if math.IsNaN(b) {
+			t.Fatal("NaN beta")
+		}
+	}
+	got := sv.Factory().New(0).Recommend(ctx, 5, nil)
+	checkRecommendations(t, "Survival", got, ctx, 5)
+}
+
+func TestSurvivalHazardPositive(t *testing.T) {
+	train, numItems, _ := corpus(t)
+	sv, err := TrainSurvival(train, numItems, SurvivalConfig{WindowCap: 20, Omega: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gap := 1; gap <= 80; gap += 7 {
+		h := sv.hazard(gap, sv.covariates(0, 10))
+		if h <= 0 || math.IsNaN(h) {
+			t.Fatalf("hazard(%d) = %v", gap, h)
+		}
+	}
+	// Clamping below 1 and above maxGap.
+	if sv.hazard(0, sv.covariates(0, 10)) != sv.hazard(1, sv.covariates(0, 10)) {
+		t.Error("gap 0 should clamp to 1")
+	}
+	if sv.hazard(1<<20, sv.covariates(0, 10)) != sv.hazard(sv.maxGap, sv.covariates(0, 10)) {
+		t.Error("huge gap should clamp to maxGap")
+	}
+}
+
+func TestSurvivalDegenerateCorpus(t *testing.T) {
+	// No item ever repeats → zero events, flat hazard, no crash.
+	sv, err := TrainSurvival([]seq.Sequence{{0, 1, 2, 3}}, 4, SurvivalConfig{WindowCap: 3, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumEvents != 0 {
+		t.Fatalf("events = %d", sv.NumEvents)
+	}
+	w := seq.NewWindow(3)
+	w.Push(0)
+	w.Push(1)
+	w.Push(2)
+	ctx := &rec.Context{User: 0, Window: w, History: seq.Sequence{0, 1, 2}, Omega: 1}
+	got := sv.Factory().New(0).Recommend(ctx, 2, nil)
+	checkRecommendations(t, "Survival", got, ctx, 2)
+}
+
+func TestSurvivalValidation(t *testing.T) {
+	if _, err := TrainSurvival(nil, 0, SurvivalConfig{}); err == nil {
+		t.Error("WindowCap 0 accepted")
+	}
+}
+
+func TestTwartState(t *testing.T) {
+	st := &twartState{lastPos: 5}
+	if got := st.value(42); got != 42 {
+		t.Fatalf("fallback = %v", got)
+	}
+	st.observe(10)
+	st.observe(20)
+	// Weighted mean: (1·10 + 2·20)/3 = 50/3.
+	if got := st.value(0); math.Abs(got-50.0/3) > 1e-12 {
+		t.Fatalf("TWART = %v", got)
+	}
+}
+
+func TestRankTopNEmpty(t *testing.T) {
+	if got := rankTopN(nil, func(seq.Item) float64 { return 0 }, 5, nil); len(got) != 0 {
+		t.Fatal("empty candidates should produce nothing")
+	}
+	if got := rankTopN([]seq.Item{1}, func(seq.Item) float64 { return 0 }, 0, nil); len(got) != 0 {
+		t.Fatal("n=0 should produce nothing")
+	}
+}
+
+func TestPPRTrainsAndRecommends(t *testing.T) {
+	train, numItems, ctx := corpus(t)
+	m, err := TrainPPR(train, numItems, PPRConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 16 {
+		t.Fatalf("default K = %d", m.K)
+	}
+	got := m.Factory().New(0).Recommend(ctx, 5, nil)
+	checkRecommendations(t, "PPR", got, ctx, 5)
+	for _, x := range m.V.Data {
+		if math.IsNaN(x) {
+			t.Fatal("NaN in PPR factors")
+		}
+	}
+}
+
+func TestPPRIsTimeInsensitive(t *testing.T) {
+	// The paper's §4.1 argument: PPR's ranking over a fixed candidate set
+	// cannot change with time. Push more events (changing all gaps and
+	// counts) while keeping the candidate set identical — PPR's order must
+	// be bitwise identical.
+	train, numItems, _ := corpus(t)
+	m, err := TrainPPR(train, numItems, PPRConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seq.NewWindow(40)
+	base := []seq.Item{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, v := range base {
+		w.Push(v)
+	}
+	// Snapshot ranking now.
+	r := m.Factory().New(0)
+	ctx := &rec.Context{User: 0, Window: w, Omega: 0}
+	before := append([]seq.Item(nil), r.Recommend(ctx, 8, nil)...)
+	// Re-push the same items in a different order (gaps/counts change,
+	// candidate set does not).
+	for _, v := range []seq.Item{8, 7, 6, 5, 4, 3, 2, 1} {
+		w.Push(v)
+	}
+	after := r.Recommend(ctx, 8, nil)
+	if len(before) != len(after) {
+		t.Fatalf("lengths differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("PPR ranking changed with time: %v vs %v", before, after)
+		}
+	}
+}
+
+func TestPPRValidation(t *testing.T) {
+	if _, err := TrainPPR(nil, 10, PPRConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := TrainPPR([]seq.Sequence{{1}}, 0, PPRConfig{}); err == nil {
+		t.Error("zero items accepted")
+	}
+}

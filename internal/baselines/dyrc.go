@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"tsppr/internal/mathx"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// DYRC is the mixed weighted reconsumption model of Anderson et al. ("The
+// dynamics of repeat consumption", WWW 2014) as the paper describes it: a
+// choice model over the window candidates whose score mixes item quality
+// (popularity) and recency, with the two mixture weights learned by
+// maximizing the log-likelihood of the observed reconsumptions.
+//
+// We parameterize the choice as a conditional softmax over the candidate
+// set: P(v | W, t) ∝ exp(θ_q·q̄_v + θ_c·c_vt), and fit (θ_q, θ_c) by
+// stochastic gradient ascent over the training repeat events.
+type DYRC struct {
+	ThetaQ, ThetaC float64
+	quality        []float64 // normalized ln(1+n_v)
+	LogLikelihood  float64   // mean per-event log-likelihood after fitting
+}
+
+// DYRCConfig parameterizes fitting.
+type DYRCConfig struct {
+	WindowCap    int
+	Omega        int
+	Epochs       int     // passes over the training events (default 5)
+	LearningRate float64 // default 0.05
+}
+
+func (c DYRCConfig) withDefaults() DYRCConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	return c
+}
+
+// TrainDYRC fits the mixture weights on the training sequences.
+func TrainDYRC(train []seq.Sequence, numItems int, cfg DYRCConfig) (*DYRC, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WindowCap <= 0 {
+		return nil, fmt.Errorf("baselines: DYRC WindowCap %d <= 0", cfg.WindowCap)
+	}
+	if cfg.Omega < 0 || cfg.Omega >= cfg.WindowCap {
+		return nil, fmt.Errorf("baselines: DYRC Omega %d out of [0,%d)", cfg.Omega, cfg.WindowCap)
+	}
+	d := &DYRC{quality: qualityTable(train, numItems)}
+
+	var cands []seq.Item
+	var scores []float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.5*float64(epoch))
+		total, events := 0.0, 0
+		for _, su := range train {
+			seq.Scan(su, cfg.WindowCap, func(ev seq.Event, w *seq.Window) bool {
+				if !ev.Eligible(cfg.Omega) {
+					return true
+				}
+				cands = w.Candidates(cfg.Omega, cands[:0])
+				if len(cands) < 2 {
+					return true
+				}
+				// Softmax over candidates; gradient of the log-likelihood
+				// w.r.t. θ is feat(positive) − E_softmax[feat].
+				scores = scores[:0]
+				maxS := math.Inf(-1)
+				for _, c := range cands {
+					s := d.rawScore(c, w)
+					scores = append(scores, s)
+					if s > maxS {
+						maxS = s
+					}
+				}
+				z := 0.0
+				for _, s := range scores {
+					z += math.Exp(s - maxS)
+				}
+				var eq, ec float64 // expectations under the model
+				for i, c := range cands {
+					p := math.Exp(scores[i]-maxS) / z
+					q, r := d.feats(c, w)
+					eq += p * q
+					ec += p * r
+				}
+				pq, pc := d.feats(ev.Next, w)
+				d.ThetaQ += lr * (pq - eq)
+				d.ThetaC += lr * (pc - ec)
+				// Track the (pre-update) log-likelihood of this event.
+				posScore, _ := find(cands, scores, ev.Next)
+				total += posScore - maxS - math.Log(z)
+				events++
+				return true
+			})
+		}
+		if events > 0 {
+			d.LogLikelihood = total / float64(events)
+		}
+	}
+	return d, nil
+}
+
+func find(cands []seq.Item, scores []float64, v seq.Item) (float64, bool) {
+	for i, c := range cands {
+		if c == v {
+			return scores[i], true
+		}
+	}
+	return 0, false
+}
+
+// feats returns (quality, recency) of v against w.
+func (d *DYRC) feats(v seq.Item, w *seq.Window) (q, c float64) {
+	if int(v) < len(d.quality) && v >= 0 {
+		q = d.quality[v]
+	}
+	if gap, ok := w.Gap(v); ok {
+		c = 1 / float64(gap)
+	}
+	return q, c
+}
+
+func (d *DYRC) rawScore(v seq.Item, w *seq.Window) float64 {
+	q, c := d.feats(v, w)
+	return d.ThetaQ*q + d.ThetaC*c
+}
+
+type dyrcRec struct {
+	d     *DYRC
+	cands []seq.Item
+}
+
+func (r *dyrcRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	return rankTopN(r.cands, func(v seq.Item) float64 {
+		return r.d.rawScore(v, ctx.Window)
+	}, n, dst)
+}
+
+// Factory returns the DYRC factory over the fitted weights.
+func (d *DYRC) Factory() rec.Factory {
+	return rec.Factory{Name: "DYRC", New: func(uint64) rec.Recommender {
+		return &dyrcRec{d: d}
+	}}
+}
+
+// qualityTable computes the min-max normalized ln(1+n_v) table shared by
+// DYRC and Survival.
+func qualityTable(train []seq.Sequence, numItems int) []float64 {
+	freq := make([]int, numItems)
+	for _, s := range train {
+		for _, v := range s {
+			if int(v) < len(freq) {
+				freq[v]++
+			}
+		}
+	}
+	q := make([]float64, numItems)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for v, f := range freq {
+		if f == 0 {
+			continue
+		}
+		x := math.Log1p(float64(f))
+		q[v] = x
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo > hi {
+		return q
+	}
+	for v, f := range freq {
+		if f == 0 {
+			continue
+		}
+		q[v] = mathx.Scale01(q[v], lo, hi)
+	}
+	return q
+}

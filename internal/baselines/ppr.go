@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"fmt"
+
+	"tsppr/internal/linalg"
+	"tsppr/internal/mathx"
+	"tsppr/internal/rec"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+// PPR is the plain Bayesian personalized pairwise ranking model the paper
+// introduces in §4.1 (Rendle et al.'s BPR-MF) and then argues *cannot*
+// address RRC: it learns one fixed preference order uᵀv per user, with no
+// notion of time, so whichever candidate it ranks highest it ranks highest
+// at every step. It is included as a reference model (not one of the
+// paper's evaluated baselines) so the claim is checkable: evaluate it next
+// to TS-PPR and watch the time-sensitive term earn its keep.
+type PPR struct {
+	K int
+	U *linalg.Matrix // numUsers × K
+	V *linalg.Matrix // numItems × K
+}
+
+// PPRConfig parameterizes training.
+type PPRConfig struct {
+	K            int     // factor dimension (default 16)
+	Epochs       int     // passes over all consumption events (default 5)
+	LearningRate float64 // default 0.05
+	Reg          float64 // L2 regularization (default 0.01)
+	Seed         uint64
+}
+
+func (c PPRConfig) withDefaults() PPRConfig {
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Reg == 0 {
+		c.Reg = 0.01
+	}
+	return c
+}
+
+// TrainPPR fits BPR-MF on the training sequences: every consumption is a
+// positive, negatives are uniform over the item universe.
+func TrainPPR(train []seq.Sequence, numItems int, cfg PPRConfig) (*PPR, error) {
+	cfg = cfg.withDefaults()
+	if numItems <= 0 {
+		return nil, fmt.Errorf("baselines: PPR numItems %d <= 0", numItems)
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("baselines: PPR empty training set")
+	}
+	rng := rngutil.New(cfg.Seed + 0xbb9)
+	m := &PPR{
+		K: cfg.K,
+		U: linalg.NewMatrix(len(train), cfg.K),
+		V: linalg.NewMatrix(numItems, cfg.K),
+	}
+	const initStd = 0.1
+	m.U.FillGaussian(rng, initStd)
+	m.V.FillGaussian(rng, initStd)
+
+	uOld := linalg.NewVector(cfg.K)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.5*float64(epoch))
+		for u, su := range train {
+			userRNG := rng.Split()
+			uvec := m.U.Row(u)
+			for _, pos := range su {
+				if int(pos) >= numItems {
+					continue
+				}
+				neg := seq.Item(userRNG.Intn(numItems))
+				for neg == pos {
+					neg = seq.Item(userRNG.Intn(numItems))
+				}
+				vi, vj := m.V.Row(int(pos)), m.V.Row(int(neg))
+				margin := linalg.Dot(uvec, vi) - linalg.Dot(uvec, vj)
+				g := lr * (1 - mathx.Sigmoid(margin))
+
+				linalg.Copy(uOld, uvec)
+				linalg.Scale(1-lr*cfg.Reg, uvec)
+				for k := 0; k < cfg.K; k++ {
+					uvec[k] += g * (vi[k] - vj[k])
+				}
+				linalg.Scale(1-lr*cfg.Reg, vi)
+				linalg.Axpy(g, uOld, vi)
+				linalg.Scale(1-lr*cfg.Reg, vj)
+				linalg.Axpy(-g, uOld, vj)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Score returns the static preference uᵀv.
+func (m *PPR) Score(u int, v seq.Item) float64 {
+	if u < 0 || u >= m.U.Rows || v < 0 || int(v) >= m.V.Rows {
+		return 0
+	}
+	return linalg.Dot(m.U.Row(u), m.V.Row(int(v)))
+}
+
+type pprRec struct {
+	m     *PPR
+	cands []seq.Item
+}
+
+func (r *pprRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	return rankTopN(r.cands, func(v seq.Item) float64 {
+		return r.m.Score(ctx.User, v)
+	}, n, dst)
+}
+
+// Factory returns the PPR factory over the trained factors.
+func (m *PPR) Factory() rec.Factory {
+	return rec.Factory{Name: "PPR", New: func(uint64) rec.Recommender {
+		return &pprRec{m: m}
+	}}
+}

@@ -1,0 +1,286 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsppr/internal/features"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// Survival is the hazard-based return-time baseline of Kapoor et al.
+// (KDD 2014), transplanted to the discrete consumption-step domain the way
+// the paper's §5.2 does. It is a Cox proportional-hazards model of the
+// inter-consumption gap of each (user, item) pair:
+//
+//	h(g | z) = h0(g) · exp(βᵀz)
+//
+// with the baseline hazard h0 estimated by the Breslow method over the
+// observed gaps and β fit by maximizing the partial likelihood. Following
+// Kapoor et al.'s covariate choice (activity/popularity features only —
+// their model predates the reconsumption-ratio feature this paper
+// introduces), the covariates are item quality and the time-weighted
+// average return time (TWART) of the pair; TWART must be recomputed online
+// over the user's entire history, which is exactly why the paper measures
+// Survival as by far the slowest method (Fig. 13) and why its
+// discrete-time accuracy is poor.
+type Survival struct {
+	Beta    [2]float64
+	ex      *features.Extractor
+	h0      []float64 // smoothed baseline hazard indexed by gap (clamped)
+	meanGap float64
+	maxGap  int
+
+	// NumEvents and NumCensored report the fitted data size.
+	NumEvents   int
+	NumCensored int
+}
+
+// SurvivalConfig parameterizes fitting.
+type SurvivalConfig struct {
+	WindowCap    int
+	Omega        int
+	Iters        int     // partial-likelihood gradient iterations (default 30)
+	LearningRate float64 // default 0.5
+	MaxGap       int     // hazard table size (default 4·WindowCap)
+}
+
+func (c SurvivalConfig) withDefaults() SurvivalConfig {
+	if c.Iters == 0 {
+		c.Iters = 30
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.5
+	}
+	if c.MaxGap == 0 {
+		c.MaxGap = 4 * c.WindowCap
+	}
+	return c
+}
+
+// observation is one (user, item) spell: the gap to the next consumption,
+// or the censored gap to the end of the training sequence.
+type observation struct {
+	gap      int
+	censored bool
+	z        [2]float64
+}
+
+// twartState tracks the running time-weighted average return time of one
+// (user, item) pair: later gaps get linearly increasing weight.
+type twartState struct {
+	lastPos int
+	sumW    float64
+	sumWG   float64
+	n       int
+}
+
+func (s *twartState) value(fallback float64) float64 {
+	if s.sumW == 0 {
+		return fallback
+	}
+	return s.sumWG / s.sumW
+}
+
+func (s *twartState) observe(gap int) {
+	s.n++
+	w := float64(s.n)
+	s.sumW += w
+	s.sumWG += w * float64(gap)
+}
+
+// TrainSurvival fits the Cox model on the training sequences.
+func TrainSurvival(train []seq.Sequence, numItems int, cfg SurvivalConfig) (*Survival, error) {
+	if cfg.WindowCap <= 0 {
+		return nil, fmt.Errorf("baselines: Survival WindowCap %d <= 0", cfg.WindowCap)
+	}
+	cfg = cfg.withDefaults()
+
+	b := features.NewBuilder(numItems, cfg.WindowCap, cfg.Omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+
+	sv := &Survival{ex: ex, maxGap: cfg.MaxGap}
+
+	// Pass 1: collect spells with covariates frozen at spell start.
+	var obs []observation
+	gapSum, gapN := 0.0, 0
+	priorGap := float64(cfg.WindowCap) // fallback TWART before any gap is seen
+	for _, su := range train {
+		states := make(map[seq.Item]*twartState)
+		for t, v := range su {
+			st, ok := states[v]
+			if ok {
+				gap := t - st.lastPos
+				obs = append(obs, observation{gap: gap, z: sv.covariates(v, st.value(priorGap))})
+				st.observe(gap)
+				st.lastPos = t
+				gapSum += float64(gap)
+				gapN++
+			} else {
+				states[v] = &twartState{lastPos: t}
+			}
+		}
+		for v, st := range states {
+			gap := len(su) - st.lastPos
+			if gap > 0 {
+				obs = append(obs, observation{gap: gap, censored: true, z: sv.covariates(v, st.value(priorGap))})
+			}
+		}
+	}
+	if gapN > 0 {
+		sv.meanGap = gapSum / float64(gapN)
+	} else {
+		sv.meanGap = priorGap
+	}
+	for _, o := range obs {
+		if o.censored {
+			sv.NumCensored++
+		} else {
+			sv.NumEvents++
+		}
+	}
+	if sv.NumEvents == 0 {
+		// Degenerate training data: keep β = 0 and a flat hazard.
+		sv.h0 = make([]float64, cfg.MaxGap+1)
+		for i := range sv.h0 {
+			sv.h0[i] = 1
+		}
+		return sv, nil
+	}
+
+	// Sort by gap descending once; each gradient iteration is then a
+	// single sweep maintaining the risk-set sums S0 = Σ exp(βᵀz) and
+	// S1 = Σ z·exp(βᵀz).
+	sort.Slice(obs, func(i, j int) bool { return obs[i].gap > obs[j].gap })
+	for iter := 0; iter < cfg.Iters; iter++ {
+		var grad [2]float64
+		s0 := 0.0
+		var s1 [2]float64
+		i := 0
+		for i < len(obs) {
+			g := obs[i].gap
+			// Admit everything with gap ≥ g into the risk set.
+			for i < len(obs) && obs[i].gap == g {
+				e := math.Exp(dot2(sv.Beta, obs[i].z))
+				s0 += e
+				for k := 0; k < 2; k++ {
+					s1[k] += e * obs[i].z[k]
+				}
+				i++
+			}
+			// Events at exactly this gap contribute to the gradient.
+			for j := i - 1; j >= 0 && obs[j].gap == g; j-- {
+				if obs[j].censored {
+					continue
+				}
+				for k := 0; k < 2; k++ {
+					grad[k] += obs[j].z[k] - s1[k]/s0
+				}
+			}
+		}
+		lr := cfg.LearningRate / float64(sv.NumEvents)
+		for k := 0; k < 2; k++ {
+			sv.Beta[k] += lr * grad[k]
+		}
+	}
+
+	// Breslow baseline hazard with Laplace smoothing, clamped at MaxGap.
+	deaths := make([]float64, cfg.MaxGap+1)
+	risk := make([]float64, cfg.MaxGap+1) // S0 at each gap
+	s0 := 0.0
+	i := 0
+	for g := cfg.MaxGap; g >= 1; g-- {
+		for i < len(obs) && obs[i].gap >= g {
+			// First admission clamps gaps beyond MaxGap into the top bin.
+			s0 += math.Exp(dot2(sv.Beta, obs[i].z))
+			if !obs[i].censored {
+				eg := obs[i].gap
+				if eg > cfg.MaxGap {
+					eg = cfg.MaxGap
+				}
+				deaths[eg]++
+			}
+			i++
+		}
+		risk[g] = s0
+	}
+	sv.h0 = make([]float64, cfg.MaxGap+1)
+	for g := 1; g <= cfg.MaxGap; g++ {
+		sv.h0[g] = (deaths[g] + 0.5) / (risk[g] + 1)
+	}
+	return sv, nil
+}
+
+func dot2(a, b [2]float64) float64 { return a[0]*b[0] + a[1]*b[1] }
+
+// covariates assembles z for item v with the given raw TWART value.
+func (sv *Survival) covariates(v seq.Item, twart float64) [2]float64 {
+	return [2]float64{
+		sv.ex.Quality(v),
+		math.Log1p(twart) / math.Log1p(float64(sv.maxGap)),
+	}
+}
+
+// hazard returns h(gap | z) = h0(gap)·exp(βᵀz).
+func (sv *Survival) hazard(gap int, z [2]float64) float64 {
+	if gap < 1 {
+		gap = 1
+	}
+	if gap > sv.maxGap {
+		gap = sv.maxGap
+	}
+	return sv.h0[gap] * math.Exp(dot2(sv.Beta, z))
+}
+
+type survivalRec struct {
+	sv    *Survival
+	cands []seq.Item
+}
+
+func (r *survivalRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+	if n <= 0 || len(r.cands) == 0 {
+		return dst
+	}
+	// The TWART covariate is recomputed from the FULL history on every
+	// call — this linear-in-history cost is intrinsic to the method (the
+	// paper reports it as 2–4 orders of magnitude slower than the cheap
+	// baselines) and must not be cached away if Fig. 13 is to reproduce.
+	wanted := make(map[seq.Item]*twartState, len(r.cands))
+	for _, v := range r.cands {
+		wanted[v] = nil
+	}
+	for t, v := range ctx.History {
+		st, ok := wanted[v]
+		if !ok {
+			continue
+		}
+		if st == nil {
+			wanted[v] = &twartState{lastPos: t}
+			continue
+		}
+		st.observe(t - st.lastPos)
+		st.lastPos = t
+	}
+	now := len(ctx.History)
+	return rankTopN(r.cands, func(v seq.Item) float64 {
+		st := wanted[v]
+		if st == nil {
+			return 0
+		}
+		z := r.sv.covariates(v, st.value(r.sv.meanGap))
+		return r.sv.hazard(now-st.lastPos, z)
+	}, n, dst)
+}
+
+// Factory returns the Survival factory over the fitted model.
+func (sv *Survival) Factory() rec.Factory {
+	return rec.Factory{Name: "Survival", New: func(uint64) rec.Recommender {
+		return &survivalRec{sv: sv}
+	}}
+}

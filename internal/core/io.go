@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+)
+
+// Model files are little-endian binary: a magic header, the shape and map
+// kind, the parameter tables, then the feature extractor's static tables.
+// The format is versioned via the magic so later revisions can migrate.
+const modelMagic = "TSPPRv1\n"
+
+type countingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (cw *countingWriter) write(v any) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+}
+
+func (cw *countingWriter) writeFloats(xs []float64) {
+	if cw.err != nil {
+		return
+	}
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	_, cw.err = cw.w.Write(buf)
+}
+
+// Write serializes the model (including its extractor) to w.
+func (m *Model) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, modelMagic); err != nil {
+		return fmt.Errorf("core: write magic: %w", err)
+	}
+	cw := &countingWriter{w: bw}
+	cw.write(int64(m.K))
+	cw.write(int64(m.F))
+	cw.write(int64(m.MapType))
+	cw.write(int64(m.U.Rows))
+	cw.write(int64(m.V.Rows))
+	cw.writeFloats(m.U.Data)
+	cw.writeFloats(m.V.Data)
+	cw.write(int64(len(m.A)))
+	for _, a := range m.A {
+		cw.writeFloats(a.Data)
+	}
+	quality, reratio := m.Extractor.Tables()
+	cw.write(int64(m.Extractor.Mask()))
+	cw.write(int64(m.Extractor.RecencyKind()))
+	cw.write(int64(m.Extractor.WindowCap()))
+	cw.write(int64(m.Extractor.Omega()))
+	cw.write(int64(len(quality)))
+	cw.writeFloats(quality)
+	cw.writeFloats(reratio)
+	if cw.err != nil {
+		return fmt.Errorf("core: write model: %w", cw.err)
+	}
+	return bw.Flush()
+}
+
+type countingReader struct {
+	r   io.Reader
+	err error
+}
+
+func (cr *countingReader) readInt() int64 {
+	if cr.err != nil {
+		return 0
+	}
+	var v int64
+	cr.err = binary.Read(cr.r, binary.LittleEndian, &v)
+	return v
+}
+
+func (cr *countingReader) readFloats(n int) []float64 {
+	if cr.err != nil || n < 0 {
+		return nil
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(cr.r, buf); err != nil {
+		cr.err = err
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return xs
+}
+
+// ReadModel deserializes a model written by Write.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: read magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("core: bad model magic %q", magic)
+	}
+	cr := &countingReader{r: br}
+	k := int(cr.readInt())
+	f := int(cr.readInt())
+	mapType := MapKind(cr.readInt())
+	numUsers := int(cr.readInt())
+	numItems := int(cr.readInt())
+	if cr.err != nil {
+		return nil, fmt.Errorf("core: read header: %w", cr.err)
+	}
+	if k <= 0 || f <= 0 || numUsers <= 0 || numItems <= 0 ||
+		k > 1<<20 || f > 1<<20 || numUsers > 1<<28 || numItems > 1<<28 {
+		return nil, fmt.Errorf("core: implausible model shape K=%d F=%d users=%d items=%d", k, f, numUsers, numItems)
+	}
+	if mapType < PerUserMap || mapType > IdentityMap {
+		return nil, fmt.Errorf("core: unknown map kind %d", mapType)
+	}
+	m := &Model{K: k, F: f, MapType: mapType}
+	m.U = &linalg.Matrix{Rows: numUsers, Cols: k, Data: cr.readFloats(numUsers * k)}
+	m.V = &linalg.Matrix{Rows: numItems, Cols: k, Data: cr.readFloats(numItems * k)}
+	numMaps := int(cr.readInt())
+	wantMaps := 0
+	switch mapType {
+	case PerUserMap:
+		wantMaps = numUsers
+	case SharedMap:
+		wantMaps = 1
+	}
+	if cr.err == nil && numMaps != wantMaps {
+		return nil, fmt.Errorf("core: map count %d, want %d for %v", numMaps, wantMaps, mapType)
+	}
+	m.A = make([]*linalg.Matrix, numMaps)
+	for i := range m.A {
+		m.A[i] = &linalg.Matrix{Rows: k, Cols: f, Data: cr.readFloats(k * f)}
+	}
+	mask := features.Mask(cr.readInt())
+	recency := features.RecencyKind(cr.readInt())
+	windowCap := int(cr.readInt())
+	omega := int(cr.readInt())
+	tableLen := int(cr.readInt())
+	if cr.err != nil {
+		return nil, fmt.Errorf("core: read tables header: %w", cr.err)
+	}
+	if tableLen < 0 || tableLen > 1<<28 {
+		return nil, fmt.Errorf("core: implausible table length %d", tableLen)
+	}
+	quality := cr.readFloats(tableLen)
+	reratio := cr.readFloats(tableLen)
+	if cr.err != nil {
+		return nil, fmt.Errorf("core: read model body: %w", cr.err)
+	}
+	ex, err := features.FromTables(mask, recency, windowCap, omega, quality, reratio)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild extractor: %w", err)
+	}
+	if ex.Dim() != f {
+		return nil, fmt.Errorf("core: extractor dim %d != model F %d", ex.Dim(), f)
+	}
+	m.Extractor = ex
+	return m, nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func (m *Model) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return m.Write(f)
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return ReadModel(f)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tsppr/internal/rngutil"
+)
+
+// TestReadModelNeverPanicsOnCorruption serializes a real model, then flips
+// bytes, truncates and splices at random, asserting ReadModel either
+// succeeds or returns an error — never panics, never allocates absurdly.
+func TestReadModelNeverPanicsOnCorruption(t *testing.T) {
+	train, numItems, ex, set := corpus(t, 5)
+	m, _, err := Train(set, len(train), numItems, ex, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	rng := rngutil.New(31)
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("ReadModel panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), blob...)
+		switch trial % 3 {
+		case 0: // flip a handful of bytes
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			corrupted = corrupted[:rng.Intn(len(corrupted))]
+		case 2: // swap two random chunks
+			a, b := rng.Intn(len(corrupted)), rng.Intn(len(corrupted))
+			corrupted[a], corrupted[b] = corrupted[b], corrupted[a]
+		}
+		_, _ = ReadModel(bytes.NewReader(corrupted)) // must not panic
+	}
+}
+
+// TestReadModelArbitraryBytes feeds fully random blobs.
+func TestReadModelArbitraryBytes(t *testing.T) {
+	f := func(blob []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %d bytes: %v", len(blob), r)
+			}
+		}()
+		_, _ = ReadModel(bytes.NewReader(blob))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadModelHostileHeader crafts a valid magic with absurd shape
+// claims: the reader must reject them before allocating.
+func TestReadModelHostileHeader(t *testing.T) {
+	mk := func(k, f, mapType, users, items int64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString(modelMagic)
+		for _, v := range []int64{k, f, mapType, users, items} {
+			for i := 0; i < 8; i++ {
+				buf.WriteByte(byte(v >> (8 * i)))
+			}
+		}
+		return buf.Bytes()
+	}
+	hostile := [][]byte{
+		mk(1<<40, 4, 0, 10, 10), // absurd K
+		mk(8, 1<<40, 0, 10, 10), // absurd F
+		mk(8, 4, 0, 1<<40, 10),  // absurd users
+		mk(8, 4, 0, 10, 1<<40),  // absurd items
+		mk(8, 4, 9, 10, 10),     // unknown map kind
+		mk(-1, 4, 0, 10, 10),    // negative K
+		mk(8, 4, 0, -10, 10),    // negative users
+	}
+	for i, blob := range hostile {
+		if _, err := ReadModel(bytes.NewReader(blob)); err == nil {
+			t.Errorf("hostile header %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements TS-PPR, the paper's contribution: a
+// Time-Sensitive Personalized Pairwise Ranking model for recommendation
+// for repeat consumption (RRC).
+//
+// The preference of user u for item v at time t is (paper Eq. 5)
+//
+//	r_uvt = uᵀ v + uᵀ A_u f_uvt
+//
+// where u, v ∈ R^K are static latent features, f_uvt ∈ R^F is the
+// observable time-sensitive behavioural feature vector, and A_u ∈ R^{K×F}
+// is a per-user linear map from observable space into latent preference
+// space. The pairwise ranking probability p(v_i >_ut v_j) is the sigmoid
+// of the preference difference (Eq. 6); parameters are fit by SGD on
+// pre-sampled quadruples minimizing the regularized negative log-likelihood
+// (Eq. 7, Algorithm 1).
+package core
+
+import (
+	"fmt"
+
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+	"tsppr/internal/topk"
+)
+
+// MapKind selects how the observable→latent map A is parameterized. The
+// paper's model is per-user maps; the alternatives exist for the §4.2.1
+// discussion (identity when K=F) and the shared-map ablation.
+type MapKind int
+
+const (
+	// PerUserMap is the paper's A_u: one K×F matrix per user.
+	PerUserMap MapKind = iota
+	// SharedMap uses a single global K×F matrix for all users.
+	SharedMap
+	// IdentityMap fixes A_u = I (requires K == F); the time-sensitive term
+	// becomes uᵀ f_uvt directly (paper §4.2.1 case 2).
+	IdentityMap
+)
+
+func (k MapKind) String() string {
+	switch k {
+	case SharedMap:
+		return "shared"
+	case IdentityMap:
+		return "identity"
+	default:
+		return "per-user"
+	}
+}
+
+// Model holds the learned TS-PPR parameters together with the feature
+// extractor they were trained against. A Model is immutable after training
+// and safe for concurrent scoring via independent Scorers.
+type Model struct {
+	K, F    int
+	MapType MapKind
+
+	U *linalg.Matrix // numUsers × K
+	V *linalg.Matrix // numItems × K
+	A []*linalg.Matrix
+	// A layout: PerUserMap → len numUsers; SharedMap → len 1;
+	// IdentityMap → nil.
+
+	Extractor *features.Extractor
+}
+
+// NumUsers returns the number of users the model was trained over.
+func (m *Model) NumUsers() int { return m.U.Rows }
+
+// NumItems returns the number of items the model was trained over.
+func (m *Model) NumItems() int { return m.V.Rows }
+
+// EffectiveFeatureWeights returns w_u = A_uᵀu, the model's personalized
+// linear weighting of the behavioural features for user u: entry f is the
+// marginal effect of feature f on user u's preference. Under IdentityMap
+// it is u itself (K = F). The result is freshly allocated.
+//
+// This is the model's main interpretability hook: comparing w_u across
+// users shows *why* each user repeats (popularity-driven vs
+// reconsumption-driven vs recency-driven), which is the behavioural
+// heterogeneity the per-user maps exist to capture.
+func (m *Model) EffectiveFeatureWeights(u int) linalg.Vector {
+	if u < 0 || u >= m.U.Rows {
+		panic(fmt.Sprintf("core: EffectiveFeatureWeights user %d out of range [0,%d)", u, m.U.Rows))
+	}
+	uvec := m.U.Row(u)
+	w := linalg.NewVector(m.F)
+	a := m.mapFor(u)
+	if a == nil { // IdentityMap: K == F
+		copy(w, uvec)
+		return w
+	}
+	for f := 0; f < m.F; f++ {
+		s := 0.0
+		for k := 0; k < m.K; k++ {
+			s += uvec[k] * a.At(k, f)
+		}
+		w[f] = s
+	}
+	return w
+}
+
+// mapFor returns the observable→latent map of user u, or nil under
+// IdentityMap.
+func (m *Model) mapFor(u int) *linalg.Matrix {
+	switch m.MapType {
+	case PerUserMap:
+		return m.A[u]
+	case SharedMap:
+		return m.A[0]
+	default:
+		return nil
+	}
+}
+
+// Scorer evaluates preferences and produces Top-N recommendations. It owns
+// scratch buffers, so each goroutine needs its own (obtain via NewScorer);
+// the underlying model is shared read-only.
+type Scorer struct {
+	m     *Model
+	f     linalg.Vector // F scratch: behavioural features
+	y     linalg.Vector // K scratch: A_u f
+	cands []seq.Item
+	sel   *topk.Selector
+}
+
+// NewScorer returns a scorer bound to m.
+func (m *Model) NewScorer() *Scorer {
+	return &Scorer{
+		m: m,
+		f: linalg.NewVector(m.F),
+		y: linalg.NewVector(m.K),
+	}
+}
+
+// Factory returns a rec.Factory minting per-user scorers over the shared
+// (read-only) model.
+func (m *Model) Factory() rec.Factory {
+	return rec.Factory{
+		Name: "TS-PPR",
+		New:  func(uint64) rec.Recommender { return m.NewScorer() },
+	}
+}
+
+// Score returns r_uvt for item v against the user's current window.
+func (s *Scorer) Score(u int, v seq.Item, w *seq.Window) float64 {
+	m := s.m
+	if u < 0 || u >= m.U.Rows {
+		panic(fmt.Sprintf("core: Score user %d out of range [0,%d)", u, m.U.Rows))
+	}
+	uvec := m.U.Row(u)
+	static := 0.0
+	if int(v) < m.V.Rows && v >= 0 {
+		static = linalg.Dot(uvec, m.V.Row(int(v)))
+	}
+	m.Extractor.Extract(s.f, v, w)
+	var dynamic float64
+	if a := m.mapFor(u); a != nil {
+		a.MulVec(s.y, s.f)
+		dynamic = linalg.Dot(uvec, s.y)
+	} else {
+		// IdentityMap: K == F, y = f.
+		dynamic = linalg.Dot(uvec, linalg.Vector(s.f))
+	}
+	return static + dynamic
+}
+
+// Recommend appends the Top-N RRC recommendations to dst: the
+// highest-scoring distinct window items not consumed in the last Ω steps.
+// It implements rec.Recommender.
+func (s *Scorer) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	if n <= 0 {
+		return dst
+	}
+	s.cands = ctx.Window.Candidates(ctx.Omega, s.cands[:0])
+	if len(s.cands) == 0 {
+		return dst
+	}
+	if s.sel == nil || s.sel.K() != n {
+		s.sel = topk.New(n)
+	} else {
+		s.sel.Reset()
+	}
+	for _, v := range s.cands {
+		s.sel.Push(v, s.Score(ctx.User, v, ctx.Window))
+	}
+	return s.sel.Items(dst)
+}

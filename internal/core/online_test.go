@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"tsppr/internal/mathx"
+	"tsppr/internal/seq"
+)
+
+func TestOnlineUpdaterValidation(t *testing.T) {
+	if _, err := NewOnlineUpdater(nil, OnlineConfig{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	train, numItems, ex, set := corpus(t, 6)
+	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
+	if _, err := NewOnlineUpdater(m, OnlineConfig{LearningRate: -1}); err == nil {
+		t.Fatal("negative learning rate accepted")
+	}
+	if _, err := NewOnlineUpdater(m, OnlineConfig{}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestOnlineObserveEligibilityGates(t *testing.T) {
+	train, numItems, ex, set := corpus(t, 6)
+	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
+	ou, err := NewOnlineUpdater(m, OnlineConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seq.NewWindow(20)
+	for _, v := range train[0][:20] {
+		w.Push(v)
+	}
+	// Unknown user, out-of-universe item, novel item, and too-recent item
+	// must all be no-ops.
+	if got := ou.Observe(-1, w, train[0][0], 3); got != 0 {
+		t.Fatalf("unknown user applied %d steps", got)
+	}
+	if got := ou.Observe(0, w, seq.Item(numItems+7), 3); got != 0 {
+		t.Fatalf("out-of-universe item applied %d steps", got)
+	}
+	// An item certainly not in the window (fresh id within universe but
+	// beyond what user 0 consumed recently): find one.
+	var novel seq.Item = -1
+	for v := seq.Item(0); int(v) < numItems; v++ {
+		if !w.Contains(v) {
+			novel = v
+			break
+		}
+	}
+	if novel >= 0 {
+		if got := ou.Observe(0, w, novel, 3); got != 0 {
+			t.Fatalf("novel item applied %d steps", got)
+		}
+	}
+	// The most recent item has gap 1 ≤ Ω.
+	last := train[0][19]
+	if got := ou.Observe(0, w, last, 3); got != 0 {
+		t.Fatalf("too-recent item applied %d steps", got)
+	}
+}
+
+func TestOnlineObserveMovesScoreUp(t *testing.T) {
+	train, numItems, ex, set := corpus(t, 8)
+	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
+	ou, err := NewOnlineUpdater(m, OnlineConfig{LearningRate: 0.05, Negatives: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seq.NewWindow(20)
+	for _, v := range train[0] {
+		w.Push(v)
+	}
+	cands := w.Candidates(3, nil)
+	if len(cands) < 2 {
+		t.Skip("window too uniform for this corpus seed")
+	}
+	pos := cands[0]
+
+	sc := m.NewScorer()
+	before := sc.Score(0, pos, w)
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += ou.Observe(0, w, pos, 3)
+	}
+	if total == 0 {
+		t.Fatal("no online steps applied")
+	}
+	after := m.NewScorer().Score(0, pos, w)
+	if after <= before {
+		t.Fatalf("score did not increase after positive observations: %v → %v", before, after)
+	}
+	if !mathx.IsFinite(after) {
+		t.Fatalf("score diverged: %v", after)
+	}
+}
+
+func TestOnlineObserveStepsBounded(t *testing.T) {
+	train, numItems, ex, set := corpus(t, 6)
+	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
+	ou, _ := NewOnlineUpdater(m, OnlineConfig{Negatives: 3, Seed: 3})
+	w := seq.NewWindow(20)
+	for _, v := range train[0] {
+		w.Push(v)
+	}
+	cands := w.Candidates(3, nil)
+	if len(cands) == 0 {
+		t.Skip("no candidates for this seed")
+	}
+	got := ou.Observe(0, w, cands[0], 3)
+	want := 3
+	if len(cands)-1 < want {
+		want = len(cands) - 1
+	}
+	if got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,215 @@
+package datagen
+
+import (
+	"testing"
+
+	"tsppr/internal/seq"
+)
+
+func tinyConfig() *Config {
+	c := GowallaLike(20, 7)
+	c.MinLen = 60
+	c.MaxLen = 300
+	return c
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumUsers() != b.NumUsers() {
+		t.Fatal("user counts differ")
+	}
+	for u := range a.Seqs {
+		if len(a.Seqs[u]) != len(b.Seqs[u]) {
+			t.Fatalf("user %d lengths differ", u)
+		}
+		for i := range a.Seqs[u] {
+			if a.Seqs[u][i] != b.Seqs[u][i] {
+				t.Fatalf("user %d diverges at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	c1, c2 := tinyConfig(), tinyConfig()
+	c2.Seed = 8
+	a, _ := Generate(c1)
+	b, _ := Generate(c2)
+	same := true
+	for u := range a.Seqs {
+		if len(a.Seqs[u]) != len(b.Seqs[u]) {
+			same = false
+			break
+		}
+		for i := range a.Seqs[u] {
+			if a.Seqs[u][i] != b.Seqs[u][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := tinyConfig()
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "gowalla-sim" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	if ds.NumUsers() != c.Users {
+		t.Fatalf("users = %d", ds.NumUsers())
+	}
+	for u, s := range ds.Seqs {
+		if len(s) < c.MinLen || len(s) > c.MaxLen {
+			t.Errorf("user %d length %d outside [%d,%d]", u, len(s), c.MinLen, c.MaxLen)
+		}
+		for _, v := range s {
+			if v < 0 || int(v) >= c.Items {
+				t.Fatalf("item %d outside universe", v)
+			}
+		}
+	}
+}
+
+func TestRepeatRatioMatchesPreset(t *testing.T) {
+	// The observed full-window repeat ratio should be near the preset's
+	// RepeatProb (repeats can also arise from "novel" draws that happen to
+	// hit window items, so ≥ is expected; allow generous slack).
+	for _, preset := range []*Config{GowallaLike(30, 3), LastfmLike(10, 3)} {
+		preset.MinLen, preset.MaxLen = 150, 400
+		ds, err := Generate(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, repeats := 0, 0
+		for _, s := range ds.Seqs {
+			seq.Scan(s, preset.WindowCap, func(ev seq.Event, _ *seq.Window) bool {
+				events++
+				if ev.Repeat {
+					repeats++
+				}
+				return true
+			})
+		}
+		ratio := float64(repeats) / float64(events)
+		if ratio < preset.RepeatProb-0.15 || ratio > preset.RepeatProb+0.25 {
+			t.Errorf("%s: repeat ratio %.3f too far from preset %.2f", preset.Name, ratio, preset.RepeatProb)
+		}
+	}
+}
+
+func TestLastfmLongerThanGowalla(t *testing.T) {
+	g, _ := Generate(GowallaLike(30, 5))
+	l, _ := Generate(LastfmLike(30, 5))
+	gm := g.Stats().MeanSeqLen
+	lm := l.Stats().MeanSeqLen
+	if lm <= gm {
+		t.Errorf("lastfm mean length %v should exceed gowalla %v", lm, gm)
+	}
+}
+
+func TestGenerateWithInfo(t *testing.T) {
+	c := tinyConfig()
+	ds, infos, err := GenerateWithInfo(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != ds.NumUsers() {
+		t.Fatalf("infos = %d, users = %d", len(infos), ds.NumUsers())
+	}
+	domSeen := map[int]int{}
+	for _, info := range infos {
+		if info.PRepeat < 0.05 || info.PRepeat > 0.95 {
+			t.Errorf("PRepeat %v out of clamp range", info.PRepeat)
+		}
+		for _, w := range info.Weights {
+			if w < 0 {
+				t.Errorf("negative weight %v", w)
+			}
+		}
+		domSeen[info.Dominant]++
+	}
+	// TypeBoost > 1 in the gowalla preset → dominants are 1 or 3.
+	if domSeen[-1] != 0 || domSeen[1] == 0 || domSeen[3] == 0 {
+		t.Errorf("dominant distribution %v", domSeen)
+	}
+}
+
+func TestTypeBoostOffMeansNoDominant(t *testing.T) {
+	c := tinyConfig()
+	c.TypeBoost = 0
+	_, infos, err := GenerateWithInfo(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Dominant != -1 {
+			t.Fatalf("Dominant = %d with TypeBoost off", info.Dominant)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Items = 0 },
+		func(c *Config) { c.MinLen = 0 },
+		func(c *Config) { c.MaxLen = c.MinLen - 1 },
+		func(c *Config) { c.LenTail = 0 },
+		func(c *Config) { c.RepeatProb = 1.5 },
+		func(c *Config) { c.RepeatProb = -0.1 },
+		func(c *Config) { c.ZipfExponent = 0 },
+		func(c *Config) { c.WindowCap = 0 },
+		func(c *Config) { c.PoolSize = -1 },
+		func(c *Config) { c.PoolProb = 2 },
+		func(c *Config) { c.RepeatabilitySkew = 0 },
+		func(c *Config) { c.WeightJitter = -1 },
+		func(c *Config) { c.AffinityWeight = -1 },
+		func(c *Config) { c.TypeBoost = 0.5 },
+	}
+	for i, mutate := range bad {
+		c := tinyConfig()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+	if err := tinyConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAffinityDeterministic(t *testing.T) {
+	a := affinity01(1, 2, 3)
+	b := affinity01(1, 2, 3)
+	if a != b {
+		t.Fatal("affinity01 not deterministic")
+	}
+	if a < 0 || a >= 1 {
+		t.Fatalf("affinity01 = %v out of [0,1)", a)
+	}
+	if affinity01(1, 2, 3) == affinity01(1, 2, 4) && affinity01(1, 2, 4) == affinity01(1, 3, 3) {
+		t.Fatal("affinity01 suspiciously constant")
+	}
+}
+
+func BenchmarkGenerateGowalla50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(GowallaLike(50, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tsppr/internal/seq"
+)
+
+func sample() *Dataset {
+	return New("sample", []seq.Sequence{
+		{0, 1, 2, 0, 1},
+		{5, 5, 5},
+		{},
+	})
+}
+
+func TestStats(t *testing.T) {
+	st := sample().Stats()
+	if st.Users != 3 {
+		t.Errorf("Users = %d", st.Users)
+	}
+	if st.Items != 4 { // {0,1,2,5}
+		t.Errorf("Items = %d", st.Items)
+	}
+	if st.Consumptions != 8 {
+		t.Errorf("Consumptions = %d", st.Consumptions)
+	}
+	if st.MinSeqLen != 0 || st.MaxSeqLen != 5 {
+		t.Errorf("seq len range = [%d,%d]", st.MinSeqLen, st.MaxSeqLen)
+	}
+	if st.MeanSeqLen != 8.0/3 {
+		t.Errorf("MeanSeqLen = %v", st.MeanSeqLen)
+	}
+	if !strings.Contains(st.String(), "users=3") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestNumItems(t *testing.T) {
+	if got := sample().NumItems(); got != 6 { // max id 5 → 6
+		t.Errorf("NumItems = %d", got)
+	}
+	if got := New("empty", nil).NumItems(); got != 0 {
+		t.Errorf("empty NumItems = %d", got)
+	}
+}
+
+func TestFilterMinTrain(t *testing.T) {
+	ds := New("f", []seq.Sequence{
+		make(seq.Sequence, 200), // 200·0.7 = 140 ≥ 100 → kept
+		make(seq.Sequence, 100), // 70 < 100 → dropped
+		make(seq.Sequence, 143), // 100 ≥ 100 → kept (boundary)
+		make(seq.Sequence, 142), // 99 < 100 → dropped
+	})
+	got := ds.FilterMinTrain(0.7, 100)
+	if got.NumUsers() != 2 {
+		t.Fatalf("kept %d users, want 2", got.NumUsers())
+	}
+	if len(got.Seqs[0]) != 200 || len(got.Seqs[1]) != 143 {
+		t.Fatal("wrong users kept")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := New("s", []seq.Sequence{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}})
+	train, test := ds.Split(0.7)
+	if len(train[0]) != 7 || len(test[0]) != 3 {
+		t.Fatalf("split = %d/%d", len(train[0]), len(test[0]))
+	}
+}
+
+func TestCompact(t *testing.T) {
+	ds := New("c", []seq.Sequence{{100, 7, 100}, {7, 42}})
+	out, n := ds.Compact()
+	if n != 3 {
+		t.Fatalf("distinct = %d", n)
+	}
+	// First-appearance order: 100→0, 7→1, 42→2.
+	want := []seq.Sequence{{0, 1, 0}, {1, 2}}
+	for u := range want {
+		for i := range want[u] {
+			if out.Seqs[u][i] != want[u][i] {
+				t.Fatalf("compact user %d = %v, want %v", u, out.Seqs[u], want[u])
+			}
+		}
+	}
+	// Original untouched.
+	if ds.Seqs[0][0] != 100 {
+		t.Fatal("Compact mutated the input")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := New("round-trip", []seq.Sequence{{3, 1, 4, 1, 5}, {9, 2, 6}})
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round-trip" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if got.NumUsers() != 2 {
+		t.Fatalf("users = %d", got.NumUsers())
+	}
+	for u := range ds.Seqs {
+		if len(got.Seqs[u]) != len(ds.Seqs[u]) {
+			t.Fatalf("user %d length mismatch", u)
+		}
+		for i := range ds.Seqs[u] {
+			if got.Seqs[u][i] != ds.Seqs[u][i] {
+				t.Fatalf("user %d event %d mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1 2\n",            // no tab
+		"x\t2\n",           // bad user
+		"1\ty\n",           // bad item
+		"-1\t2\n",          // negative user
+		"1\t-2\n",          // negative item
+		"1\t2\textra37c\n", // garbage third column fails item parse
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n0\t7\n# another\n0\t8\n"
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 1 || len(ds.Seqs[0]) != 2 {
+		t.Fatalf("parsed %+v", ds)
+	}
+}
+
+func TestReadNonContiguousUsers(t *testing.T) {
+	// User IDs 5 and 2: order in Seqs must be sorted by original id.
+	in := "5\t1\n2\t9\n5\t3\n"
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 {
+		t.Fatalf("users = %d", ds.NumUsers())
+	}
+	if ds.Seqs[0][0] != 9 { // user 2 first
+		t.Fatal("user order not sorted by id")
+	}
+	if len(ds.Seqs[1]) != 2 || ds.Seqs[1][1] != 3 {
+		t.Fatal("user 5 events wrong")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.tsv")
+	ds := New("file-test", []seq.Sequence{{1, 2, 3}})
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "file-test" || got.NumUsers() != 1 || len(got.Seqs[0]) != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("loading missing file should fail")
+	}
+}
+
+// TestReadNeverPanics feeds arbitrary text to the parser.
+func TestReadNeverPanics(t *testing.T) {
+	f := func(blob []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked: %v", r)
+			}
+		}()
+		_, _ = Read(bytes.NewReader(blob))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripProperty: any dataset with small non-negative item ids
+// survives Write→Read byte-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw [][]uint8) bool {
+		seqs := make([]seq.Sequence, len(raw))
+		for u, events := range raw {
+			s := make(seq.Sequence, len(events))
+			for i, e := range events {
+				s[i] = seq.Item(e)
+			}
+			seqs[u] = s
+		}
+		ds := New("prop", seqs)
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		// Users with zero events vanish in the event-log format; compare
+		// only non-empty sequences, in order.
+		var nonEmpty []seq.Sequence
+		for _, s := range seqs {
+			if len(s) > 0 {
+				nonEmpty = append(nonEmpty, s)
+			}
+		}
+		if got.NumUsers() != len(nonEmpty) {
+			return false
+		}
+		for u := range nonEmpty {
+			if len(got.Seqs[u]) != len(nonEmpty[u]) {
+				return false
+			}
+			for i := range nonEmpty[u] {
+				if got.Seqs[u][i] != nonEmpty[u][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

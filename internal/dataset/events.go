@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tsppr/internal/seq"
+)
+
+// Event is one timestamped consumption record as found in raw logs
+// (Gowalla check-in dumps, Last.fm listening histories).
+type Event struct {
+	User int
+	Time int64 // any monotone clock: unix seconds, millis, a counter
+	Item int
+}
+
+// EventReaderOptions configures ReadEvents for the wild variety of raw
+// log layouts.
+type EventReaderOptions struct {
+	// Comma is the field separator (default '\t').
+	Comma rune
+	// UserCol, TimeCol, ItemCol are 0-based column indices
+	// (defaults 0, 1, 2 — e.g. the Gowalla dump is user, check-in time,
+	// lat, lng, location: UserCol 0, TimeCol 1, ItemCol 4).
+	UserCol, TimeCol, ItemCol int
+	// ParseTime converts the raw time field to a sortable integer. The
+	// default parses a plain integer. For RFC3339-style stamps supply a
+	// custom parser.
+	ParseTime func(string) (int64, error)
+	// SkipHeader drops the first non-comment line.
+	SkipHeader bool
+	// OnBadLine, when non-nil, is called for each unparseable line instead
+	// of aborting; return an error to abort anyway.
+	OnBadLine func(line int, text string, err error) error
+}
+
+func (o EventReaderOptions) withDefaults() EventReaderOptions {
+	if o.Comma == 0 {
+		o.Comma = '\t'
+	}
+	if o.TimeCol == 0 && o.ItemCol == 0 && o.UserCol == 0 {
+		o.TimeCol, o.ItemCol = 1, 2
+	}
+	if o.ParseTime == nil {
+		o.ParseTime = func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	}
+	return o
+}
+
+// ReadEvents parses a raw (user, time, item) log — rows in any order —
+// into a Dataset: events are grouped by user and sorted by time (stable,
+// so equal stamps keep file order), then user and item IDs are remapped to
+// dense non-negative integers in first-appearance order.
+//
+// It returns the dataset plus the original-ID mappings, so predictions can
+// be translated back to the source universe.
+func ReadEvents(r io.Reader, opt EventReaderOptions) (*Dataset, *IDMaps, error) {
+	opt = opt.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var events []Event
+	userIDs := newIDMap()
+	itemIDs := newIDMap()
+	line := 0
+	skippedHeader := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if opt.SkipHeader && !skippedHeader {
+			skippedHeader = true
+			continue
+		}
+		fields := strings.Split(text, string(opt.Comma))
+		ev, err := parseEvent(fields, opt)
+		if err != nil {
+			if opt.OnBadLine != nil {
+				if cbErr := opt.OnBadLine(line, text, err); cbErr != nil {
+					return nil, nil, cbErr
+				}
+				continue
+			}
+			return nil, nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		ev.User = userIDs.lookup(fields[opt.UserCol])
+		ev.Item = itemIDs.lookup(fields[opt.ItemCol])
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+
+	// Stable time sort per user: sort globally by (user, time) with the
+	// original index as the final tiebreak to keep file order stable.
+	type indexed struct {
+		Event
+		pos int
+	}
+	idx := make([]indexed, len(events))
+	for i, ev := range events {
+		idx[i] = indexed{ev, i}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if idx[i].User != idx[j].User {
+			return idx[i].User < idx[j].User
+		}
+		if idx[i].Time != idx[j].Time {
+			return idx[i].Time < idx[j].Time
+		}
+		return idx[i].pos < idx[j].pos
+	})
+
+	ds := &Dataset{Name: "events"}
+	ds.Seqs = make([]seq.Sequence, userIDs.n)
+	for _, ev := range idx {
+		ds.Seqs[ev.User] = append(ds.Seqs[ev.User], seq.Item(ev.Item))
+	}
+	return ds, &IDMaps{Users: userIDs.names, Items: itemIDs.names}, nil
+}
+
+func parseEvent(fields []string, opt EventReaderOptions) (Event, error) {
+	max := opt.UserCol
+	if opt.TimeCol > max {
+		max = opt.TimeCol
+	}
+	if opt.ItemCol > max {
+		max = opt.ItemCol
+	}
+	if len(fields) <= max {
+		return Event{}, fmt.Errorf("want ≥%d columns, got %d", max+1, len(fields))
+	}
+	t, err := opt.ParseTime(strings.TrimSpace(fields[opt.TimeCol]))
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time %q: %w", fields[opt.TimeCol], err)
+	}
+	return Event{Time: t}, nil
+}
+
+// IDMaps records the original string IDs per dense index.
+type IDMaps struct {
+	Users []string // dense user id → original user field
+	Items []string // dense item id → original item field
+}
+
+// idMap interns strings to dense indices in first-appearance order.
+type idMap struct {
+	byName map[string]int
+	names  []string
+	n      int
+}
+
+func newIDMap() *idMap { return &idMap{byName: make(map[string]int)} }
+
+func (m *idMap) lookup(name string) int {
+	name = strings.TrimSpace(name)
+	if id, ok := m.byName[name]; ok {
+		return id
+	}
+	id := m.n
+	m.n++
+	m.byName[name] = id
+	m.names = append(m.names, name)
+	return id
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadEventsBasic(t *testing.T) {
+	// Out-of-order rows across two users.
+	in := strings.Join([]string{
+		"alice\t30\tcoffee",
+		"bob\t10\ttea",
+		"alice\t10\ttea",
+		"alice\t20\tcoffee",
+		"bob\t20\tcoffee",
+	}, "\n")
+	ds, ids, err := ReadEvents(strings.NewReader(in), EventReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 {
+		t.Fatalf("users = %d", ds.NumUsers())
+	}
+	// alice appears first → dense user 0; tea seen first for... order of
+	// item interning follows file order: coffee (line 1) then tea.
+	if ids.Users[0] != "alice" || ids.Users[1] != "bob" {
+		t.Fatalf("user map %v", ids.Users)
+	}
+	if ids.Items[0] != "coffee" || ids.Items[1] != "tea" {
+		t.Fatalf("item map %v", ids.Items)
+	}
+	// alice sorted by time: tea(10), coffee(20), coffee(30) → 1,0,0.
+	got := ds.Seqs[0]
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("alice seq = %v", got)
+	}
+	// bob: tea(10), coffee(20) → 1,0.
+	if len(ds.Seqs[1]) != 2 || ds.Seqs[1][0] != 1 || ds.Seqs[1][1] != 0 {
+		t.Fatalf("bob seq = %v", ds.Seqs[1])
+	}
+}
+
+func TestReadEventsStableTies(t *testing.T) {
+	// Equal timestamps keep file order.
+	in := "u\t5\ta\nu\t5\tb\nu\t5\tc\n"
+	ds, ids, err := ReadEvents(strings.NewReader(in), EventReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, item := range ds.Seqs[0] {
+		if ids.Items[item] != want[i] {
+			t.Fatalf("tie order broken at %d: %v", i, ds.Seqs[0])
+		}
+	}
+}
+
+func TestReadEventsCustomColumnsAndTime(t *testing.T) {
+	// Gowalla-style: user, RFC3339 time, lat, lng, location.
+	in := strings.Join([]string{
+		"7\t2010-10-19T23:55:27Z\t30.2\t-97.7\t22847",
+		"7\t2010-10-18T22:17:43Z\t30.3\t-97.8\t420315",
+	}, "\n")
+	opt := EventReaderOptions{
+		UserCol: 0, TimeCol: 1, ItemCol: 4,
+		ParseTime: func(s string) (int64, error) {
+			ts, err := time.Parse(time.RFC3339, s)
+			if err != nil {
+				return 0, err
+			}
+			return ts.Unix(), nil
+		},
+	}
+	ds, ids, err := ReadEvents(strings.NewReader(in), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 1 || len(ds.Seqs[0]) != 2 {
+		t.Fatalf("parsed %+v", ds)
+	}
+	// The earlier check-in (Oct 18, location 420315) must come first.
+	if ids.Items[ds.Seqs[0][0]] != "420315" {
+		t.Fatalf("time ordering broken: %v", ds.Seqs[0])
+	}
+}
+
+func TestReadEventsCSVAndHeader(t *testing.T) {
+	in := "user,ts,item\nu1,2,x\nu1,1,y\n"
+	ds, ids, err := ReadEvents(strings.NewReader(in), EventReaderOptions{
+		Comma:      ',',
+		SkipHeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Seqs[0]) != 2 || ids.Items[ds.Seqs[0][0]] != "y" {
+		t.Fatalf("CSV parse wrong: %v / %v", ds.Seqs[0], ids.Items)
+	}
+}
+
+func TestReadEventsBadLines(t *testing.T) {
+	in := "u\tnot-a-time\tx\nu\t2\ty\n"
+	// Default: abort.
+	if _, _, err := ReadEvents(strings.NewReader(in), EventReaderOptions{}); err == nil {
+		t.Fatal("bad line accepted")
+	}
+	// With OnBadLine: skip and continue.
+	skipped := 0
+	ds, _, err := ReadEvents(strings.NewReader(in), EventReaderOptions{
+		OnBadLine: func(line int, text string, err error) error {
+			skipped++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || len(ds.Seqs[0]) != 1 {
+		t.Fatalf("skipped=%d seq=%v", skipped, ds.Seqs)
+	}
+	// OnBadLine may abort.
+	if _, _, err := ReadEvents(strings.NewReader(in), EventReaderOptions{
+		OnBadLine: func(int, string, error) error { return err0 },
+	}); err == nil {
+		t.Fatal("OnBadLine abort ignored")
+	}
+	// Short rows are bad lines too.
+	if _, _, err := ReadEvents(strings.NewReader("u\t1\n"), EventReaderOptions{}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+var err0 = errForTest("stop")
+
+type errForTest string
+
+func (e errForTest) Error() string { return string(e) }
+
+func TestReadEventsSkipsCommentsBlank(t *testing.T) {
+	in := "# header comment\n\nu\t1\tx\n"
+	ds, _, err := ReadEvents(strings.NewReader(in), EventReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 1 || len(ds.Seqs[0]) != 1 {
+		t.Fatalf("parsed %+v", ds)
+	}
+}

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the TSV parser with arbitrary input. Under plain
+// `go test` only the seed corpus runs; `go test -fuzz=FuzzRead` explores.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("0\t1\n0\t2\n1\t1\n"))
+	f.Add([]byte("# dataset\tname\n0\t1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("not a dataset"))
+	f.Add([]byte("0\t-1\n"))
+	f.Add([]byte("999999999999999999999999\t1\n"))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ds, err := Read(bytes.NewReader(blob))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy basic invariants.
+		for u, s := range ds.Seqs {
+			for i, v := range s {
+				if v < 0 {
+					t.Fatalf("negative item %d at user %d pos %d", v, u, i)
+				}
+			}
+		}
+		// And round-trip through Write.
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadEvents exercises the raw event-log parser.
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte("u\t1\tx\nu\t2\ty\n"))
+	f.Add([]byte("a\tnot-a-time\tz\n"))
+	f.Add([]byte("short\n"))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ds, ids, err := ReadEvents(bytes.NewReader(blob), EventReaderOptions{
+			OnBadLine: func(int, string, error) error { return nil },
+		})
+		if err != nil {
+			return
+		}
+		if ds.NumUsers() != len(ids.Users) {
+			t.Fatalf("user count %d != id map %d", ds.NumUsers(), len(ids.Users))
+		}
+		total := 0
+		for _, s := range ds.Seqs {
+			total += len(s)
+			for _, v := range s {
+				if int(v) >= len(ids.Items) {
+					t.Fatalf("item %d beyond id map %d", v, len(ids.Items))
+				}
+			}
+		}
+		// Event count can never exceed input line count.
+		if total > strings.Count(string(blob), "\n")+1 {
+			t.Fatalf("more events (%d) than lines", total)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+
+	"tsppr/internal/rngutil"
+)
+
+// Comparison reports a user-level paired bootstrap between two methods
+// evaluated on the same split with Options.KeepPerUser. All slices are
+// parallel to TopNs. Delta is method A minus method B on the full sample;
+// the confidence interval and p-value come from resampling users with
+// replacement (a cluster bootstrap — events within a user are dependent,
+// so resampling events would understate the variance).
+type Comparison struct {
+	TopNs []int
+
+	DeltaMaAP  []float64 // observed MaAP(A) − MaAP(B)
+	CILowMaAP  []float64 // 2.5% bootstrap quantile of the delta
+	CIHighMaAP []float64 // 97.5% bootstrap quantile
+	PValueMaAP []float64 // two-sided sign-flip p-value of the delta
+
+	DeltaMiAP  []float64
+	CILowMiAP  []float64
+	CIHighMiAP []float64
+	PValueMiAP []float64
+
+	Iters int
+}
+
+// SignificantMaAP reports whether the MaAP delta at TopNs[i] excludes zero
+// at the 95% level.
+func (c Comparison) SignificantMaAP(i int) bool {
+	return c.CILowMaAP[i] > 0 || c.CIHighMaAP[i] < 0
+}
+
+// PairedBootstrap compares two Results obtained from the *same* evaluation
+// split with KeepPerUser enabled. iters is the number of bootstrap
+// resamples (default 2000).
+func PairedBootstrap(a, b Result, iters int, seed uint64) (Comparison, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	if len(a.PerUser) == 0 || len(b.PerUser) == 0 {
+		return Comparison{}, fmt.Errorf("eval: PairedBootstrap requires KeepPerUser results")
+	}
+	if len(a.PerUser) != len(b.PerUser) {
+		return Comparison{}, fmt.Errorf("eval: user counts differ (%d vs %d)", len(a.PerUser), len(b.PerUser))
+	}
+	if len(a.TopNs) != len(b.TopNs) {
+		return Comparison{}, fmt.Errorf("eval: TopNs differ")
+	}
+	for i := range a.TopNs {
+		if a.TopNs[i] != b.TopNs[i] {
+			return Comparison{}, fmt.Errorf("eval: TopNs differ at %d", i)
+		}
+	}
+	// Paired evaluation must agree on the event population.
+	for u := range a.PerUser {
+		if a.PerUser[u].Events != b.PerUser[u].Events {
+			return Comparison{}, fmt.Errorf("eval: user %d event counts differ (%d vs %d) — results not paired",
+				u, a.PerUser[u].Events, b.PerUser[u].Events)
+		}
+	}
+
+	nTop := len(a.TopNs)
+	c := Comparison{
+		TopNs:      append([]int(nil), a.TopNs...),
+		DeltaMaAP:  make([]float64, nTop),
+		CILowMaAP:  make([]float64, nTop),
+		CIHighMaAP: make([]float64, nTop),
+		PValueMaAP: make([]float64, nTop),
+		DeltaMiAP:  make([]float64, nTop),
+		CILowMiAP:  make([]float64, nTop),
+		CIHighMiAP: make([]float64, nTop),
+		PValueMiAP: make([]float64, nTop),
+		Iters:      iters,
+	}
+
+	// Users with at least one event, the resampling population.
+	var active []int
+	for u := range a.PerUser {
+		if a.PerUser[u].Events > 0 {
+			active = append(active, u)
+		}
+	}
+	if len(active) == 0 {
+		return Comparison{}, fmt.Errorf("eval: no users with events")
+	}
+
+	// metric computes (MaAP, MiAP) deltas over a user multiset.
+	metric := func(users []int, top int) (dMa, dMi float64) {
+		eventsTot, hitsA, hitsB := 0, 0, 0
+		miA, miB := 0.0, 0.0
+		for _, u := range users {
+			oa, ob := a.PerUser[u], b.PerUser[u]
+			eventsTot += oa.Events
+			hitsA += oa.Hits[top]
+			hitsB += ob.Hits[top]
+			miA += float64(oa.Hits[top]) / float64(oa.Events)
+			miB += float64(ob.Hits[top]) / float64(ob.Events)
+		}
+		n := float64(len(users))
+		return float64(hitsA-hitsB) / float64(eventsTot), (miA - miB) / n
+	}
+
+	for top := 0; top < nTop; top++ {
+		c.DeltaMaAP[top], c.DeltaMiAP[top] = metric(active, top)
+	}
+
+	rng := rngutil.New(seed + 0xb007)
+	sampleMa := make([][]float64, nTop)
+	sampleMi := make([][]float64, nTop)
+	for top := range sampleMa {
+		sampleMa[top] = make([]float64, iters)
+		sampleMi[top] = make([]float64, iters)
+	}
+	resample := make([]int, len(active))
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = active[rng.Intn(len(active))]
+		}
+		for top := 0; top < nTop; top++ {
+			sampleMa[top][it], sampleMi[top][it] = metric(resample, top)
+		}
+	}
+	for top := 0; top < nTop; top++ {
+		c.CILowMaAP[top], c.CIHighMaAP[top] = quantiles(sampleMa[top], 0.025, 0.975)
+		c.CILowMiAP[top], c.CIHighMiAP[top] = quantiles(sampleMi[top], 0.025, 0.975)
+		c.PValueMaAP[top] = signFlipP(sampleMa[top], c.DeltaMaAP[top])
+		c.PValueMiAP[top] = signFlipP(sampleMi[top], c.DeltaMiAP[top])
+	}
+	return c, nil
+}
+
+// quantiles returns the lo and hi empirical quantiles of xs (xs is
+// reordered in place).
+func quantiles(xs []float64, lo, hi float64) (float64, float64) {
+	sorted := append([]float64(nil), xs...)
+	insertionSortF(sorted)
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return at(lo), at(hi)
+}
+
+// insertionSortF avoids pulling sort.Float64s' interface overhead into the
+// bootstrap hot path for the modest iteration counts used here.
+func insertionSortF(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// signFlipP estimates a two-sided p-value for "delta = 0" as the fraction
+// of bootstrap samples on the opposite side of zero from the observed
+// delta, doubled and clamped into (0, 1].
+func signFlipP(samples []float64, delta float64) float64 {
+	if delta == 0 {
+		return 1
+	}
+	opposite := 0
+	for _, s := range samples {
+		if (delta > 0 && s <= 0) || (delta < 0 && s >= 0) {
+			opposite++
+		}
+	}
+	p := 2 * float64(opposite) / float64(len(samples))
+	if p > 1 {
+		p = 1
+	}
+	if p == 0 {
+		p = 1 / float64(len(samples)) // resolution floor
+	}
+	return p
+}

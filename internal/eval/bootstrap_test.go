@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// mkResult fabricates a KeepPerUser result from per-user (events, hits@1).
+func mkResult(name string, events []int, hits []int) Result {
+	r := Result{Method: name, TopNs: []int{1}}
+	for u := range events {
+		out := UserOutcome{Events: events[u], Hits: []int{hits[u]}}
+		r.PerUser = append(r.PerUser, out)
+	}
+	return r
+}
+
+func TestPairedBootstrapClearWinner(t *testing.T) {
+	// 40 users, 10 events each; A hits 9, B hits 3 — decisive.
+	n := 40
+	events := make([]int, n)
+	hitsA := make([]int, n)
+	hitsB := make([]int, n)
+	for u := range events {
+		events[u] = 10
+		hitsA[u] = 9
+		hitsB[u] = 3
+	}
+	a, b := mkResult("A", events, hitsA), mkResult("B", events, hitsB)
+	c, err := PairedBootstrap(a, b, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.DeltaMaAP[0]-0.6) > 1e-12 {
+		t.Fatalf("DeltaMaAP = %v, want 0.6", c.DeltaMaAP[0])
+	}
+	if !c.SignificantMaAP(0) {
+		t.Fatalf("decisive delta not significant: CI [%v, %v]", c.CILowMaAP[0], c.CIHighMaAP[0])
+	}
+	if c.PValueMaAP[0] > 0.05 {
+		t.Fatalf("p = %v", c.PValueMaAP[0])
+	}
+	if c.DeltaMiAP[0] <= 0 {
+		t.Fatalf("DeltaMiAP = %v", c.DeltaMiAP[0])
+	}
+}
+
+func TestPairedBootstrapNoDifference(t *testing.T) {
+	// Same hit pattern → delta exactly 0, p = 1, CI includes 0.
+	n := 30
+	events := make([]int, n)
+	hits := make([]int, n)
+	for u := range events {
+		events[u] = 5
+		hits[u] = u % 3
+	}
+	a, b := mkResult("A", events, hits), mkResult("B", events, hits)
+	c, err := PairedBootstrap(a, b, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DeltaMaAP[0] != 0 {
+		t.Fatalf("delta = %v", c.DeltaMaAP[0])
+	}
+	if c.SignificantMaAP(0) {
+		t.Fatal("zero delta flagged significant")
+	}
+	if c.PValueMaAP[0] != 1 {
+		t.Fatalf("p = %v, want 1", c.PValueMaAP[0])
+	}
+}
+
+func TestPairedBootstrapNoisyTie(t *testing.T) {
+	// Alternating small wins either way: should not be significant.
+	n := 20
+	events := make([]int, n)
+	hitsA := make([]int, n)
+	hitsB := make([]int, n)
+	for u := range events {
+		events[u] = 10
+		hitsA[u] = 5
+		hitsB[u] = 5
+		if u%2 == 0 {
+			hitsA[u]++
+		} else {
+			hitsB[u]++
+		}
+	}
+	a, b := mkResult("A", events, hitsA), mkResult("B", events, hitsB)
+	c, err := PairedBootstrap(a, b, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SignificantMaAP(0) {
+		t.Fatalf("noisy tie flagged significant: CI [%v, %v]", c.CILowMaAP[0], c.CIHighMaAP[0])
+	}
+}
+
+func TestPairedBootstrapValidation(t *testing.T) {
+	good := mkResult("A", []int{3}, []int{1})
+	if _, err := PairedBootstrap(Result{}, good, 100, 1); err == nil {
+		t.Error("missing PerUser accepted")
+	}
+	other := mkResult("B", []int{3, 4}, []int{1, 1})
+	if _, err := PairedBootstrap(good, other, 100, 1); err == nil {
+		t.Error("mismatched user counts accepted")
+	}
+	unpaired := mkResult("B", []int{4}, []int{1})
+	if _, err := PairedBootstrap(good, unpaired, 100, 1); err == nil {
+		t.Error("unpaired event counts accepted")
+	}
+	diffTop := mkResult("B", []int{3}, []int{1})
+	diffTop.TopNs = []int{5}
+	if _, err := PairedBootstrap(good, diffTop, 100, 1); err == nil {
+		t.Error("different TopNs accepted")
+	}
+	zero := mkResult("A", []int{0}, []int{0})
+	zeroB := mkResult("B", []int{0}, []int{0})
+	if _, err := PairedBootstrap(zero, zeroB, 100, 1); err == nil {
+		t.Error("no active users accepted")
+	}
+}
+
+func TestPairedBootstrapDeterminism(t *testing.T) {
+	n := 15
+	events := make([]int, n)
+	hitsA := make([]int, n)
+	hitsB := make([]int, n)
+	for u := range events {
+		events[u] = 8
+		hitsA[u] = (u*3)%8 + 1
+		hitsB[u] = (u*5)%8 + 1
+	}
+	a, b := mkResult("A", events, hitsA), mkResult("B", events, hitsB)
+	c1, err := PairedBootstrap(a, b, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := PairedBootstrap(a, b, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.CILowMaAP[0] != c2.CILowMaAP[0] || c1.PValueMaAP[0] != c2.PValueMaAP[0] {
+		t.Fatal("bootstrap not deterministic")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	lo, hi := quantiles(xs, 0, 1)
+	if lo != 1 || hi != 5 {
+		t.Fatalf("quantiles = %v, %v", lo, hi)
+	}
+	// Input must not be reordered (we copy).
+	if xs[0] != 5 {
+		t.Fatal("quantiles mutated input")
+	}
+}
+
+func TestSignFlipP(t *testing.T) {
+	if p := signFlipP([]float64{1, 2, 3, 4}, 2); p != 1.0/4 {
+		t.Fatalf("all-same-side p = %v", p)
+	}
+	if p := signFlipP([]float64{-1, 1, -1, 1}, 1); p != 1 {
+		t.Fatalf("split p = %v", p)
+	}
+	if p := signFlipP([]float64{1}, 0); p != 1 {
+		t.Fatalf("zero delta p = %v", p)
+	}
+}

@@ -1,0 +1,334 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// oracle recommends the true next item first (it peeks via closure state
+// set up by the test); used to pin the metric math.
+type fixed struct{ items []seq.Item }
+
+func (f fixed) Recommend(_ *rec.Context, n int, dst []seq.Item) []seq.Item {
+	if n > len(f.items) {
+		n = len(f.items)
+	}
+	return append(dst, f.items[:n]...)
+}
+
+func fixedFactory(items ...seq.Item) rec.Factory {
+	return rec.Factory{Name: "fixed", New: func(uint64) rec.Recommender {
+		return fixed{items}
+	}}
+}
+
+// oldestCandidate recommends window candidates oldest-first — on a strict
+// cycle this is a perfect Top-1 recommender.
+func oldestCandidate() rec.Factory {
+	return rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
+		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			if n > len(cands) {
+				n = len(cands)
+			}
+			return append(dst, cands[:n]...)
+		})
+	}}
+}
+
+// cycle builds a user sequence cycling over k items.
+func cycle(k, length int) seq.Sequence {
+	s := make(seq.Sequence, length)
+	for i := range s {
+		s[i] = seq.Item(i % k)
+	}
+	return s
+}
+
+func TestEvaluatePerfectRecommender(t *testing.T) {
+	train := []seq.Sequence{cycle(5, 40)}
+	test := []seq.Sequence{cycle(5, 40)[40%5:]} // continues the cycle? simpler: same cycle shape
+	// Actually make test continue seamlessly: positions 40.. of the
+	// infinite cycle.
+	tst := make(seq.Sequence, 20)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	test = []seq.Sequence{tst}
+
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1, 3}}
+	r, err := Evaluate(train, test, oldestCandidate(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != 20 {
+		t.Fatalf("events = %d, want 20", r.Events)
+	}
+	ma1, mi1 := r.At(1)
+	if ma1 != 1 || mi1 != 1 {
+		t.Fatalf("perfect recommender @1 = %v/%v", ma1, mi1)
+	}
+	ma3, _ := r.At(3)
+	if ma3 != 1 {
+		t.Fatalf("@3 = %v", ma3)
+	}
+}
+
+func TestEvaluateUselessRecommender(t *testing.T) {
+	train := []seq.Sequence{cycle(5, 40)}
+	tst := make(seq.Sequence, 20)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	// Recommends an item that is never the truth (item 99 not in windows).
+	r, err := Evaluate(train, []seq.Sequence{tst}, fixedFactory(99), Options{WindowCap: 10, Omega: 2, TopNs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mi := r.At(1)
+	if ma != 0 || mi != 0 {
+		t.Fatalf("useless recommender scored %v/%v", ma, mi)
+	}
+}
+
+func TestMetricMathMaAPvsMiAP(t *testing.T) {
+	// Two users: user A has 4 eligible events all hit; user B has 1
+	// eligible event, missed. MaAP@1 = 4/5; MiAP@1 = (1 + 0)/2.
+	// Construct with explicit control: user A cycles (oldest-first hits),
+	// user B's one repeat is NOT the oldest candidate.
+	trainA := cycle(4, 40)
+	testA := make(seq.Sequence, 4)
+	for i := range testA {
+		testA[i] = seq.Item((40 + i) % 4)
+	}
+	// User B: window {0,1,2,3,...}; craft a test with exactly one eligible
+	// repeat that is the NEWEST eligible candidate, so oldest-first misses.
+	trainB := seq.Sequence{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	testB := seq.Sequence{6} // gap 4 > Ω=2; oldest candidate is 0 → miss @1
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1}}
+	r, err := Evaluate([]seq.Sequence{trainA, trainB}, []seq.Sequence{testA, testB}, oldestCandidate(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != 5 {
+		t.Fatalf("events = %d, want 5", r.Events)
+	}
+	if r.UsersEvaluated != 2 {
+		t.Fatalf("users = %d", r.UsersEvaluated)
+	}
+	ma, mi := r.At(1)
+	if math.Abs(ma-0.8) > 1e-12 {
+		t.Fatalf("MaAP@1 = %v, want 0.8", ma)
+	}
+	if math.Abs(mi-0.5) > 1e-12 {
+		t.Fatalf("MiAP@1 = %v, want 0.5", mi)
+	}
+}
+
+func TestEvaluateSkipsIneligibleEvents(t *testing.T) {
+	// All repeats are at gap ≤ Ω → zero events.
+	train := []seq.Sequence{cycle(2, 30)}
+	tst := make(seq.Sequence, 10)
+	for i := range tst {
+		tst[i] = seq.Item((30 + i) % 2)
+	}
+	r, err := Evaluate(train, []seq.Sequence{tst}, fixedFactory(0), Options{WindowCap: 10, Omega: 5, TopNs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != 0 || r.UsersEvaluated != 0 {
+		t.Fatalf("events=%d users=%d, want 0/0", r.Events, r.UsersEvaluated)
+	}
+	ma, mi := r.At(1)
+	if ma != 0 || mi != 0 {
+		t.Fatal("metrics should be zero with no events")
+	}
+}
+
+func TestEvaluateParallelDeterminism(t *testing.T) {
+	// Stochastic recommender keyed by the per-user seed: results must be
+	// identical at any parallelism.
+	noisy := rec.Factory{Name: "noisy", New: func(seed uint64) rec.Recommender {
+		state := seed
+		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			if len(cands) == 0 {
+				return dst
+			}
+			state = state*6364136223846793005 + 1
+			return append(dst, cands[int(state>>33)%len(cands)])
+		})
+	}}
+	var train, test []seq.Sequence
+	for u := 0; u < 8; u++ {
+		train = append(train, cycle(4+u%3, 40))
+		tst := make(seq.Sequence, 15)
+		for i := range tst {
+			tst[i] = seq.Item((40 + i) % (4 + u%3))
+		}
+		test = append(test, tst)
+	}
+	opt1 := Options{WindowCap: 10, Omega: 1, TopNs: []int{1}, Parallelism: 1, Seed: 9}
+	opt8 := opt1
+	opt8.Parallelism = 8
+	r1, err := Evaluate(train, test, noisy, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Evaluate(train, test, noisy, opt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MaAP[0] != r8.MaAP[0] || r1.MiAP[0] != r8.MiAP[0] {
+		t.Fatalf("parallelism changed results: %v vs %v", r1.MaAP, r8.MaAP)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	train := []seq.Sequence{cycle(3, 20)}
+	test := []seq.Sequence{cycle(3, 5)}
+	bad := []Options{
+		{WindowCap: 10, Omega: 10},
+		{WindowCap: 10, Omega: -1},
+		{WindowCap: 10, TopNs: []int{0}},
+		{WindowCap: -5},
+	}
+	for i, opt := range bad {
+		if _, err := Evaluate(train, test, fixedFactory(0), opt); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+	if _, err := Evaluate(train, nil, fixedFactory(0), Options{}); err == nil {
+		t.Error("mismatched train/test accepted")
+	}
+}
+
+func TestEvaluateLatencyMeasurement(t *testing.T) {
+	train := []seq.Sequence{cycle(5, 40)}
+	tst := make(seq.Sequence, 10)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	opt := Options{WindowCap: 10, Omega: 2, MeasureLatency: true}
+	r, err := Evaluate(train, []seq.Sequence{tst}, oldestCandidate(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recs == 0 {
+		t.Fatal("no timed recommendations")
+	}
+	if r.MeanLatency <= 0 {
+		t.Fatalf("MeanLatency = %v", r.MeanLatency)
+	}
+}
+
+func TestResultAtPanicsOnUnknownN(t *testing.T) {
+	r := Result{TopNs: []int{1}, MaAP: []float64{0}, MiAP: []float64{0}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.At(7)
+}
+
+func TestEvaluateAllAndBest(t *testing.T) {
+	train := []seq.Sequence{cycle(5, 40)}
+	tst := make(seq.Sequence, 10)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	test := []seq.Sequence{tst}
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1}}
+	rs, err := EvaluateAll(train, test, []rec.Factory{fixedFactory(99), oldestCandidate()}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	best, ok := Best(rs, 1, nil)
+	if !ok || best.Method != "oldest" {
+		t.Fatalf("Best = %+v", best)
+	}
+	best, ok = Best(rs, 1, map[string]bool{"oldest": true})
+	if !ok || best.Method != "fixed" {
+		t.Fatalf("Best with exclusion = %+v", best)
+	}
+	if _, ok := Best(nil, 1, nil); ok {
+		t.Fatal("Best on empty slice returned ok")
+	}
+	SortByMaAP(rs, 1)
+	if rs[0].Method != "oldest" {
+		t.Fatal("SortByMaAP order wrong")
+	}
+}
+
+func TestUserSeedStability(t *testing.T) {
+	if userSeed(1, 5) != userSeed(1, 5) {
+		t.Fatal("userSeed not deterministic")
+	}
+	if userSeed(1, 5) == userSeed(1, 6) || userSeed(1, 5) == userSeed(2, 5) {
+		t.Fatal("userSeed collisions on adjacent inputs")
+	}
+}
+
+func TestMRRAndNDCG(t *testing.T) {
+	// Perfect recommender: truth always at rank 1 → MRR = nDCG = 1.
+	train := []seq.Sequence{cycle(5, 40)}
+	tst := make(seq.Sequence, 20)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	r, err := Evaluate(train, []seq.Sequence{tst}, oldestCandidate(), Options{WindowCap: 10, Omega: 2, TopNs: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MRR != 1 || r.NDCG != 1 {
+		t.Fatalf("perfect recommender MRR=%v NDCG=%v", r.MRR, r.NDCG)
+	}
+	// Useless recommender: never found → both zero.
+	r, err = Evaluate(train, []seq.Sequence{tst}, fixedFactory(99), Options{WindowCap: 10, Omega: 2, TopNs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MRR != 0 || r.NDCG != 0 {
+		t.Fatalf("useless recommender MRR=%v NDCG=%v", r.MRR, r.NDCG)
+	}
+}
+
+func TestMRRRankTwo(t *testing.T) {
+	// The truth is always the second-oldest candidate: swap head of the
+	// oldest-first list so truth lands at rank 2.
+	rankTwo := rec.Factory{Name: "rank2", New: func(uint64) rec.Recommender {
+		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			if len(cands) >= 2 {
+				cands[0], cands[1] = cands[1], cands[0]
+			}
+			if n > len(cands) {
+				n = len(cands)
+			}
+			return append(dst, cands[:n]...)
+		})
+	}}
+	train := []seq.Sequence{cycle(5, 40)}
+	tst := make(seq.Sequence, 20)
+	for i := range tst {
+		tst[i] = seq.Item((40 + i) % 5)
+	}
+	r, err := Evaluate(train, []seq.Sequence{tst}, rankTwo, Options{WindowCap: 10, Omega: 2, TopNs: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MRR-0.5) > 1e-12 {
+		t.Fatalf("MRR = %v, want 0.5", r.MRR)
+	}
+	want := 1 / math.Log2(3)
+	if math.Abs(r.NDCG-want) > 1e-12 {
+		t.Fatalf("NDCG = %v, want %v", r.NDCG, want)
+	}
+}

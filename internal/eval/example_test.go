@@ -1,0 +1,46 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"tsppr/internal/eval"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// Example evaluates a trivial "oldest candidate first" policy on a cyclic
+// user, where that policy happens to be a perfect oracle.
+func Example() {
+	oldest := rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
+		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			if n > len(cands) {
+				n = len(cands)
+			}
+			return append(dst, cands[:n]...)
+		})
+	}}
+
+	train := make(seq.Sequence, 40)
+	test := make(seq.Sequence, 20)
+	for i := range train {
+		train[i] = seq.Item(i % 5)
+	}
+	for i := range test {
+		test[i] = seq.Item((len(train) + i) % 5)
+	}
+
+	res, err := eval.Evaluate(
+		[]seq.Sequence{train}, []seq.Sequence{test},
+		oldest,
+		eval.Options{WindowCap: 10, Omega: 2, TopNs: []int{1, 3}},
+	)
+	if err != nil {
+		fmt.Println("evaluate:", err)
+		return
+	}
+	ma1, mi1 := res.At(1)
+	fmt.Printf("events=%d MaAP@1=%.2f MiAP@1=%.2f MRR=%.2f\n", res.Events, ma1, mi1, res.MRR)
+	// Output:
+	// events=20 MaAP@1=1.00 MiAP@1=1.00 MRR=1.00
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tsppr/internal/baselines"
+	"tsppr/internal/core"
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+)
+
+// RunAblations evaluates the design choices DESIGN.md §5 calls out, beyond
+// the paper's own experiments:
+//
+//   - hyperbolic vs. exponential recency (paper Eq. 19 vs. Eq. 20)
+//   - learned per-user map A_u vs. identity map (K = F, §4.2.1 case 2)
+//   - per-user maps vs. one shared global map
+//   - plain PPR (BPR-MF, §4.1) as the time-insensitive reference
+func RunAblations(w io.Writer, p Params) error {
+	p = p.Defaults()
+	gowalla, lastfm, err := Workloads(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Design ablations (MaAP@10 / MiAP@10)")
+	for _, ds := range []*dataset.Dataset{gowalla, lastfm} {
+		fmt.Fprintf(w, "\n%s\n", ds.Name)
+		t := NewTable("Variant", "MaAP@10", "MiAP@10")
+
+		addRow := func(name string, r eval.Result, err error) error {
+			if err != nil {
+				return fmt.Errorf("experiments: ablation %s: %w", name, err)
+			}
+			ma, mi := r.At(10)
+			t.AddRow(name, f3(ma), f3(mi))
+			return nil
+		}
+
+		// Paper default: per-user map, hyperbolic recency.
+		r, err := trainEval(ds, p, features.AllFeatures, features.Hyperbolic)
+		if err := addRow("per-user A_u, hyperbolic RE", r, err); err != nil {
+			return err
+		}
+
+		// Exponential recency.
+		r, err = trainEval(ds, p, features.AllFeatures, features.Exponential)
+		if err := addRow("per-user A_u, exponential RE", r, err); err != nil {
+			return err
+		}
+
+		// Shared global map.
+		r, err = trainEvalMap(ds, p, core.SharedMap)
+		if err := addRow("shared A, hyperbolic RE", r, err); err != nil {
+			return err
+		}
+
+		// Identity map: K is forced to F.
+		q := p
+		q.K = features.AllFeatures.Dim()
+		r, err = trainEvalMap(ds, q, core.IdentityMap)
+		if err := addRow(fmt.Sprintf("identity A (K=F=%d)", q.K), r, err); err != nil {
+			return err
+		}
+
+		// Per-user map at the same tiny K, to separate the effect of the
+		// map from the effect of dimensionality.
+		r, err = trainEvalMap(ds, q, core.PerUserMap)
+		if err := addRow(fmt.Sprintf("per-user A_u (K=%d)", q.K), r, err); err != nil {
+			return err
+		}
+
+		// Plain PPR: the time-insensitive model the paper argues cannot
+		// address RRC (§4.1).
+		r, err = evalPPR(ds, p)
+		if err := addRow("plain PPR (no time term)", r, err); err != nil {
+			return err
+		}
+
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPPR trains and evaluates the plain BPR-MF reference.
+func evalPPR(ds *dataset.Dataset, p Params) (eval.Result, error) {
+	train, test := ds.Split(p.TrainFrac)
+	m, err := baselines.TrainPPR(train, ds.NumItems(), baselines.PPRConfig{Seed: p.Seed})
+	if err != nil {
+		return eval.Result{}, err
+	}
+	return eval.Evaluate(train, test, m.Factory(), evalOptions(p, false))
+}
+
+// trainEvalMap is trainEval with an explicit map kind.
+func trainEvalMap(ds *dataset.Dataset, p Params, mapType core.MapKind) (eval.Result, error) {
+	pl, err := NewPipeline(ds, p, features.AllFeatures, features.Hyperbolic)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	model, _, err := core.Train(pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, mapType))
+	if err != nil {
+		return eval.Result{}, err
+	}
+	return eval.Evaluate(pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// RunTable2 reports the post-filtering statistics of both workloads
+// (paper Table 2).
+func RunTable2(w io.Writer, p Params) error {
+	p = p.Defaults()
+	gowalla, lastfm, err := Workloads(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 2: statistics of (synthetic) data sets after filtering")
+	t := NewTable("Data Set", "Type", "Users", "Items", "Consumption", "Mean |S_u|")
+	for _, d := range []struct {
+		ds  *dataset.Dataset
+		typ string
+	}{{gowalla, "LBSN"}, {lastfm, "Music"}} {
+		st := d.ds.Stats()
+		t.AddRow(d.ds.Name, d.typ,
+			fmt.Sprintf("%d", st.Users),
+			fmt.Sprintf("%d", st.Items),
+			fmt.Sprintf("%d", st.Consumptions),
+			fmt.Sprintf("%.1f", st.MeanSeqLen))
+	}
+	return t.Render(w)
+}
+
+// accuracyKey memoizes the expensive shared fig5/fig6/table3 evaluation.
+type accuracyKey struct {
+	p Params
+}
+
+var (
+	accMu    sync.Mutex
+	accCache = map[accuracyKey]map[string][]eval.Result{}
+)
+
+// accuracyResults evaluates TS-PPR and every baseline on both workloads,
+// returning results keyed by dataset name.
+func accuracyResults(p Params) (map[string][]eval.Result, error) {
+	key := accuracyKey{p}
+	accMu.Lock()
+	if r, ok := accCache[key]; ok {
+		accMu.Unlock()
+		return r, nil
+	}
+	accMu.Unlock()
+
+	gowalla, lastfm, err := Workloads(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]eval.Result, 2)
+	for _, ds := range []*dataset.Dataset{gowalla, lastfm} {
+		pl, err := NewPipeline(ds, p, features.AllFeatures, features.Hyperbolic)
+		if err != nil {
+			return nil, err
+		}
+		model, _, err := pl.TrainTSPPR(p)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := pl.BaselineFactories(p)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, model.Factory())
+		rs, err := eval.EvaluateAll(pl.Train, pl.Test, fs, evalOptions(p, false))
+		if err != nil {
+			return nil, err
+		}
+		out[ds.Name] = rs
+	}
+	accMu.Lock()
+	accCache[key] = out
+	accMu.Unlock()
+	return out, nil
+}
+
+// renderAccuracy renders one precision aggregate (MaAP or MiAP) for all
+// methods on both datasets, the content of paper Fig. 5 / Fig. 6.
+func renderAccuracy(w io.Writer, p Params, micro bool) error {
+	rs, err := accuracyResults(p)
+	if err != nil {
+		return err
+	}
+	names := sortedDatasetNames(rs)
+	metric := "MaAP"
+	if micro {
+		metric = "MiAP"
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "%s on %s (|W|=%d, Ω=%d, S=%d)\n", metric, name, p.WindowCap, p.Omega, p.S)
+		t := NewTable("Method", metric+"@1", metric+"@5", metric+"@10", "Events")
+		for _, r := range rs[name] {
+			vals := r.MaAP
+			if micro {
+				vals = r.MiAP
+			}
+			t.AddRow(r.Method, f3(vals[0]), f3(vals[1]), f3(vals[2]), fmt.Sprintf("%d", r.Events))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func sortedDatasetNames(rs map[string][]eval.Result) []string {
+	names := make([]string, 0, len(rs))
+	for name := range rs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunFig5 reports macro average precision for all methods (paper Fig. 5).
+func RunFig5(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 5: macro average precision of all methods")
+	return renderAccuracy(w, p, false)
+}
+
+// RunFig6 reports micro average precision for all methods (paper Fig. 6).
+func RunFig6(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 6: micro average precision of all methods")
+	return renderAccuracy(w, p, true)
+}
+
+// RunTable3 reports TS-PPR's relative improvement over the best baseline
+// (paper Table 3).
+func RunTable3(w io.Writer, p Params) error {
+	p = p.Defaults()
+	rs, err := accuracyResults(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 3: relative precision improvement of TS-PPR over the best baseline")
+	t := NewTable("Data set", "Metric", "Top-1", "Top-5", "Top-10")
+	exclude := map[string]bool{"TS-PPR": true}
+	for _, name := range sortedDatasetNames(rs) {
+		var tsppr eval.Result
+		found := false
+		for _, r := range rs[name] {
+			if r.Method == "TS-PPR" {
+				tsppr, found = r, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("experiments: TS-PPR result missing on %s", name)
+		}
+		for _, micro := range []bool{false, true} {
+			metric := "MaAP"
+			if micro {
+				metric = "MiAP"
+			}
+			cells := []string{name, metric}
+			for i, n := range []int{1, 5, 10} {
+				// Best baseline *at this N and metric*, as the paper does.
+				bestVal := -1.0
+				for _, r := range rs[name] {
+					if exclude[r.Method] {
+						continue
+					}
+					v := r.MaAP[i]
+					if micro {
+						v = r.MiAP[i]
+					}
+					if v > bestVal {
+						bestVal = v
+					}
+				}
+				ours := tsppr.MaAP[i]
+				if micro {
+					ours = tsppr.MiAP[i]
+				}
+				if bestVal <= 0 {
+					cells = append(cells, "n/a")
+					continue
+				}
+				imp := (ours - bestVal) / bestVal * 100
+				if imp < 0 {
+					cells = append(cells, `\`) // the paper marks losses with a backslash
+				} else {
+					cells = append(cells, fmt.Sprintf("%+.0f%%", imp))
+				}
+				_ = n
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t.Render(w)
+}
+
+// RunFig4 reports, for each feature, the distribution of repeat
+// consumptions by the in-window rank of the reconsumed item on that
+// feature (paper Fig. 4). A steep drop means the feature discriminates.
+func RunFig4(w io.Writer, p Params) error {
+	p = p.Defaults()
+	gowalla, lastfm, err := Workloads(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 4: repeat-consumption count by in-window feature rank of the reconsumed item")
+	buckets := []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 90}
+	for _, ds := range []*dataset.Dataset{gowalla, lastfm} {
+		counts, err := FeatureRankCounts(ds, p, len(buckets), buckets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s (rank buckets ≤ %v)\n", ds.Name, buckets)
+		t := NewTable(append([]string{"Feature"}, bucketHeaders(buckets)...)...)
+		for k := features.Kind(0); k < features.NumKinds; k++ {
+			row := []string{k.String()}
+			for bi := range buckets {
+				row = append(row, fmt.Sprintf("%d", counts[k][bi]))
+			}
+			t.AddRow(row...)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bucketHeaders(buckets []int) []string {
+	hs := make([]string, len(buckets))
+	for i, b := range buckets {
+		hs[i] = fmt.Sprintf("≤%d", b)
+	}
+	return hs
+}
+
+// FeatureRankCounts scans the whole dataset and, at every eligible repeat
+// event, ranks the reconsumed item among the window candidates on each
+// feature separately, bucketing the resulting rank. Higher counts in lower
+// buckets = steeper curve = more discriminative feature.
+func FeatureRankCounts(ds *dataset.Dataset, p Params, nBuckets int, buckets []int) ([features.NumKinds][]int, error) {
+	var counts [features.NumKinds][]int
+	for k := range counts {
+		counts[k] = make([]int, nBuckets)
+	}
+	train, _ := ds.Split(p.TrainFrac)
+	b := features.NewBuilder(ds.NumItems(), p.WindowCap, p.Omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+
+	var cands []seq.Item
+	for _, s := range ds.Seqs {
+		seq.Scan(s, p.WindowCap, func(ev seq.Event, win *seq.Window) bool {
+			if !ev.Eligible(p.Omega) {
+				return true
+			}
+			cands = win.Candidates(p.Omega, cands[:0])
+			for k := features.Kind(0); k < features.NumKinds; k++ {
+				truth := ex.Value(k, ev.Next, win)
+				rank := 1
+				for _, c := range cands {
+					if c == ev.Next {
+						continue
+					}
+					if ex.Value(k, c, win) > truth {
+						rank++
+					}
+				}
+				for bi, ub := range buckets {
+					if rank <= ub {
+						counts[k][bi]++
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return counts, nil
+}
+
+// methodNames lists the evaluation methods in presentation order; shared
+// by tests.
+func methodNames(fs []rec.Factory) []string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -1,0 +1,346 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (§5). Each driver regenerates the artifact's
+// rows/series on the synthetic Gowalla-like and Lastfm-like workloads and
+// renders them as aligned text tables; cmd/rrc-eval exposes them by id.
+//
+// The drivers are deliberately self-contained (dataset → split → features
+// → training → evaluation) so a single experiment can be re-run in
+// isolation; intermediate artifacts that several experiments share
+// (datasets, trained models) are memoized in-process keyed by their full
+// parameterization.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"tsppr/internal/baselines"
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/rec"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+)
+
+// Params carries the suite-wide knobs. The zero value is completed by
+// Defaults; experiments sweep individual fields away from these defaults
+// exactly as the paper does (Table 4).
+type Params struct {
+	// GowallaUsers and LastfmUsers scale the synthetic workloads.
+	GowallaUsers int
+	LastfmUsers  int
+	Seed         uint64
+
+	TrainFrac float64
+	WindowCap int // |W|
+	Omega     int // Ω
+	S         int // negatives per positive
+
+	K      int // latent dimension
+	Lambda float64
+	Gamma  float64
+
+	// MaxSteps caps TS-PPR SGD steps per training run.
+	MaxSteps int
+	// Quick shrinks sweeps (used by tests to keep runtimes sane).
+	Quick bool
+}
+
+// Defaults fills unset fields with the paper's Table 4 settings at a
+// laptop-friendly workload scale.
+func (p Params) Defaults() Params {
+	if p.GowallaUsers == 0 {
+		p.GowallaUsers = 300
+	}
+	if p.LastfmUsers == 0 {
+		p.LastfmUsers = 120
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.TrainFrac == 0 {
+		p.TrainFrac = 0.7
+	}
+	if p.WindowCap == 0 {
+		p.WindowCap = 100
+	}
+	if p.Omega == 0 {
+		p.Omega = 10
+	}
+	if p.S == 0 {
+		p.S = 10
+	}
+	if p.K == 0 {
+		p.K = 40
+	}
+	if p.Lambda == 0 {
+		p.Lambda = 0.01
+	}
+	if p.Gamma == 0 {
+		p.Gamma = 0.05
+	}
+	// MaxSteps 0 lets the trainer pick 5·|D| (see core.Config); Quick runs
+	// cap it to keep test latency sane.
+	if p.MaxSteps == 0 && p.Quick {
+		p.MaxSteps = 150_000
+	}
+	return p
+}
+
+// Runner executes one experiment, writing its report to w.
+type Runner func(w io.Writer, p Params) error
+
+// Registry maps experiment ids (paper artifact names) to their drivers.
+var Registry = map[string]Runner{
+	"table2": RunTable2,
+	"fig4":   RunFig4,
+	"fig5":   RunFig5,
+	"fig6":   RunFig6,
+	"table3": RunTable3,
+	"fig7":   RunFig7,
+	"fig8":   RunFig8,
+	"fig9":   RunFig9,
+	"fig10":  RunFig10,
+	"fig11":  RunFig11,
+	"fig12":  RunFig12,
+	"fig13":  RunFig13,
+	"table5": RunTable5,
+	// Design-choice ablations beyond the paper (DESIGN.md §5).
+	"ablation": RunAblations,
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Workload preparation (memoized).
+
+type workloadKey struct {
+	name  string
+	users int
+	seed  uint64
+}
+
+var (
+	workloadMu    sync.Mutex
+	workloadCache = map[workloadKey]*dataset.Dataset{}
+)
+
+// workload generates (or recalls) one synthetic dataset, filtered per the
+// paper's protocol and compacted to dense item IDs.
+func workload(name string, users int, seed uint64, trainFrac float64, windowCap int) (*dataset.Dataset, error) {
+	key := workloadKey{name, users, seed}
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if ds, ok := workloadCache[key]; ok {
+		return ds, nil
+	}
+	var cfg *datagen.Config
+	switch name {
+	case "gowalla-sim":
+		cfg = datagen.GowallaLike(users, seed)
+	case "lastfm-sim":
+		cfg = datagen.LastfmLike(users, seed^0xfeed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds = ds.FilterMinTrain(trainFrac, windowCap)
+	ds, _ = ds.Compact()
+	workloadCache[key] = ds
+	return ds, nil
+}
+
+// Workloads returns the two standard datasets for p.
+func Workloads(p Params) (gowalla, lastfm *dataset.Dataset, err error) {
+	gowalla, err = workload("gowalla-sim", p.GowallaUsers, p.Seed, p.TrainFrac, p.WindowCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	lastfm, err = workload("lastfm-sim", p.LastfmUsers, p.Seed, p.TrainFrac, p.WindowCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gowalla, lastfm, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: everything needed to train and evaluate on one dataset.
+
+// Pipeline bundles one dataset's split, extractor and sampled training set.
+type Pipeline struct {
+	Dataset  *dataset.Dataset
+	Train    []seq.Sequence
+	Test     []seq.Sequence
+	NumItems int
+	Ex       *features.Extractor
+	Set      *sampling.Set
+}
+
+// NewPipeline splits ds and builds the feature extractor and the
+// pre-sampled training set for the given mask/recency variant.
+func NewPipeline(ds *dataset.Dataset, p Params, mask features.Mask, rk features.RecencyKind) (*Pipeline, error) {
+	train, test := ds.Split(p.TrainFrac)
+	numItems := ds.NumItems()
+	b := features.NewBuilder(numItems, p.WindowCap, p.Omega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(mask, rk)
+	set, err := sampling.Build(train, ex, sampling.Config{
+		WindowCap: p.WindowCap,
+		Omega:     p.Omega,
+		S:         p.S,
+		Seed:      p.Seed + 0xabcd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Dataset: ds, Train: train, Test: test, NumItems: numItems, Ex: ex, Set: set}, nil
+}
+
+// coreConfig assembles the TS-PPR training configuration for p.
+func coreConfig(p Params, mapType core.MapKind) core.Config {
+	return core.Config{
+		K:        p.K,
+		Lambda:   p.Lambda,
+		Gamma:    p.Gamma,
+		MaxSteps: p.MaxSteps,
+		MapType:  mapType,
+		TwoPhase: mapType == core.PerUserMap,
+		Seed:     p.Seed + 0xc0de,
+	}
+}
+
+// TrainTSPPR trains the model on the pipeline with the paper's defaults.
+func (pl *Pipeline) TrainTSPPR(p Params) (*core.Model, *core.TrainStats, error) {
+	return core.Train(pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, core.PerUserMap))
+}
+
+// evalOptions assembles the standard evaluation options for p.
+func evalOptions(p Params, measureLatency bool) eval.Options {
+	return eval.Options{
+		WindowCap:      p.WindowCap,
+		Omega:          p.Omega,
+		TopNs:          []int{1, 5, 10},
+		MeasureLatency: measureLatency,
+		Seed:           p.Seed + 0xe7a1,
+	}
+}
+
+// BaselineFactories trains every baseline on the pipeline and returns
+// their factories in the paper's presentation order.
+func (pl *Pipeline) BaselineFactories(p Params) ([]rec.Factory, error) {
+	pop := baselines.NewPop(pl.Train, pl.NumItems)
+	dyrc, err := baselines.TrainDYRC(pl.Train, pl.NumItems, baselines.DYRCConfig{
+		WindowCap: p.WindowCap,
+		Omega:     p.Omega,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: DYRC: %w", err)
+	}
+	fpmc, err := baselines.TrainFPMC(pl.Train, pl.NumItems, baselines.FPMCConfig{
+		WindowCap: p.WindowCap,
+		Omega:     p.Omega,
+		Seed:      p.Seed + 0x1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: FPMC: %w", err)
+	}
+	surv, err := baselines.TrainSurvival(pl.Train, pl.NumItems, baselines.SurvivalConfig{
+		WindowCap: p.WindowCap,
+		Omega:     p.Omega,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Survival: %w", err)
+	}
+	return []rec.Factory{
+		baselines.RandomFactory(),
+		pop.Factory(),
+		baselines.RecencyFactory(),
+		fpmc.Factory(),
+		surv.Factory(),
+		dyrc.Factory(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Text-table rendering.
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f3 formats a float at 4 decimals (precision values).
+func f3(x float64) string { return fmt.Sprintf("%.4f", x) }

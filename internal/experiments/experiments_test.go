@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsppr/internal/features"
+)
+
+// tinyParams keeps every experiment driver fast enough for unit tests.
+func tinyParams() Params {
+	return Params{
+		GowallaUsers: 20,
+		LastfmUsers:  8,
+		Quick:        true,
+		MaxSteps:     30_000,
+	}
+}
+
+func TestIDsCoverRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(Registry))
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("id %q has nil runner", id)
+		}
+	}
+	// Every paper artifact must be present.
+	for _, want := range []string{"table2", "table3", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"} {
+		if Registry[want] == nil {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{}.Defaults()
+	if p.WindowCap != 100 || p.Omega != 10 || p.S != 10 || p.K != 40 {
+		t.Fatalf("paper defaults wrong: %+v", p)
+	}
+	if p.Lambda != 0.01 || p.Gamma != 0.05 || p.TrainFrac != 0.7 {
+		t.Fatalf("paper defaults wrong: %+v", p)
+	}
+	// Explicit values survive.
+	q := Params{K: 7, Omega: 3}.Defaults()
+	if q.K != 7 || q.Omega != 3 {
+		t.Fatal("Defaults overwrote explicit values")
+	}
+}
+
+func TestWorkloadsMemoized(t *testing.T) {
+	p := tinyParams().Defaults()
+	a1, b1, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("workloads not memoized")
+	}
+	if a1.Name != "gowalla-sim" || b1.Name != "lastfm-sim" {
+		t.Fatalf("names %q/%q", a1.Name, b1.Name)
+	}
+	if a1.NumUsers() == 0 || b1.NumUsers() == 0 {
+		t.Fatal("empty workloads after filtering")
+	}
+}
+
+func TestPipelineConstruction(t *testing.T) {
+	p := tinyParams().Defaults()
+	gow, _, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(gow, p, features.AllFeatures, features.Hyperbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Train) != gow.NumUsers() || len(pl.Test) != gow.NumUsers() {
+		t.Fatal("split user counts wrong")
+	}
+	if pl.Set.NumPairs() == 0 {
+		t.Fatal("no training pairs")
+	}
+	if pl.Ex.Dim() != 4 {
+		t.Fatalf("extractor dim %d", pl.Ex.Dim())
+	}
+}
+
+func TestBaselineFactoriesOrder(t *testing.T) {
+	p := tinyParams().Defaults()
+	gow, _, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(gow, p, features.AllFeatures, features.Hyperbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pl.BaselineFactories(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Random", "Pop", "Recency", "FPMC", "Survival", "DYRC"}
+	got := methodNames(fs)
+	if len(got) != len(want) {
+		t.Fatalf("factories = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("factory order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunnersSmoke executes every registered experiment at tiny scale and
+// sanity-checks that each emits its table header.
+func TestRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	p := tinyParams()
+	markers := map[string]string{
+		"table2":   "Table 2",
+		"fig4":     "Fig. 4",
+		"fig5":     "Fig. 5",
+		"fig6":     "Fig. 6",
+		"table3":   "Table 3",
+		"fig7":     "Fig. 7",
+		"fig8":     "Fig. 8",
+		"fig9":     "Fig. 9",
+		"fig10":    "Fig. 10",
+		"fig11":    "Fig. 11",
+		"fig12":    "Fig. 12",
+		"fig13":    "Fig. 13",
+		"table5":   "Table 5",
+		"ablation": "ablation",
+	}
+	for id, run := range Registry {
+		id, run := id, run
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, p); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+			if marker := markers[id]; marker != "" && !strings.Contains(strings.ToLower(out), strings.ToLower(marker)) {
+				t.Errorf("%s output missing marker %q:\n%s", id, marker, out[:min(400, len(out))])
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("A", "Bee")
+	tb.AddRow("1", "2")
+	tb.AddRow("longer", "x", "dropped-extra")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "Bee") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "longer") {
+		t.Fatalf("row %q", lines[3])
+	}
+	if strings.Contains(out, "dropped-extra") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestFeatureRankCountsShape(t *testing.T) {
+	p := tinyParams().Defaults()
+	gow, _, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := []int{1, 2, 5, 100}
+	counts, err := FeatureRankCounts(gow, p, len(buckets), buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k := range counts {
+		if len(counts[k]) != len(buckets) {
+			t.Fatalf("feature %d has %d buckets", k, len(counts[k]))
+		}
+		for _, c := range counts[k] {
+			if c < 0 {
+				t.Fatal("negative count")
+			}
+			total += c
+		}
+	}
+	if total == 0 {
+		t.Fatal("no repeat events bucketed")
+	}
+	// Each feature buckets the same set of events, so totals must match.
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	s0 := sum(counts[0])
+	for k := 1; k < len(counts); k++ {
+		if sum(counts[k]) != s0 {
+			t.Fatalf("feature %d bucketed %d events, feature 0 bucketed %d", k, sum(counts[k]), s0)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

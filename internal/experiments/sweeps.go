@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tsppr/internal/dataset"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/plot"
+)
+
+// trainEval trains TS-PPR with the given parameter overrides and returns
+// its evaluation result on the dataset. The feature mask/recency let the
+// ablation experiments reuse the same path.
+func trainEval(ds *dataset.Dataset, p Params, mask features.Mask, rk features.RecencyKind) (eval.Result, error) {
+	pl, err := NewPipeline(ds, p, mask, rk)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	model, _, err := pl.TrainTSPPR(p)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	return eval.Evaluate(pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+}
+
+// RunFig7 reports the feature-importance ablation (paper Fig. 7): drop
+// each feature in turn and compare MaAP@10 / MiAP@10 against all four.
+func RunFig7(w io.Writer, p Params) error {
+	p = p.Defaults()
+	gowalla, lastfm, err := Workloads(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 7: feature importance (drop one feature, compare @10 precision)")
+	for _, ds := range []*dataset.Dataset{gowalla, lastfm} {
+		fmt.Fprintf(w, "\n%s\n", ds.Name)
+		t := NewTable("Variant", "MaAP@10", "MiAP@10")
+		all, err := trainEval(ds, p, features.AllFeatures, features.Hyperbolic)
+		if err != nil {
+			return err
+		}
+		ma, mi := all.At(10)
+		t.AddRow("All", f3(ma), f3(mi))
+		for k := features.Kind(0); k < features.NumKinds; k++ {
+			r, err := trainEval(ds, p, features.AllFeatures.Without(k), features.Hyperbolic)
+			if err != nil {
+				return err
+			}
+			ma, mi := r.At(10)
+			t.AddRow("-"+k.String(), f3(ma), f3(mi))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweep evaluates TS-PPR across variants of p produced by vary and renders
+// one row per variant.
+func sweep(w io.Writer, base Params, label string, values []string, vary func(Params, int) Params) error {
+	gowalla, lastfm, err := Workloads(base)
+	if err != nil {
+		return err
+	}
+	for _, ds := range []*dataset.Dataset{gowalla, lastfm} {
+		fmt.Fprintf(w, "\n%s\n", ds.Name)
+		t := NewTable(label, "MaAP@10", "MiAP@10")
+		series := make([]float64, 0, len(values))
+		for i, val := range values {
+			p := vary(base, i)
+			r, err := trainEval(ds, p, features.AllFeatures, features.Hyperbolic)
+			if err != nil {
+				return err
+			}
+			ma, mi := r.At(10)
+			series = append(series, ma)
+			t.AddRow(val, f3(ma), f3(mi))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "MaAP@10 trend: %s\n", plot.Sparkline(series))
+	}
+	return nil
+}
+
+// RunFig8 sweeps the regularization parameters λ and γ (paper Fig. 8).
+func RunFig8(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 8: influence of regularization parameters λ and γ")
+	lambdas := []float64{0.0001, 0.001, 0.01, 0.1, 1}
+	gammas := []float64{0.001, 0.01, 0.05, 0.1, 1}
+	if p.Quick {
+		lambdas = []float64{0.001, 0.1}
+		gammas = []float64{0.01, 0.1}
+	}
+	labels := make([]string, len(lambdas))
+	for i, l := range lambdas {
+		labels[i] = fmt.Sprintf("λ=%g", l)
+	}
+	if err := sweep(w, p, "lambda", labels, func(q Params, i int) Params {
+		q.Lambda = lambdas[i]
+		return q
+	}); err != nil {
+		return err
+	}
+	labels = make([]string, len(gammas))
+	for i, g := range gammas {
+		labels[i] = fmt.Sprintf("γ=%g", g)
+	}
+	return sweep(w, p, "gamma", labels, func(q Params, i int) Params {
+		q.Gamma = gammas[i]
+		return q
+	})
+}
+
+// RunFig9 sweeps the latent dimension K (paper Fig. 9).
+func RunFig9(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 9: sensitivity of latent feature space dimension K")
+	ks := []int{10, 20, 40, 60, 80}
+	if p.Quick {
+		ks = []int{10, 40}
+	}
+	labels := make([]string, len(ks))
+	for i, k := range ks {
+		labels[i] = fmt.Sprintf("K=%d", k)
+	}
+	return sweep(w, p, "K", labels, func(q Params, i int) Params {
+		q.K = ks[i]
+		return q
+	})
+}
+
+// RunFig10 sweeps the negative-sample count S at Ω ∈ {10, 20}
+// (paper Fig. 10).
+func RunFig10(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 10: sensitivity of negative sample number S")
+	ss := []int{1, 5, 10, 15, 20}
+	omegas := []int{10, 20}
+	if p.Quick {
+		ss = []int{5, 10}
+		omegas = []int{10}
+	}
+	for _, omega := range omegas {
+		fmt.Fprintf(w, "\nΩ = %d\n", omega)
+		labels := make([]string, len(ss))
+		for i, s := range ss {
+			labels[i] = fmt.Sprintf("S=%d", s)
+		}
+		q := p
+		q.Omega = omega
+		if err := sweep(w, q, "S", labels, func(r Params, i int) Params {
+			r.S = ss[i]
+			return r
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFig11 sweeps the minimum gap Ω at S ∈ {10, 20} (paper Fig. 11).
+func RunFig11(w io.Writer, p Params) error {
+	p = p.Defaults()
+	fmt.Fprintln(w, "Fig. 11: sensitivity of the minimum gap Ω")
+	omegas := []int{5, 10, 20, 30, 40}
+	ss := []int{10, 20}
+	if p.Quick {
+		omegas = []int{10, 30}
+		ss = []int{10}
+	}
+	for _, s := range ss {
+		fmt.Fprintf(w, "\nS = %d\n", s)
+		labels := make([]string, len(omegas))
+		for i, o := range omegas {
+			labels[i] = fmt.Sprintf("Ω=%d", o)
+		}
+		q := p
+		q.S = s
+		if err := sweep(w, q, "omega", labels, func(r Params, i int) Params {
+			r.Omega = omegas[i]
+			return r
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package features_test
+
+import (
+	"fmt"
+
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/seq"
+)
+
+// Example extracts the paper's four behavioural features for an item that
+// has been consumed often and recently.
+func Example() {
+	b := features.NewBuilder(4, 6, 1)
+	b.Add(seq.Sequence{0, 1, 0, 2, 0, 1, 0, 3})
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+
+	w := seq.NewWindow(6)
+	for _, v := range []seq.Item{0, 1, 0, 2, 0, 3} {
+		w.Push(v)
+	}
+	f := ex.Extract(linalg.NewVector(4), 0, w)
+	fmt.Printf("IP=%.2f IR=%.2f RE=%.2f DF=%.2f\n", f[0], f[1], f[2], f[3])
+
+	// Ablation mask: drop recency, keep the other three.
+	mask := features.AllFeatures.Without(features.Recency)
+	fmt.Println("masked dims:", mask.Dim(), mask.Kinds())
+	// Output:
+	// IP=1.00 IR=1.00 RE=1.00 DF=1.00
+	// masked dims: 3 [IP IR DF]
+}

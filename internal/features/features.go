@@ -1,0 +1,362 @@
+// Package features implements the paper's four domain-independent
+// behavioural features (§4.4) that TS-PPR maps from observable space into
+// latent preference space:
+//
+//   - IP, item quality/popularity: min-max normalized ln(1+n_v) (Eq. 16-17)
+//   - IR, item reconsumption ratio: fraction of observations of v that are
+//     repeats w.r.t. the time window (Eq. 18)
+//   - RE, recency: hyperbolic 1/(t−l_ut(v)) or exponential e^{−(t−l_ut(v))}
+//     (Eq. 19-20)
+//   - DF, dynamic familiarity: in-window occurrence fraction (Eq. 21)
+//
+// IP and IR are static — estimated once from the training set; RE and DF
+// are dynamic — computed against the live window at recommendation time.
+//
+// All four are normalized into [0,1] — and, going slightly beyond the
+// paper's letter (which it explicitly permits: "the implementations of
+// these features can be replaced"), RE and DF are min-max rescaled over
+// their *achievable* range for eligible candidates. Raw 1/gap over the
+// eligible gaps (Ω, |W|] only spans [1/|W|, 1/(Ω+1)] ≈ [0.01, 0.09], and
+// raw count/|W| rarely exceeds 0.15; left unscaled, SGD has to grow their
+// weights by an order of magnitude to let them compete with IP/IR, and in
+// practice simply ignores them. The Mask type supports the feature
+// ablation of paper Fig. 7.
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"tsppr/internal/linalg"
+	"tsppr/internal/mathx"
+	"tsppr/internal/seq"
+)
+
+// Kind enumerates the behavioural features in the paper's order.
+type Kind int
+
+const (
+	Quality       Kind = iota // IP: item popularity
+	Reconsumption             // IR: item reconsumption ratio
+	Recency                   // RE: time-decayed recency
+	Familiarity               // DF: dynamic familiarity
+
+	NumKinds = 4
+)
+
+// String returns the paper's abbreviation for the feature.
+func (k Kind) String() string {
+	switch k {
+	case Quality:
+		return "IP"
+	case Reconsumption:
+		return "IR"
+	case Recency:
+		return "RE"
+	case Familiarity:
+		return "DF"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Mask selects a subset of features; bit i corresponds to Kind(i).
+type Mask uint8
+
+// AllFeatures selects every feature.
+const AllFeatures Mask = 1<<NumKinds - 1
+
+// Without returns the mask with feature k removed (for ablation).
+func (m Mask) Without(k Kind) Mask { return m &^ (1 << uint(k)) }
+
+// Has reports whether feature k is selected.
+func (m Mask) Has(k Kind) bool { return m&(1<<uint(k)) != 0 }
+
+// Dim returns the number of selected features.
+func (m Mask) Dim() int {
+	n := 0
+	for k := Kind(0); k < NumKinds; k++ {
+		if m.Has(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Kinds returns the selected kinds in ascending order.
+func (m Mask) Kinds() []Kind {
+	out := make([]Kind, 0, NumKinds)
+	for k := Kind(0); k < NumKinds; k++ {
+		if m.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RecencyKind selects the decay law of the recency feature.
+type RecencyKind int
+
+const (
+	// Hyperbolic is 1/(t−l), the paper's default (found superior in its
+	// reference [14]).
+	Hyperbolic RecencyKind = iota
+	// Exponential is e^{−(t−l)} (paper Eq. 20).
+	Exponential
+)
+
+func (r RecencyKind) String() string {
+	if r == Exponential {
+		return "exponential"
+	}
+	return "hyperbolic"
+}
+
+// Builder accumulates training sequences and produces an Extractor with
+// the static feature tables estimated.
+type Builder struct {
+	windowCap int
+	omega     int
+	freq      []int // n_v
+	repeatObs []int // observations of v that were repeats
+	totalObs  []int // all observations of v at scanned positions
+}
+
+// NewBuilder returns a builder for item IDs below numItems (tables grow
+// automatically if larger IDs appear). omega is the minimum gap Ω the
+// extractor's recency feature will be normalized against.
+func NewBuilder(numItems, windowCap, omega int) *Builder {
+	if windowCap <= 0 {
+		panic("features: NewBuilder windowCap <= 0")
+	}
+	if omega < 0 || omega >= windowCap {
+		panic("features: NewBuilder omega out of [0, windowCap)")
+	}
+	if numItems < 0 {
+		numItems = 0
+	}
+	b := &Builder{
+		windowCap: windowCap,
+		omega:     omega,
+		freq:      make([]int, numItems),
+		repeatObs: make([]int, numItems),
+		totalObs:  make([]int, numItems),
+	}
+	return b
+}
+
+func (b *Builder) ensure(v seq.Item) {
+	need := int(v) + 1
+	if need <= len(b.freq) {
+		return
+	}
+	nf := make([]int, need)
+	copy(nf, b.freq)
+	b.freq = nf
+	nr := make([]int, need)
+	copy(nr, b.repeatObs)
+	b.repeatObs = nr
+	nt := make([]int, need)
+	copy(nt, b.totalObs)
+	b.totalObs = nt
+}
+
+// Add accumulates one user's training sequence into the static tables.
+// Every position contributes to item frequency; every position t ≥ 1
+// contributes a (repeat | novel) observation against the window of the
+// preceding min(t, |W|) events, per Eq. 18.
+func (b *Builder) Add(s seq.Sequence) {
+	w := seq.NewWindow(b.windowCap)
+	for _, v := range s {
+		b.ensure(v)
+		b.freq[v]++
+		if w.T() > 0 {
+			b.totalObs[v]++
+			if w.Contains(v) {
+				b.repeatObs[v]++
+			}
+		}
+		w.Push(v)
+	}
+}
+
+// Build finalizes the static tables into an immutable Extractor.
+func (b *Builder) Build(mask Mask, recency RecencyKind) *Extractor {
+	if mask == 0 {
+		panic("features: Build with empty feature mask")
+	}
+	n := len(b.freq)
+	quality := make([]float64, n)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for v, f := range b.freq {
+		if f == 0 {
+			continue
+		}
+		q := math.Log1p(float64(f))
+		quality[v] = q
+		if q < lo {
+			lo = q
+		}
+		if q > hi {
+			hi = q
+		}
+	}
+	if lo > hi { // no observed item at all
+		lo, hi = 0, 0
+	}
+	for v, f := range b.freq {
+		if f == 0 {
+			quality[v] = 0
+			continue
+		}
+		quality[v] = mathx.Scale01(quality[v], lo, hi)
+	}
+	reratio := make([]float64, n)
+	for v := range reratio {
+		if b.totalObs[v] > 0 {
+			reratio[v] = float64(b.repeatObs[v]) / float64(b.totalObs[v])
+		}
+	}
+	return &Extractor{
+		mask:      mask,
+		kinds:     mask.Kinds(),
+		recency:   recency,
+		windowCap: b.windowCap,
+		omega:     b.omega,
+		quality:   quality,
+		reratio:   reratio,
+	}
+}
+
+// Extractor computes behavioural feature vectors f_uvt for (item, window)
+// pairs. It is immutable after Build and safe for concurrent use.
+type Extractor struct {
+	mask      Mask
+	kinds     []Kind
+	recency   RecencyKind
+	windowCap int
+	omega     int
+	quality   []float64
+	reratio   []float64
+}
+
+// Dim returns the feature dimension F (the number of selected features).
+func (e *Extractor) Dim() int { return len(e.kinds) }
+
+// Mask returns the active feature mask.
+func (e *Extractor) Mask() Mask { return e.mask }
+
+// RecencyKind returns the configured recency decay law.
+func (e *Extractor) RecencyKind() RecencyKind { return e.recency }
+
+// Quality returns the static IP feature of v (0 for unseen items).
+func (e *Extractor) Quality(v seq.Item) float64 {
+	if int(v) >= len(e.quality) || v < 0 {
+		return 0
+	}
+	return e.quality[v]
+}
+
+// ReconsumptionRatio returns the static IR feature of v (0 for unseen
+// items).
+func (e *Extractor) ReconsumptionRatio(v seq.Item) float64 {
+	if int(v) >= len(e.reratio) || v < 0 {
+		return 0
+	}
+	return e.reratio[v]
+}
+
+// RecencyOf returns the RE feature of v against window w: the decayed gap
+// min-max rescaled over the eligible gap range (Ω, |W|], or 0 when v is
+// not in the window. Gaps at or below Ω clamp to 1, gaps at |W| to 0.
+func (e *Extractor) RecencyOf(v seq.Item, w *seq.Window) float64 {
+	gap, ok := w.Gap(v)
+	if !ok {
+		return 0
+	}
+	decay := func(g float64) float64 {
+		if e.recency == Exponential {
+			return math.Exp(-g)
+		}
+		return 1 / g
+	}
+	lo := decay(float64(e.windowCap))
+	hi := decay(float64(e.omega + 1))
+	return mathx.Scale01(decay(float64(gap)), lo, hi)
+}
+
+// FamiliarityOf returns the DF feature of v against window w: the item's
+// occurrence count normalized by the window's maximum occurrence count, so
+// the most familiar item always scores 1 (raw count/|W|, the paper's
+// Eq. 21, rarely exceeds 0.15 and would be numerically inert).
+func (e *Extractor) FamiliarityOf(v seq.Item, w *seq.Window) float64 {
+	max := w.MaxCount()
+	if max == 0 {
+		return 0
+	}
+	return float64(w.Count(v)) / float64(max)
+}
+
+// Value returns the single feature k for item v against window w.
+func (e *Extractor) Value(k Kind, v seq.Item, w *seq.Window) float64 {
+	switch k {
+	case Quality:
+		return e.Quality(v)
+	case Reconsumption:
+		return e.ReconsumptionRatio(v)
+	case Recency:
+		return e.RecencyOf(v, w)
+	case Familiarity:
+		return e.FamiliarityOf(v, w)
+	default:
+		panic(fmt.Sprintf("features: unknown kind %d", int(k)))
+	}
+}
+
+// Extract writes f_uvt for item v against window w into dst, which must
+// have length Dim(). It returns dst.
+func (e *Extractor) Extract(dst linalg.Vector, v seq.Item, w *seq.Window) linalg.Vector {
+	if len(dst) != len(e.kinds) {
+		panic(fmt.Sprintf("features: Extract dst length %d != dim %d", len(dst), len(e.kinds)))
+	}
+	for i, k := range e.kinds {
+		dst[i] = e.Value(k, v, w)
+	}
+	return dst
+}
+
+// Tables exposes the static feature tables for serialization. The returned
+// slices are the extractor's own storage; callers must treat them as
+// read-only.
+func (e *Extractor) Tables() (quality, reratio []float64) {
+	return e.quality, e.reratio
+}
+
+// FromTables reconstructs an extractor from previously serialized static
+// tables. quality and reratio must have equal length.
+func FromTables(mask Mask, recency RecencyKind, windowCap, omega int, quality, reratio []float64) (*Extractor, error) {
+	if mask == 0 {
+		return nil, fmt.Errorf("features: FromTables with empty mask")
+	}
+	if len(quality) != len(reratio) {
+		return nil, fmt.Errorf("features: table length mismatch %d vs %d", len(quality), len(reratio))
+	}
+	if windowCap <= 0 || omega < 0 || omega >= windowCap {
+		return nil, fmt.Errorf("features: bad window/omega %d/%d", windowCap, omega)
+	}
+	return &Extractor{
+		mask:      mask,
+		kinds:     mask.Kinds(),
+		recency:   recency,
+		windowCap: windowCap,
+		omega:     omega,
+		quality:   quality,
+		reratio:   reratio,
+	}, nil
+}
+
+// WindowCap returns the window capacity the extractor normalizes against.
+func (e *Extractor) WindowCap() int { return e.windowCap }
+
+// Omega returns the minimum gap the extractor normalizes against.
+func (e *Extractor) Omega() int { return e.omega }

@@ -1,0 +1,314 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsppr/internal/linalg"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Quality: "IP", Reconsumption: "IR", Recency: "RE", Familiarity: "DF"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestMask(t *testing.T) {
+	if AllFeatures.Dim() != 4 {
+		t.Fatalf("AllFeatures.Dim = %d", AllFeatures.Dim())
+	}
+	m := AllFeatures.Without(Recency)
+	if m.Has(Recency) || !m.Has(Quality) || m.Dim() != 3 {
+		t.Fatal("Without broken")
+	}
+	kinds := m.Kinds()
+	if len(kinds) != 3 || kinds[0] != Quality || kinds[1] != Reconsumption || kinds[2] != Familiarity {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+}
+
+func TestRecencyKindString(t *testing.T) {
+	if Hyperbolic.String() != "hyperbolic" || Exponential.String() != "exponential" {
+		t.Fatal("RecencyKind strings wrong")
+	}
+}
+
+// buildTiny builds an extractor over two short sequences with window 4.
+func buildTiny(t *testing.T, mask Mask, rk RecencyKind) *Extractor {
+	t.Helper()
+	b := NewBuilder(10, 4, 1)
+	b.Add(seq.Sequence{0, 1, 0, 2, 0})
+	b.Add(seq.Sequence{3, 3, 3})
+	return b.Build(mask, rk)
+}
+
+func TestQualityNormalization(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Hyperbolic)
+	// Frequencies: item0=3, item1=1, item2=1, item3=3. Max q for items 0,3;
+	// min for 1,2.
+	if got := ex.Quality(0); got != 1 {
+		t.Errorf("Quality(0) = %v, want 1", got)
+	}
+	if got := ex.Quality(1); got != 0 {
+		t.Errorf("Quality(1) = %v, want 0", got)
+	}
+	if got := ex.Quality(9); got != 0 {
+		t.Errorf("Quality(unseen) = %v", got)
+	}
+	if got := ex.Quality(-1); got != 0 {
+		t.Errorf("Quality(-1) = %v", got)
+	}
+}
+
+func TestReconsumptionRatio(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Hyperbolic)
+	// Sequence {0,1,0,2,0}: observations after t=0:
+	//  t1: 1 novel; t2: 0 repeat; t3: 2 novel; t4: 0 repeat.
+	// Item 0: 2 obs, 2 repeats → 1.0. Items 1,2: 1 obs, 0 repeats → 0.
+	if got := ex.ReconsumptionRatio(0); got != 1 {
+		t.Errorf("IR(0) = %v", got)
+	}
+	if got := ex.ReconsumptionRatio(1); got != 0 {
+		t.Errorf("IR(1) = %v", got)
+	}
+	// Sequence {3,3,3}: t1 repeat, t2 repeat → 2/2 = 1.
+	if got := ex.ReconsumptionRatio(3); got != 1 {
+		t.Errorf("IR(3) = %v", got)
+	}
+	if got := ex.ReconsumptionRatio(7); got != 0 {
+		t.Errorf("IR(unseen) = %v", got)
+	}
+}
+
+func TestRecencyNormalization(t *testing.T) {
+	b := NewBuilder(10, 10, 2) // W=10, Ω=2
+	b.Add(seq.Sequence{0, 1, 2})
+	ex := b.Build(AllFeatures, Hyperbolic)
+
+	w := seq.NewWindow(10)
+	for _, v := range []seq.Item{5, 1, 2, 3, 4, 6, 7, 8, 9, 0} {
+		w.Push(v)
+	}
+	// Gap of item 0 is 1 (≤ Ω) → clamps to 1.
+	if got := ex.RecencyOf(0, w); got != 1 {
+		t.Errorf("RecencyOf gap-1 = %v, want 1 (clamped)", got)
+	}
+	// Gap of item 5 is 10 == |W| → 0.
+	if got := ex.RecencyOf(5, w); got != 0 {
+		t.Errorf("RecencyOf gap-|W| = %v, want 0", got)
+	}
+	// Absent item → 0.
+	if got := ex.RecencyOf(42, w); got != 0 {
+		t.Errorf("RecencyOf absent = %v", got)
+	}
+	// Monotone decreasing in gap within the eligible range.
+	prev := 2.0
+	for _, item := range []seq.Item{9, 8, 7, 6, 4, 3, 2, 1} {
+		got := ex.RecencyOf(item, w)
+		if got > prev {
+			t.Fatalf("recency not decreasing: item %d = %v > %v", item, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRecencyExponentialOrdering(t *testing.T) {
+	b := NewBuilder(10, 10, 2)
+	b.Add(seq.Sequence{0})
+	ex := b.Build(AllFeatures, Exponential)
+	w := seq.NewWindow(10)
+	for _, v := range []seq.Item{1, 2, 3, 4, 5, 6, 7, 8, 9, 0} {
+		w.Push(v)
+	}
+	r0 := ex.RecencyOf(0, w) // gap 1 ≤ Ω → clamps to 1
+	r6 := ex.RecencyOf(6, w) // gap 5, inside the eligible range
+	if r0 != 1 {
+		t.Errorf("exp recency gap1 = %v", r0)
+	}
+	if r6 >= r0 || r6 <= 0 {
+		t.Errorf("exp recency at gap 5 = %v, want in (0, 1)", r6)
+	}
+	if got := ex.RecencyOf(1, w); got != 0 { // gap 10 = |W| → 0
+		t.Errorf("exp recency at |W| = %v", got)
+	}
+}
+
+func TestFamiliarityNormalization(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Hyperbolic)
+	w := seq.NewWindow(4)
+	for _, v := range []seq.Item{0, 0, 0, 1} {
+		w.Push(v)
+	}
+	if got := ex.FamiliarityOf(0, w); got != 1 {
+		t.Errorf("DF of max-count item = %v, want 1", got)
+	}
+	if got := ex.FamiliarityOf(1, w); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("DF(1) = %v, want 1/3", got)
+	}
+	if got := ex.FamiliarityOf(9, w); got != 0 {
+		t.Errorf("DF absent = %v", got)
+	}
+	empty := seq.NewWindow(4)
+	if got := ex.FamiliarityOf(0, empty); got != 0 {
+		t.Errorf("DF on empty window = %v", got)
+	}
+}
+
+func TestExtractMaskedDims(t *testing.T) {
+	ex := buildTiny(t, AllFeatures.Without(Quality), Hyperbolic)
+	if ex.Dim() != 3 {
+		t.Fatalf("Dim = %d", ex.Dim())
+	}
+	w := seq.NewWindow(4)
+	w.Push(0)
+	w.Push(0)
+	dst := linalg.NewVector(3)
+	ex.Extract(dst, 0, w)
+	// Order: IR, RE, DF.
+	if dst[0] != ex.ReconsumptionRatio(0) || dst[1] != ex.RecencyOf(0, w) || dst[2] != ex.FamiliarityOf(0, w) {
+		t.Fatalf("Extract = %v", dst)
+	}
+}
+
+func TestExtractPanicsOnWrongLen(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Hyperbolic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ex.Extract(linalg.NewVector(2), 0, seq.NewWindow(4))
+}
+
+func TestAllFeaturesInUnitInterval(t *testing.T) {
+	// Property: every extracted feature lies in [0,1] for arbitrary data.
+	f := func(raw []uint8, probe uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		s := make(seq.Sequence, len(raw))
+		for i, r := range raw {
+			s[i] = seq.Item(r % 12)
+		}
+		b := NewBuilder(12, 5, 1)
+		b.Add(s)
+		ex := b.Build(AllFeatures, Hyperbolic)
+		w := seq.NewWindow(5)
+		dst := linalg.NewVector(4)
+		for _, v := range s {
+			ex.Extract(dst, seq.Item(probe%12), w)
+			for _, x := range dst {
+				if x < 0 || x > 1 || math.IsNaN(x) {
+					return false
+				}
+			}
+			w.Push(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderGrowsTables(t *testing.T) {
+	b := NewBuilder(2, 4, 1)
+	b.Add(seq.Sequence{100, 100}) // far beyond initial table size
+	ex := b.Build(AllFeatures, Hyperbolic)
+	if got := ex.Quality(100); got != 0 { // single distinct item → min==max → 0
+		t.Errorf("Quality(100) = %v", got)
+	}
+	if got := ex.ReconsumptionRatio(100); got != 1 {
+		t.Errorf("IR(100) = %v", got)
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBuilder(1, 0, 0) },
+		func() { NewBuilder(1, 4, 4) },
+		func() { NewBuilder(1, 4, -1) },
+		func() { NewBuilder(1, 4, 1).Build(0, Hyperbolic) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTablesRoundTrip(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Exponential)
+	q, r := ex.Tables()
+	got, err := FromTables(ex.Mask(), ex.RecencyKind(), ex.WindowCap(), ex.Omega(), q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != ex.Dim() || got.RecencyKind() != ex.RecencyKind() ||
+		got.WindowCap() != ex.WindowCap() || got.Omega() != ex.Omega() {
+		t.Fatal("round-trip metadata mismatch")
+	}
+	for v := seq.Item(0); v < 10; v++ {
+		if got.Quality(v) != ex.Quality(v) || got.ReconsumptionRatio(v) != ex.ReconsumptionRatio(v) {
+			t.Fatalf("table mismatch at item %d", v)
+		}
+	}
+}
+
+func TestFromTablesErrors(t *testing.T) {
+	if _, err := FromTables(0, Hyperbolic, 4, 1, nil, nil); err == nil {
+		t.Error("empty mask accepted")
+	}
+	if _, err := FromTables(AllFeatures, Hyperbolic, 4, 1, []float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromTables(AllFeatures, Hyperbolic, 0, 0, nil, nil); err == nil {
+		t.Error("bad window accepted")
+	}
+	if _, err := FromTables(AllFeatures, Hyperbolic, 4, 4, nil, nil); err == nil {
+		t.Error("omega >= window accepted")
+	}
+}
+
+func TestValuePanicsOnUnknownKind(t *testing.T) {
+	ex := buildTiny(t, AllFeatures, Hyperbolic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ex.Value(Kind(11), 0, seq.NewWindow(4))
+}
+
+func BenchmarkExtract(b *testing.B) {
+	rng := rngutil.New(1)
+	s := make(seq.Sequence, 4000)
+	for i := range s {
+		s[i] = seq.Item(rng.Intn(50))
+	}
+	bld := NewBuilder(50, 100, 10)
+	bld.Add(s)
+	ex := bld.Build(AllFeatures, Hyperbolic)
+	w := seq.NewWindow(100)
+	for _, v := range s[:100] {
+		w.Push(v)
+	}
+	dst := linalg.NewVector(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Extract(dst, seq.Item(i%50), w)
+	}
+}

@@ -1,0 +1,128 @@
+// Package mathx provides small, numerically careful scalar helpers shared
+// by the model, baselines and feature code.
+//
+// Everything here is pure and allocation-free; the functions are written to
+// stay finite for any finite input (the naive formulas overflow for large
+// magnitudes, which matters because pairwise-ranking margins can grow large
+// late in training).
+package mathx
+
+import "math"
+
+// Sigmoid returns 1/(1+exp(-x)) computed without overflow for any finite x.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	// For x < 0, exp(x) is < 1 and cannot overflow.
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogSigmoid returns ln(sigmoid(x)) = -ln(1+exp(-x)) without overflow.
+// For very negative x the naive form produces -Inf via log(0); this form
+// degrades gracefully to x.
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// Log1pExp returns ln(1+exp(x)), the softplus, without overflow.
+func Log1pExp(x float64) float64 {
+	if x > 0 {
+		return x + math.Log1p(math.Exp(-x))
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// Clamp restricts x to the closed interval [lo, hi].
+// It panics if lo > hi, which always indicates a programming error.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("mathx: Clamp called with lo > hi")
+	}
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// MinMax returns the minimum and maximum of xs.
+// It returns (0, 0) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Scale01 min-max scales x from [lo, hi] into [0, 1], clamping the result.
+// When lo == hi every input maps to 0 (the paper's normalization is
+// undefined in that degenerate case; mapping to a constant keeps the
+// feature uninformative rather than NaN).
+func Scale01(x, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return Clamp((x-lo)/(hi-lo), 0, 1)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// AlmostEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser). NaNs are never almost equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// IsFinite reports whether x is neither NaN nor ±Inf.
+func IsFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

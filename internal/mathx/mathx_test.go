@@ -1,0 +1,202 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmoidKnownValues(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0.5},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+		{1, 1 / (1 + math.Exp(-1))},
+		{-1, 1 - 1/(1+math.Exp(-1))},
+	}
+	for _, c := range cases {
+		if got := Sigmoid(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Sigmoid(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSigmoidNoOverflow(t *testing.T) {
+	for _, x := range []float64{-1e308, -750, -40, 40, 750, 1e308} {
+		got := Sigmoid(x)
+		if !IsFinite(got) || got < 0 || got > 1 {
+			t.Errorf("Sigmoid(%v) = %v out of [0,1]", x, got)
+		}
+	}
+}
+
+func TestSigmoidSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return math.Abs(Sigmoid(x)+Sigmoid(-x)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -30.0; x <= 30; x += 0.25 {
+		got := Sigmoid(x)
+		if got < prev {
+			t.Fatalf("Sigmoid not monotone at %v: %v < %v", x, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLogSigmoid(t *testing.T) {
+	for _, x := range []float64{-700, -30, -1, 0, 1, 30, 700} {
+		got := LogSigmoid(x)
+		if !IsFinite(got) {
+			t.Errorf("LogSigmoid(%v) = %v not finite", x, got)
+		}
+		if got > 0 {
+			t.Errorf("LogSigmoid(%v) = %v > 0", x, got)
+		}
+		if x >= -30 && x <= 30 {
+			want := math.Log(Sigmoid(x))
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("LogSigmoid(%v) = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestLogSigmoidDeepNegativeTail(t *testing.T) {
+	// For very negative x, ln σ(x) ≈ x.
+	if got := LogSigmoid(-500); math.Abs(got-(-500)) > 1e-9 {
+		t.Errorf("LogSigmoid(-500) = %v, want ≈ -500", got)
+	}
+}
+
+func TestLog1pExp(t *testing.T) {
+	for _, x := range []float64{-700, -5, 0, 5, 700} {
+		got := Log1pExp(x)
+		if !IsFinite(got) || got < 0 {
+			t.Errorf("Log1pExp(%v) = %v", x, got)
+		}
+	}
+	// Identity: LogSigmoid(x) = -Log1pExp(-x).
+	for x := -20.0; x <= 20; x += 0.5 {
+		if diff := math.Abs(LogSigmoid(x) + Log1pExp(-x)); diff > 1e-12 {
+			t.Errorf("identity broken at %v: diff %v", x, diff)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestClampPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Clamp(0, 1, -1)
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v)", lo, hi)
+	}
+	lo, hi = MinMax([]float64{4})
+	if lo != 4 || hi != 4 {
+		t.Errorf("MinMax single = (%v, %v)", lo, hi)
+	}
+}
+
+func TestScale01(t *testing.T) {
+	if got := Scale01(5, 0, 10); got != 0.5 {
+		t.Errorf("Scale01(5,0,10) = %v", got)
+	}
+	if got := Scale01(42, 3, 3); got != 0 {
+		t.Errorf("Scale01 degenerate = %v, want 0", got)
+	}
+	if got := Scale01(-1, 0, 10); got != 0 {
+		t.Errorf("Scale01 below range = %v", got)
+	}
+	if got := Scale01(11, 0, 10); got != 1 {
+		t.Errorf("Scale01 above range = %v", got)
+	}
+}
+
+func TestScale01Range(t *testing.T) {
+	f := func(x, lo, span float64) bool {
+		if !IsFinite(x) || !IsFinite(lo) || !IsFinite(span) {
+			return true
+		}
+		hi := lo + math.Abs(span)
+		if !IsFinite(hi) {
+			return true
+		}
+		got := Scale01(x, lo, hi)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/short-input conventions broken")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-12, 1e-9) {
+		t.Error("tiny diff should be almost equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("1 and 2 are not almost equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must not compare almost equal")
+	}
+	// Relative tolerance on large magnitudes.
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative tolerance should accept 1e12 vs 1e12+1")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(0) || !IsFinite(-1e300) {
+		t.Error("finite values misclassified")
+	}
+	if IsFinite(math.NaN()) || IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) {
+		t.Error("non-finite values misclassified")
+	}
+}

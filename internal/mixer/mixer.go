@@ -1,0 +1,212 @@
+// Package mixer implements the paper's §4.3 extension and stated future
+// work: using TS-PPR for *novel* item recommendation alongside RRC, and
+// mixing the two lists into a single recommendation slate driven by the
+// STREC repeat-probability estimate.
+//
+// Novel-item mode reuses the TS-PPR preference function unchanged: for an
+// item the user has never consumed, the dynamic features RE and DF are
+// zero by definition, so the score reduces to uᵀv + uᵀA_u[IP, IR, 0, 0] —
+// static taste plus the item's global quality/reconsumption profile.
+// Candidates are drawn from the globally popular items the user has not
+// consumed (scoring the whole universe per request would be both slow and
+// pointless: implicit-feedback recommenders conventionally restrict to a
+// popularity-truncated candidate pool).
+//
+// The mixer interleaves the repeat and novel slates by expected utility:
+// list positions are filled greedily from whichever slate has the larger
+// probability-weighted rank mass remaining, where the repeat slate is
+// weighted by STREC's P(repeat) and the novel slate by 1 − P(repeat).
+package mixer
+
+import (
+	"fmt"
+	"sort"
+
+	"tsppr/internal/core"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+	"tsppr/internal/strec"
+	"tsppr/internal/topk"
+)
+
+// NovelRecommender ranks items the user has not consumed yet with the
+// TS-PPR preference function. It is safe for concurrent use via per-call
+// scorers obtained from the shared model.
+type NovelRecommender struct {
+	model *core.Model
+	// pool is the popularity-ordered candidate pool (most popular first).
+	pool []seq.Item
+}
+
+// NewNovelRecommender builds a novel-item recommender over the trained
+// model. train supplies the popularity ordering; poolSize truncates the
+// candidate pool (0 means 500).
+func NewNovelRecommender(model *core.Model, train []seq.Sequence, poolSize int) (*NovelRecommender, error) {
+	if model == nil {
+		return nil, fmt.Errorf("mixer: nil model")
+	}
+	if poolSize == 0 {
+		poolSize = 500
+	}
+	if poolSize < 0 {
+		return nil, fmt.Errorf("mixer: poolSize %d < 0", poolSize)
+	}
+	freq := make(map[seq.Item]int)
+	for _, s := range train {
+		for _, v := range s {
+			freq[v]++
+		}
+	}
+	pool := make([]seq.Item, 0, len(freq))
+	for v := range freq {
+		pool = append(pool, v)
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if freq[pool[i]] != freq[pool[j]] {
+			return freq[pool[i]] > freq[pool[j]]
+		}
+		return pool[i] < pool[j]
+	})
+	if len(pool) > poolSize {
+		pool = pool[:poolSize]
+	}
+	return &NovelRecommender{model: model, pool: pool}, nil
+}
+
+// PoolSize returns the number of candidate items considered.
+func (nr *NovelRecommender) PoolSize() int { return len(nr.pool) }
+
+// Recommend appends up to n items the user has never consumed (w.r.t.
+// ctx.History), ranked by the TS-PPR preference, and returns the extended
+// slice. It implements rec.Recommender.
+func (nr *NovelRecommender) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	if n <= 0 {
+		return dst
+	}
+	consumed := make(map[seq.Item]struct{}, len(ctx.History))
+	for _, v := range ctx.History {
+		consumed[v] = struct{}{}
+	}
+	sc := nr.model.NewScorer()
+	sel := topk.New(n)
+	for _, v := range nr.pool {
+		if _, ok := consumed[v]; ok {
+			continue
+		}
+		sel.Push(v, sc.Score(ctx.User, v, ctx.Window))
+	}
+	return sel.Items(dst)
+}
+
+// Factory returns a rec.Factory for the novel-item mode.
+func (nr *NovelRecommender) Factory() rec.Factory {
+	return rec.Factory{Name: "TS-PPR-novel", New: func(uint64) rec.Recommender { return nr }}
+}
+
+// Interleave merges a repeat slate and a novel slate into one list of at
+// most n items. pRepeat ∈ [0,1] weighs the repeat slate; items are drawn
+// greedily from whichever slate has the higher remaining probability-
+// weighted rank score (1/rank weighting), preserving within-slate order
+// and dropping duplicates.
+func Interleave(pRepeat float64, repeat, novel []seq.Item, n int) []seq.Item {
+	if pRepeat < 0 {
+		pRepeat = 0
+	}
+	if pRepeat > 1 {
+		pRepeat = 1
+	}
+	out := make([]seq.Item, 0, n)
+	seen := make(map[seq.Item]struct{}, n)
+	ri, ni := 0, 0
+	for len(out) < n && (ri < len(repeat) || ni < len(novel)) {
+		// Remaining head weights.
+		rw, nw := -1.0, -1.0
+		if ri < len(repeat) {
+			rw = pRepeat / float64(ri+1)
+		}
+		if ni < len(novel) {
+			nw = (1 - pRepeat) / float64(ni+1)
+		}
+		var pick seq.Item
+		if rw >= nw {
+			pick = repeat[ri]
+			ri++
+		} else {
+			pick = novel[ni]
+			ni++
+		}
+		if _, dup := seen[pick]; dup {
+			continue
+		}
+		seen[pick] = struct{}{}
+		out = append(out, pick)
+	}
+	return out
+}
+
+// Pipeline is the full §5.7-style serving stack: STREC estimates the
+// repeat probability, TS-PPR ranks the reconsumable candidates, the novel
+// recommender ranks unseen items, and the two slates are interleaved.
+type Pipeline struct {
+	Classifier *strec.Model
+	Repeat     *core.Scorer
+	Novel      *NovelRecommender
+
+	// repeat-statistics state per user, needed by STREC's running features.
+	repeats, events map[int]int
+}
+
+// NewPipeline assembles a pipeline. The per-user repeat statistics start
+// from the supplied training sequences.
+func NewPipeline(classifier *strec.Model, model *core.Model, novel *NovelRecommender, train []seq.Sequence, windowCap int) (*Pipeline, error) {
+	if classifier == nil || model == nil || novel == nil {
+		return nil, fmt.Errorf("mixer: nil pipeline component")
+	}
+	p := &Pipeline{
+		Classifier: classifier,
+		Repeat:     model.NewScorer(),
+		Novel:      novel,
+		repeats:    make(map[int]int, len(train)),
+		events:     make(map[int]int, len(train)),
+	}
+	for u, s := range train {
+		reps, evs := 0, 0
+		seq.Scan(s, windowCap, func(ev seq.Event, _ *seq.Window) bool {
+			evs++
+			if ev.Repeat {
+				reps++
+			}
+			return true
+		})
+		p.repeats[u], p.events[u] = reps, evs
+	}
+	return p, nil
+}
+
+// Decision is one pipeline recommendation with its routing diagnostics.
+type Decision struct {
+	PRepeat float64
+	Repeat  []seq.Item
+	Novel   []seq.Item
+	Mixed   []seq.Item
+}
+
+// Recommend produces a mixed slate of n items for the context.
+func (p *Pipeline) Recommend(ctx *rec.Context, n int) Decision {
+	d := Decision{
+		PRepeat: p.Classifier.Predict(ctx.Window, p.repeats[ctx.User], p.events[ctx.User]),
+	}
+	d.Repeat = p.Repeat.Recommend(ctx, n, nil)
+	d.Novel = p.Novel.Recommend(ctx, n, nil)
+	d.Mixed = Interleave(d.PRepeat, d.Repeat, d.Novel, n)
+	return d
+}
+
+// Observe updates the per-user repeat statistics after the user's actual
+// next consumption is revealed.
+func (p *Pipeline) Observe(user int, w *seq.Window, next seq.Item) {
+	p.events[user]++
+	if w.Contains(next) {
+		p.repeats[user]++
+	}
+}

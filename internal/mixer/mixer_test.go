@@ -1,0 +1,231 @@
+package mixer
+
+import (
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/features"
+	"tsppr/internal/rec"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+	"tsppr/internal/strec"
+)
+
+func fixture(t testing.TB) (train []seq.Sequence, model *core.Model, classifier *strec.Model, numItems int) {
+	t.Helper()
+	cfg := datagen.GowallaLike(10, 21)
+	cfg.MinLen, cfg.MaxLen = 80, 150
+	cfg.WindowCap = 20
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numItems = ds.NumItems()
+	train = ds.Seqs
+	b := features.NewBuilder(numItems, 20, 3)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: 20, Omega: 3, S: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err = core.Train(set, len(train), numItems, ex, core.Config{K: 8, MaxSteps: 15_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classifier, err = strec.Train(train, numItems, strec.Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, model, classifier, numItems
+}
+
+func userContext(train []seq.Sequence, u int) *rec.Context {
+	w := seq.NewWindow(20)
+	for _, v := range train[u] {
+		w.Push(v)
+	}
+	return &rec.Context{User: u, Window: w, History: train[u], Omega: 3}
+}
+
+func TestNovelRecommenderExcludesHistory(t *testing.T) {
+	train, model, _, _ := fixture(t)
+	nr, err := NewNovelRecommender(model, train, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := userContext(train, 0)
+	got := nr.Recommend(ctx, 10, nil)
+	if len(got) == 0 {
+		t.Fatal("no novel recommendations")
+	}
+	consumed := map[seq.Item]struct{}{}
+	for _, v := range train[0] {
+		consumed[v] = struct{}{}
+	}
+	for _, v := range got {
+		if _, ok := consumed[v]; ok {
+			t.Fatalf("recommended already-consumed item %d", v)
+		}
+	}
+	// Uniqueness.
+	seen := map[seq.Item]struct{}{}
+	for _, v := range got {
+		if _, dup := seen[v]; dup {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+func TestNovelRecommenderPoolTruncation(t *testing.T) {
+	train, model, _, _ := fixture(t)
+	nr, err := NewNovelRecommender(model, train, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.PoolSize() != 7 {
+		t.Fatalf("pool size %d", nr.PoolSize())
+	}
+	nrDefault, err := NewNovelRecommender(model, train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrDefault.PoolSize() > 500 {
+		t.Fatalf("default pool size %d", nrDefault.PoolSize())
+	}
+}
+
+func TestNovelRecommenderValidation(t *testing.T) {
+	train, model, _, _ := fixture(t)
+	if _, err := NewNovelRecommender(nil, train, 10); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewNovelRecommender(model, train, -1); err == nil {
+		t.Error("negative pool accepted")
+	}
+}
+
+func TestInterleaveExtremes(t *testing.T) {
+	repeat := []seq.Item{1, 2, 3}
+	novel := []seq.Item{10, 20, 30}
+	// p=1: repeat items dominate the head.
+	got := Interleave(1, repeat, novel, 3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("p=1 interleave = %v", got)
+	}
+	// p=0: novel items dominate.
+	got = Interleave(0, repeat, novel, 3)
+	if got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("p=0 interleave = %v", got)
+	}
+	// Out-of-range p clamps rather than panics.
+	if got := Interleave(7, repeat, novel, 2); got[0] != 1 {
+		t.Fatalf("clamped p=7 = %v", got)
+	}
+	if got := Interleave(-3, repeat, novel, 2); got[0] != 10 {
+		t.Fatalf("clamped p=-3 = %v", got)
+	}
+}
+
+func TestInterleaveMixes(t *testing.T) {
+	repeat := []seq.Item{1, 2, 3, 4}
+	novel := []seq.Item{10, 20, 30, 40}
+	got := Interleave(0.5, repeat, novel, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// With equal weight both heads must appear in the first two slots.
+	hasRepeat, hasNovel := false, false
+	for _, v := range got[:2] {
+		if v == 1 {
+			hasRepeat = true
+		}
+		if v == 10 {
+			hasNovel = true
+		}
+	}
+	if !hasRepeat || !hasNovel {
+		t.Fatalf("p=0.5 head not mixed: %v", got)
+	}
+}
+
+func TestInterleaveDeduplicates(t *testing.T) {
+	got := Interleave(0.5, []seq.Item{1, 2}, []seq.Item{1, 3}, 4)
+	seen := map[seq.Item]int{}
+	for _, v := range got {
+		seen[v]++
+		if seen[v] > 1 {
+			t.Fatalf("duplicate in %v", got)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v, want 3 distinct items", got)
+	}
+}
+
+func TestInterleaveShortInputs(t *testing.T) {
+	if got := Interleave(0.9, nil, []seq.Item{5}, 3); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("empty repeat slate: %v", got)
+	}
+	if got := Interleave(0.1, []seq.Item{5}, nil, 3); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("empty novel slate: %v", got)
+	}
+	if got := Interleave(0.5, nil, nil, 3); len(got) != 0 {
+		t.Fatalf("both empty: %v", got)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	train, model, classifier, _ := fixture(t)
+	nr, err := NewNovelRecommender(model, train, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(classifier, model, nr, train, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := userContext(train, 0)
+	d := p.Recommend(ctx, 5)
+	if d.PRepeat < 0 || d.PRepeat > 1 {
+		t.Fatalf("PRepeat = %v", d.PRepeat)
+	}
+	if len(d.Mixed) == 0 || len(d.Mixed) > 5 {
+		t.Fatalf("mixed slate %v", d.Mixed)
+	}
+	// Mixed must be drawn from the two slates.
+	source := map[seq.Item]bool{}
+	for _, v := range append(append([]seq.Item{}, d.Repeat...), d.Novel...) {
+		source[v] = true
+	}
+	for _, v := range d.Mixed {
+		if !source[v] {
+			t.Fatalf("mixed item %d from nowhere", v)
+		}
+	}
+
+	// Observe keeps running stats consistent.
+	before := p.events[0]
+	p.Observe(0, ctx.Window, d.Mixed[0])
+	if p.events[0] != before+1 {
+		t.Fatal("Observe did not bump the event count")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	train, model, classifier, _ := fixture(t)
+	nr, _ := NewNovelRecommender(model, train, 10)
+	if _, err := NewPipeline(nil, model, nr, train, 20); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	if _, err := NewPipeline(classifier, nil, nr, train, 20); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewPipeline(classifier, model, nil, train, 20); err == nil {
+		t.Error("nil novel recommender accepted")
+	}
+}

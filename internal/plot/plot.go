@@ -1,0 +1,238 @@
+// Package plot renders small ASCII line charts for the experiment
+// reports: the paper's figures are line plots, and a sweep table plus a
+// terminal sparkline communicates the trend far faster than the table
+// alone. No dependencies, fixed-width output, deterministic.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a multi-series line chart over a shared X axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	X      []float64 // shared x positions (must be ascending)
+	Series []Series
+
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 60×12).
+	Width, Height int
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render writes the chart to w. Series shorter than X are drawn over their
+// prefix; NaNs are skipped.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	if len(c.X) < 2 || len(c.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(not enough data to plot)")
+		return err
+	}
+
+	// Data ranges.
+	xLo, xHi := c.X[0], c.X[len(c.X)-1]
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < yLo {
+				yLo = y
+			}
+			if y > yHi {
+				yHi = y
+			}
+		}
+	}
+	if math.IsInf(yLo, 1) {
+		_, err := fmt.Fprintln(w, "(no finite points to plot)")
+		return err
+	}
+	if yHi == yLo {
+		yHi = yLo + 1 // flat line: give it a band to live in
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	// Rasterize.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		cx := int(math.Round((x - xLo) / (xHi - xLo) * float64(width-1)))
+		return clampInt(cx, 0, width-1)
+	}
+	row := func(y float64) int {
+		ry := int(math.Round((yHi - y) / (yHi - yLo) * float64(height-1)))
+		return clampInt(ry, 0, height-1)
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		prevSet := false
+		var prevC, prevR int
+		n := len(s.Y)
+		if n > len(c.X) {
+			n = len(c.X)
+		}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(s.Y[i]) {
+				prevSet = false
+				continue
+			}
+			cx, ry := col(c.X[i]), row(s.Y[i])
+			if prevSet {
+				drawLine(grid, prevC, prevR, cx, ry, '.')
+			}
+			grid[ry][cx] = mark
+			prevC, prevR, prevSet = cx, ry, true
+		}
+	}
+
+	// Emit.
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.4g ", yHi)
+		case height - 1:
+			label = fmt.Sprintf("%9.4g ", yLo)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%-*.4g%*.4g", width/2, xLo, width-width/2, xHi)
+	if _, err := fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", 10), xAxis); err != nil {
+		return err
+	}
+	if c.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s (%s)\n", strings.Repeat(" ", 10), c.XLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	return err
+}
+
+// drawLine rasterizes a connecting segment with Bresenham, skipping the
+// endpoints (they get series markers).
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if (x != x0 || y != y0) && (x != x1 || y != y1) {
+			if grid[y][x] == ' ' {
+				grid[y][x] = ch
+			}
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Sparkline renders ys as a one-line block-character trend, handy inside
+// tables. Empty input yields an empty string.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if math.IsNaN(y) {
+			continue
+		}
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(ys))
+	}
+	var sb strings.Builder
+	for _, y := range ys {
+		if math.IsNaN(y) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[clampInt(idx, 0, len(blocks)-1)])
+	}
+	return sb.String()
+}

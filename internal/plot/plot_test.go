@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasic(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "step",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+		Width:  20,
+		Height: 6,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(step)") {
+		t.Error("x label missing")
+	}
+	// The increasing series must put a '*' in the top row at the right and
+	// the bottom row at the left.
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[1], lines[6]
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row has no marker: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("bottom row has no marker: %q", bottom)
+	}
+	// Axis labels carry the y range.
+	if !strings.Contains(top, "3") || !strings.Contains(bottom, "0") {
+		t.Errorf("y labels missing: %q / %q", top, bottom)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	// Too few points.
+	c := &Chart{X: []float64{1}, Series: []Series{{Name: "s", Y: []float64{1}}}}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not enough data") {
+		t.Error("degenerate chart not reported")
+	}
+	// All-NaN series.
+	buf.Reset()
+	c = &Chart{X: []float64{0, 1}, Series: []Series{{Name: "s", Y: []float64{math.NaN(), math.NaN()}}}}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite points") {
+		t.Error("all-NaN chart not reported")
+	}
+	// Flat line must not divide by zero.
+	buf.Reset()
+	c = &Chart{X: []float64{0, 1, 2}, Series: []Series{{Name: "flat", Y: []float64{5, 5, 5}}}}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("flat line not drawn")
+	}
+}
+
+func TestChartSkipsNaNPoints(t *testing.T) {
+	c := &Chart{
+		X:      []float64{0, 1, 2},
+		Series: []Series{{Name: "gap", Y: []float64{1, math.NaN(), 2}}},
+		Width:  10, Height: 4,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("len = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should be empty")
+	}
+	// Flat input: all same glyph, no panic.
+	flat := []rune(Sparkline([]float64{2, 2, 2}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Errorf("flat sparkline = %q", string(flat))
+	}
+	// NaN becomes a space.
+	withNaN := []rune(Sparkline([]float64{1, math.NaN(), 2}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN glyph = %q", string(withNaN))
+	}
+}

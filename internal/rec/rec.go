@@ -1,0 +1,54 @@
+// Package rec defines the recommender contract shared by TS-PPR and every
+// baseline: given a user's time window (and full history, for methods that
+// need it), produce a ranked Top-N list of reconsumable items.
+//
+// It contains types only, so both the core model and the baselines can
+// implement the interface without an import cycle through the evaluation
+// harness.
+package rec
+
+import "tsppr/internal/seq"
+
+// Context is the recommendation-time view of one user. It is assembled by
+// the evaluation harness (or a serving layer) immediately before the next
+// consumption: Window holds the last |W| events, History everything
+// consumed so far (training prefix plus the already-replayed test prefix).
+//
+// Most methods only need Window; History exists for methods like the
+// Survival baseline whose online feature (time-weighted average return
+// time) is defined over the entire consumption sequence — the very reason
+// the paper measures it as the slowest method (Fig. 13).
+type Context struct {
+	User    int
+	Window  *seq.Window
+	History seq.Sequence
+	Omega   int // minimum gap Ω: items consumed within the last Ω steps are not recommendable
+}
+
+// Recommender produces Top-N repeat-consumption recommendations.
+// Implementations may keep internal scratch and are NOT required to be
+// safe for concurrent use; the harness gives each user its own instance
+// via a Factory.
+type Recommender interface {
+	// Recommend appends at most n items to dst, best first, drawn from the
+	// context's candidate set (distinct window items with gap > Ω), and
+	// returns the extended slice.
+	Recommend(ctx *Context, n int, dst []seq.Item) []seq.Item
+}
+
+// Factory names a method and mints per-user Recommender instances. New
+// must be safe to call concurrently; the seed makes stochastic methods
+// (e.g. the Random baseline) deterministic per user regardless of
+// evaluation parallelism.
+type Factory struct {
+	Name string
+	New  func(seed uint64) Recommender
+}
+
+// Func adapts a plain function to the Recommender interface.
+type Func func(ctx *Context, n int, dst []seq.Item) []seq.Item
+
+// Recommend implements Recommender.
+func (f Func) Recommend(ctx *Context, n int, dst []seq.Item) []seq.Item {
+	return f(ctx, n, dst)
+}

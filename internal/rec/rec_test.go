@@ -1,0 +1,35 @@
+package rec
+
+import (
+	"testing"
+
+	"tsppr/internal/seq"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	var f Recommender = Func(func(ctx *Context, n int, dst []seq.Item) []seq.Item {
+		called = true
+		if ctx.User != 3 || n != 2 {
+			t.Errorf("ctx/n not forwarded: %d/%d", ctx.User, n)
+		}
+		return append(dst, 7)
+	})
+	got := f.Recommend(&Context{User: 3}, 2, nil)
+	if !called || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("adapter broken: %v", got)
+	}
+}
+
+func TestFactoryMintsIndependentInstances(t *testing.T) {
+	n := 0
+	f := Factory{Name: "counter", New: func(seed uint64) Recommender {
+		n++
+		return Func(func(*Context, int, []seq.Item) []seq.Item { return nil })
+	}}
+	f.New(1)
+	f.New(2)
+	if n != 2 {
+		t.Fatalf("New called %d times", n)
+	}
+}

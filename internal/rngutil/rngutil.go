@@ -1,0 +1,189 @@
+// Package rngutil provides a small deterministic pseudo-random number
+// generator used throughout the repository.
+//
+// Reproducibility is a hard requirement: every experiment in the paper
+// harness must yield identical numbers run-to-run so that EXPERIMENTS.md
+// stays meaningful. We therefore implement our own generator
+// (SplitMix64-seeded xoshiro256**) instead of relying on math/rand's
+// global, lockable state, and plumb *RNG values explicitly.
+package rngutil
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is invalid; construct
+// with New. RNG is not safe for concurrent use — give each goroutine its
+// own stream via Split.
+type RNG struct {
+	s        [4]uint64
+	spare    float64
+	hasSpare bool
+}
+
+// splitMix64 advances the given state and returns the next output. It is
+// the recommended seeding procedure for xoshiro generators.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitMix64 of any seed
+	// cannot produce four zero outputs, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent state; the parent advances once.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rngutil: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	hi, lo := mul64(r.Uint64(), un)
+	if lo < un {
+		// Threshold computed lazily — this branch is rare for small n.
+		thresh := (-un) % un
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	return a1*b1 + t>>32 + w1>>32, a * b
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// (Marsaglia) method.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle performs an in-place Fisher–Yates shuffle of n elements using
+// the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Zipf samples from a Zipf distribution over {0, ..., n-1} with exponent
+// s > 0 using inverse-CDF on a precomputed table. Use NewZipf for repeated
+// draws.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf precomputes the CDF for a Zipf distribution with the given
+// support size n and exponent s. It panics if n <= 0 or s <= 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rngutil: NewZipf called with n <= 0")
+	}
+	if s <= 0 {
+		panic("rngutil: NewZipf called with s <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the support size of the distribution.
+func (z *Zipf) N() int { return len(z.cdf) }

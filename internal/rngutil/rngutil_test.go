@@ -1,0 +1,196 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first outputs")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(42)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			got := r.Intn(n)
+			if got < 0 || got >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, got)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", x)
+		}
+		sum += x
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const draws = 200_000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(8)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, 10)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(21)
+	z := NewZipf(r, 100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	const draws = 200_000
+	counts := make([]int, 100)
+	for i := 0; i < draws; i++ {
+		k := z.Draw()
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 must dominate rank 9 roughly 10:1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("Zipf rank0/rank9 ratio %v, want ≈10", ratio)
+	}
+	// Monotone non-increasing head (allowing sampling noise further out).
+	if counts[0] < counts[1] || counts[1] < counts[3] {
+		t.Errorf("Zipf head not decreasing: %v", counts[:5])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) should panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,162 @@
+package sampling
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"tsppr/internal/seq"
+)
+
+// Pre-sampled training sets are the expensive intermediate of the paper's
+// pipeline (§4.2.2 calls out the pre-computation cost of the negatives'
+// features). Persisting them lets a sweep over training hyper-parameters
+// (λ, γ, K, learning rate — everything that doesn't change the sampling)
+// reuse one sampled set instead of replaying every sequence per run.
+//
+// Format: little-endian binary with a versioned magic, the flat
+// structure-of-arrays written directly.
+const setMagic = "TSPPRsetv1\n"
+
+// Write serializes the set to w.
+func (s *Set) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, setMagic); err != nil {
+		return fmt.Errorf("sampling: write magic: %w", err)
+	}
+	werr := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	ints := []int64{
+		int64(s.dim),
+		int64(len(s.posItem)),
+		int64(len(s.negItem)),
+		int64(len(s.userOff) - 1),
+		int64(len(s.withPos)),
+		int64(s.pairCount),
+	}
+	for _, v := range ints {
+		if err := werr(v); err != nil {
+			return fmt.Errorf("sampling: write header: %w", err)
+		}
+	}
+	for _, blk := range []any{s.posItem, s.posT, s.posFeat, s.negItem, s.negFeat, s.negOff, s.userOff, s.withPos} {
+		if err := werr(blk); err != nil {
+			return fmt.Errorf("sampling: write body: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet deserializes a set written by Write.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(setMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sampling: read magic: %w", err)
+	}
+	if string(magic) != setMagic {
+		return nil, fmt.Errorf("sampling: bad set magic %q", magic)
+	}
+	var dim, nPos, nNeg, nUsers, nWith, pairs int64
+	for _, p := range []*int64{&dim, &nPos, &nNeg, &nUsers, &nWith, &pairs} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("sampling: read header: %w", err)
+		}
+	}
+	const maxPlausible = 1 << 30
+	if dim <= 0 || dim > 64 ||
+		nPos < 0 || nPos > maxPlausible ||
+		nNeg < 0 || nNeg > maxPlausible ||
+		nUsers < 0 || nUsers > maxPlausible ||
+		nWith < 0 || nWith > nUsers ||
+		pairs < 0 || pairs > maxPlausible {
+		return nil, fmt.Errorf("sampling: implausible header dim=%d pos=%d neg=%d users=%d", dim, nPos, nNeg, nUsers)
+	}
+	s := &Set{
+		dim:       int(dim),
+		posItem:   make([]seq.Item, nPos),
+		posT:      make([]int32, nPos),
+		posFeat:   make([]float64, nPos*dim),
+		negItem:   make([]seq.Item, nNeg),
+		negFeat:   make([]float64, nNeg*dim),
+		negOff:    make([]int32, nPos+1),
+		userOff:   make([]int32, nUsers+1),
+		withPos:   make([]int32, nWith),
+		pairCount: int(pairs),
+	}
+	for _, blk := range []any{s.posItem, s.posT, s.posFeat, s.negItem, s.negFeat, s.negOff, s.userOff, s.withPos} {
+		if err := binary.Read(br, binary.LittleEndian, blk); err != nil {
+			return nil, fmt.Errorf("sampling: read body: %w", err)
+		}
+	}
+	if err := s.validateLoaded(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateLoaded sanity-checks internal invariants of a deserialized set
+// so later indexing cannot go out of bounds.
+func (s *Set) validateLoaded() error {
+	nPos := int32(len(s.posItem))
+	nNeg := int32(len(s.negItem))
+	if s.negOff[0] != 0 || s.negOff[len(s.negOff)-1] != nNeg {
+		return fmt.Errorf("sampling: corrupt negative offsets")
+	}
+	for i := 1; i < len(s.negOff); i++ {
+		if s.negOff[i] < s.negOff[i-1] {
+			return fmt.Errorf("sampling: negative offsets not monotone at %d", i)
+		}
+	}
+	if s.userOff[0] != 0 || s.userOff[len(s.userOff)-1] != nPos {
+		return fmt.Errorf("sampling: corrupt user offsets")
+	}
+	for i := 1; i < len(s.userOff); i++ {
+		if s.userOff[i] < s.userOff[i-1] {
+			return fmt.Errorf("sampling: user offsets not monotone at %d", i)
+		}
+	}
+	numUsers := int32(len(s.userOff) - 1)
+	for _, u := range s.withPos {
+		if u < 0 || u >= numUsers {
+			return fmt.Errorf("sampling: withPos user %d out of range", u)
+		}
+	}
+	for _, f := range s.posFeat {
+		if math.IsNaN(f) {
+			return fmt.Errorf("sampling: NaN positive feature")
+		}
+	}
+	for _, f := range s.negFeat {
+		if math.IsNaN(f) {
+			return fmt.Errorf("sampling: NaN negative feature")
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the set to path, creating or truncating it.
+func (s *Set) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sampling: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return s.Write(f)
+}
+
+// LoadFile reads a set from path.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: %w", err)
+	}
+	defer f.Close()
+	return ReadSet(f)
+}

@@ -1,0 +1,157 @@
+package sampling
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/rngutil"
+)
+
+func TestSetRoundTrip(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	orig, err := Build(train, ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != orig.Dim() || got.NumPositives() != orig.NumPositives() ||
+		got.NumPairs() != orig.NumPairs() || got.NumUsersWithData() != orig.NumUsersWithData() {
+		t.Fatal("summary stats differ after round trip")
+	}
+	// Pair-by-pair equality in deterministic order.
+	a, b := collect(orig), collect(got)
+	if len(a) != len(b) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].User != b[i].User || a[i].T != b[i].T || a[i].Pos != b[i].Pos || a[i].Neg != b[i].Neg {
+			t.Fatalf("pair %d differs", i)
+		}
+		for k := range a[i].PosFeat {
+			if a[i].PosFeat[k] != b[i].PosFeat[k] || a[i].NegFeat[k] != b[i].NegFeat[k] {
+				t.Fatalf("pair %d features differ", i)
+			}
+		}
+	}
+	// Sampling from the loaded set must behave identically.
+	r1, r2 := rngutil.New(5), rngutil.New(5)
+	for i := 0; i < 200; i++ {
+		p1, ok1 := orig.Sample(r1)
+		p2, ok2 := got.Sample(r2)
+		if ok1 != ok2 || p1.Pos != p2.Pos || p1.Neg != p2.Neg || p1.User != p2.User {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSetFileRoundTrip(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	orig, err := Build(train, ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "set.bin")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPairs() != orig.NumPairs() {
+		t.Fatal("file round trip lost pairs")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadSetRejectsGarbage(t *testing.T) {
+	if _, err := ReadSet(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSet(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Valid magic, hostile header.
+	blob := append([]byte(setMagic), make([]byte, 48)...)
+	// dim = 0 → implausible.
+	if _, err := ReadSet(bytes.NewReader(blob)); err == nil {
+		t.Fatal("zero-dim header accepted")
+	}
+}
+
+func TestReadSetCorruptionDetected(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	orig, err := Build(train, ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Truncations must fail cleanly, never panic.
+	for _, cut := range []int{len(blob) / 4, len(blob) / 2, len(blob) - 3} {
+		if _, err := ReadSet(bytes.NewReader(blob[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// corrupt returns a serialized set with the byte at off XORed.
+func corrupt(t *testing.T, s *Set, off int, x byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	blob[off] ^= x
+	return blob
+}
+
+func TestReadSetValidatesOffsets(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	orig, err := Build(train, ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip many single bytes across the body; every outcome must be either
+	// a clean error or a set that satisfies the loaded invariants (the
+	// feature floats tolerate bit flips — they stay valid floats unless
+	// they become NaN, which validateLoaded rejects).
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	for off := len(setMagic); off < n; off += 7 {
+		blob := corrupt(t, orig, off, 0xff)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at offset %d: %v", off, r)
+				}
+			}()
+			if got, err := ReadSet(bytes.NewReader(blob)); err == nil {
+				// Loaded despite corruption: invariants must still hold,
+				// so sampling cannot crash.
+				rng := rngutil.New(1)
+				for i := 0; i < 50; i++ {
+					got.Sample(rng)
+					got.SamplePairUniform(rng)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,271 @@
+// Package sampling builds the pre-sampled training set D of quadruples
+// (u, v_i, v_j, t) described in paper §4.2.2 and Fig. 3.
+//
+// For every training position whose incoming consumption is an *eligible*
+// repeat (present in the window, last consumed more than Ω steps ago) the
+// incoming item is a positive sample; S negative samples are drawn without
+// replacement from the remaining window candidates. The behavioural
+// feature vectors of both sides are extracted immediately — against the
+// exact window state at that position — and stored, so that training never
+// needs to replay sequences. This is the paper's pre-sample strategy that
+// trades a bounded information loss for tractable training cost.
+//
+// The stored layout is flat (structure-of-arrays) because a training set
+// can hold millions of pairs: per-pair pointers would triple memory and
+// defeat the cache.
+package sampling
+
+import (
+	"fmt"
+
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+// Config parameterizes training-set construction.
+type Config struct {
+	WindowCap int    // |W|, the time-window capacity
+	Omega     int    // Ω, the minimum gap; eligible repeats have gap > Ω
+	S         int    // negative samples per positive
+	Seed      uint64 // sampling seed
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.WindowCap <= 0:
+		return fmt.Errorf("sampling: WindowCap %d <= 0", c.WindowCap)
+	case c.Omega < 0 || c.Omega >= c.WindowCap:
+		return fmt.Errorf("sampling: Omega %d out of [0, %d)", c.Omega, c.WindowCap)
+	case c.S <= 0:
+		return fmt.Errorf("sampling: S %d <= 0", c.S)
+	}
+	return nil
+}
+
+// Pair is one training quadruple (u, v_i, v_j, t) with its pre-extracted
+// feature vectors. The vectors alias the set's internal storage and must
+// not be mutated.
+type Pair struct {
+	User     int
+	T        int
+	Pos, Neg seq.Item
+	PosFeat  linalg.Vector
+	NegFeat  linalg.Vector
+}
+
+// Set is the immutable pre-sampled training set.
+type Set struct {
+	dim int // feature dimension F
+
+	// Positives, grouped contiguously by user.
+	posItem []seq.Item
+	posT    []int32
+	posFeat []float64 // len(posItem) * dim
+
+	// Negatives, grouped contiguously by positive.
+	negItem []seq.Item
+	negFeat []float64 // len(negItem) * dim
+	negOff  []int32   // len(posItem)+1; negatives of positive p are [negOff[p], negOff[p+1])
+
+	userOff   []int32 // len(numUsers)+1; positives of user u are [userOff[u], userOff[u+1])
+	withPos   []int32 // users that have at least one positive
+	pairCount int
+}
+
+// Build scans every user's training sequence and constructs the training
+// set. Deterministic in cfg.Seed.
+func Build(train []seq.Sequence, ex *features.Extractor, cfg Config) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dim := ex.Dim()
+	s := &Set{dim: dim, negOff: []int32{0}, userOff: make([]int32, 1, len(train)+1)}
+	rng := rngutil.New(cfg.Seed)
+	feat := linalg.NewVector(dim)
+	var cands []seq.Item
+	for u, su := range train {
+		userRNG := rng.Split()
+		before := len(s.posItem)
+		seq.Scan(su, cfg.WindowCap, func(ev seq.Event, w *seq.Window) bool {
+			if !ev.Eligible(cfg.Omega) {
+				return true
+			}
+			cands = w.Candidates(cfg.Omega, cands[:0])
+			// Drop the positive itself from the negative pool.
+			n := 0
+			for _, c := range cands {
+				if c != ev.Next {
+					cands[n] = c
+					n++
+				}
+			}
+			cands = cands[:n]
+			if len(cands) == 0 {
+				return true // nothing to contrast against
+			}
+			s.posItem = append(s.posItem, ev.Next)
+			s.posT = append(s.posT, int32(ev.T))
+			ex.Extract(feat, ev.Next, w)
+			s.posFeat = append(s.posFeat, feat...)
+			// Partial Fisher-Yates: the first min(S, n) slots become a
+			// uniform sample without replacement.
+			take := cfg.S
+			if take > len(cands) {
+				take = len(cands)
+			}
+			for i := 0; i < take; i++ {
+				j := i + userRNG.Intn(len(cands)-i)
+				cands[i], cands[j] = cands[j], cands[i]
+				s.negItem = append(s.negItem, cands[i])
+				ex.Extract(feat, cands[i], w)
+				s.negFeat = append(s.negFeat, feat...)
+			}
+			s.negOff = append(s.negOff, int32(len(s.negItem)))
+			s.pairCount += take
+			return true
+		})
+		s.userOff = append(s.userOff, int32(len(s.posItem)))
+		if len(s.posItem) > before {
+			s.withPos = append(s.withPos, int32(u))
+		}
+	}
+	return s, nil
+}
+
+// Dim returns the feature dimension F.
+func (s *Set) Dim() int { return s.dim }
+
+// NumPositives returns the number of positive samples (eligible repeat
+// events with at least one negative).
+func (s *Set) NumPositives() int { return len(s.posItem) }
+
+// NumPairs returns |D|, the total number of training quadruples.
+func (s *Set) NumPairs() int { return s.pairCount }
+
+// NumUsersWithData returns the number of users contributing at least one
+// positive.
+func (s *Set) NumUsersWithData() int { return len(s.withPos) }
+
+// posFeatAt returns the feature vector of positive p as a view.
+func (s *Set) posFeatAt(p int) linalg.Vector {
+	return linalg.Vector(s.posFeat[p*s.dim : (p+1)*s.dim])
+}
+
+// negFeatAt returns the feature vector of negative slot i as a view.
+func (s *Set) negFeatAt(i int) linalg.Vector {
+	return linalg.Vector(s.negFeat[i*s.dim : (i+1)*s.dim])
+}
+
+// Sample draws one training quadruple following Algorithm 1's hierarchy:
+// a uniform user among those with data, then a uniform positive of that
+// user, then a uniform pre-sampled negative of that positive. It returns
+// false when the set is empty.
+func (s *Set) Sample(rng *rngutil.RNG) (Pair, bool) {
+	if len(s.withPos) == 0 {
+		return Pair{}, false
+	}
+	u := int(s.withPos[rng.Intn(len(s.withPos))])
+	lo, hi := int(s.userOff[u]), int(s.userOff[u+1])
+	return s.pairAt(lo+rng.Intn(hi-lo), rng), true
+}
+
+// SamplePairUniform draws a training quadruple uniformly over all
+// positives (so users contribute in proportion to their repeat activity,
+// matching how MaAP weighs them at evaluation time), then a uniform
+// pre-sampled negative. It returns false when the set is empty.
+func (s *Set) SamplePairUniform(rng *rngutil.RNG) (Pair, bool) {
+	if len(s.posItem) == 0 {
+		return Pair{}, false
+	}
+	return s.pairAt(rng.Intn(len(s.posItem)), rng), true
+}
+
+// userOf locates the owner of positive p via binary search over the user
+// offsets.
+func (s *Set) userOf(p int) int {
+	lo, hi := 0, len(s.userOff)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.userOff[mid+1]) <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (s *Set) pairAt(p int, rng *rngutil.RNG) Pair {
+	nlo, nhi := int(s.negOff[p]), int(s.negOff[p+1])
+	ni := nlo + rng.Intn(nhi-nlo)
+	return Pair{
+		User:    s.userOf(p),
+		T:       int(s.posT[p]),
+		Pos:     s.posItem[p],
+		Neg:     s.negItem[ni],
+		PosFeat: s.posFeatAt(p),
+		NegFeat: s.negFeatAt(ni),
+	}
+}
+
+// SmallBatch returns the convergence-check batch: for every user, the
+// first frac of their training pairs (at least one pair per contributing
+// user), in deterministic order. This mirrors the paper's "each user's
+// first 10% training quadruples" small-batch approximation of J.
+func (s *Set) SmallBatch(frac float64) []Pair {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("sampling: SmallBatch frac %v out of (0,1]", frac))
+	}
+	var out []Pair
+	for _, u32 := range s.withPos {
+		u := int(u32)
+		lo, hi := int(s.userOff[u]), int(s.userOff[u+1])
+		// Count this user's pairs, then take the leading frac of them.
+		pairs := int(s.negOff[hi] - s.negOff[lo])
+		want := int(float64(pairs) * frac)
+		if want < 1 {
+			want = 1
+		}
+		taken := 0
+		for p := lo; p < hi && taken < want; p++ {
+			for ni := int(s.negOff[p]); ni < int(s.negOff[p+1]) && taken < want; ni++ {
+				out = append(out, Pair{
+					User:    u,
+					T:       int(s.posT[p]),
+					Pos:     s.posItem[p],
+					Neg:     s.negItem[ni],
+					PosFeat: s.posFeatAt(p),
+					NegFeat: s.negFeatAt(ni),
+				})
+				taken++
+			}
+		}
+	}
+	return out
+}
+
+// ForEachPair invokes fn for every training quadruple in deterministic
+// order. Used by tests and the resampling ablation.
+func (s *Set) ForEachPair(fn func(Pair) bool) {
+	for _, u32 := range s.withPos {
+		u := int(u32)
+		for p := int(s.userOff[u]); p < int(s.userOff[u+1]); p++ {
+			for ni := int(s.negOff[p]); ni < int(s.negOff[p+1]); ni++ {
+				pair := Pair{
+					User:    u,
+					T:       int(s.posT[p]),
+					Pos:     s.posItem[p],
+					Neg:     s.negItem[ni],
+					PosFeat: s.posFeatAt(p),
+					NegFeat: s.negFeatAt(ni),
+				}
+				if !fn(pair) {
+					return
+				}
+			}
+		}
+	}
+}

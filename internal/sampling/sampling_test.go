@@ -1,0 +1,286 @@
+package sampling
+
+import (
+	"testing"
+
+	"tsppr/internal/features"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+// fixture builds a small training corpus with guaranteed eligible repeats:
+// window 6, Ω=1.
+func fixture(t *testing.T) ([]seq.Sequence, *features.Extractor, Config) {
+	t.Helper()
+	train := []seq.Sequence{
+		{0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5, 0, 1},
+		{7, 8, 7, 8, 9, 7, 8, 9, 7, 8},
+		{6, 6, 6, 6, 6, 6, 6}, // only gap-1 repeats → never eligible
+	}
+	b := features.NewBuilder(10, 6, 1)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	cfg := Config{WindowCap: 6, Omega: 1, S: 3, Seed: 11}
+	return train, ex, cfg
+}
+
+func TestBuildBasics(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, err := Build(train, ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Dim() != 4 {
+		t.Fatalf("Dim = %d", set.Dim())
+	}
+	if set.NumPositives() == 0 || set.NumPairs() == 0 {
+		t.Fatal("no training data extracted")
+	}
+	if set.NumPairs() > set.NumPositives()*cfg.S {
+		t.Fatalf("pairs %d exceed positives×S %d", set.NumPairs(), set.NumPositives()*cfg.S)
+	}
+	// User 2 (pure gap-1 binger) must contribute nothing.
+	if set.NumUsersWithData() != 2 {
+		t.Fatalf("users with data = %d, want 2", set.NumUsersWithData())
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	a, _ := Build(train, ex, cfg)
+	b, _ := Build(train, ex, cfg)
+	if a.NumPairs() != b.NumPairs() || a.NumPositives() != b.NumPositives() {
+		t.Fatal("same seed produced different sets")
+	}
+	pairsA := collect(a)
+	pairsB := collect(b)
+	for i := range pairsA {
+		if pairsA[i].Pos != pairsB[i].Pos || pairsA[i].Neg != pairsB[i].Neg || pairsA[i].T != pairsB[i].T {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func collect(s *Set) []Pair {
+	var out []Pair
+	s.ForEachPair(func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+func TestPairInvariants(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	set.ForEachPair(func(p Pair) bool {
+		if p.Pos == p.Neg {
+			t.Fatalf("positive equals negative: %+v", p)
+		}
+		if p.User < 0 || p.User >= len(train) {
+			t.Fatalf("bad user %d", p.User)
+		}
+		if len(p.PosFeat) != 4 || len(p.NegFeat) != 4 {
+			t.Fatalf("bad feature dims")
+		}
+		for _, x := range append(append([]float64{}, p.PosFeat...), p.NegFeat...) {
+			if x < 0 || x > 1 {
+				t.Fatalf("feature %v out of [0,1]", x)
+			}
+		}
+		// The positive at time T must really be an eligible repeat: replay
+		// the window up to T and check.
+		w := seq.NewWindow(cfg.WindowCap)
+		for _, v := range train[p.User][:p.T] {
+			w.Push(v)
+		}
+		gap, ok := w.Gap(p.Pos)
+		if !ok || gap <= cfg.Omega {
+			t.Fatalf("positive not an eligible repeat: gap=%d ok=%v", gap, ok)
+		}
+		nGap, nOK := w.Gap(p.Neg)
+		if !nOK || nGap <= cfg.Omega {
+			t.Fatalf("negative not an eligible candidate: gap=%d ok=%v", nGap, nOK)
+		}
+		if train[p.User][p.T] != p.Pos {
+			t.Fatalf("positive %d is not the consumption at T=%d", p.Pos, p.T)
+		}
+		return true
+	})
+}
+
+func TestNegativesDistinctPerPositive(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	// Group pairs by (user, T) and check negative uniqueness.
+	type key struct{ u, t int }
+	seen := map[key]map[seq.Item]bool{}
+	set.ForEachPair(func(p Pair) bool {
+		k := key{p.User, p.T}
+		if seen[k] == nil {
+			seen[k] = map[seq.Item]bool{}
+		}
+		if seen[k][p.Neg] {
+			t.Fatalf("duplicate negative %d for positive at (u=%d,t=%d)", p.Neg, p.User, p.T)
+		}
+		seen[k][p.Neg] = true
+		return true
+	})
+}
+
+func TestSampleBothModes(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	rng := rngutil.New(3)
+	userCounts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		p, ok := set.Sample(rng)
+		if !ok {
+			t.Fatal("Sample returned !ok on non-empty set")
+		}
+		userCounts[p.User]++
+	}
+	// User-first sampling: users 0 and 1 should be roughly balanced.
+	if userCounts[2] != 0 {
+		t.Fatal("user without data was sampled")
+	}
+	ratio := float64(userCounts[0]) / float64(userCounts[1]+1)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("user-first sampling imbalance: %v", userCounts)
+	}
+
+	for i := 0; i < 500; i++ {
+		p, ok := set.SamplePairUniform(rng)
+		if !ok {
+			t.Fatal("SamplePairUniform !ok")
+		}
+		if p.User == 2 {
+			t.Fatal("user without positives sampled")
+		}
+		if p.Pos == p.Neg {
+			t.Fatal("pos == neg")
+		}
+	}
+}
+
+func TestSampleEmptySet(t *testing.T) {
+	_, ex, cfg := fixture(t)
+	set, err := Build([]seq.Sequence{{1, 2, 3}}, ex, cfg) // too short for any event
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rngutil.New(1)
+	if _, ok := set.Sample(rng); ok {
+		t.Fatal("Sample on empty set returned ok")
+	}
+	if _, ok := set.SamplePairUniform(rng); ok {
+		t.Fatal("SamplePairUniform on empty set returned ok")
+	}
+	if got := set.SmallBatch(0.1); len(got) != 0 {
+		t.Fatalf("SmallBatch on empty set = %d pairs", len(got))
+	}
+}
+
+func TestSmallBatch(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	batch := set.SmallBatch(0.1)
+	if len(batch) == 0 {
+		t.Fatal("empty small batch")
+	}
+	// Every contributing user appears at least once.
+	users := map[int]bool{}
+	for _, p := range batch {
+		users[p.User] = true
+	}
+	if len(users) != set.NumUsersWithData() {
+		t.Fatalf("small batch covers %d users, want %d", len(users), set.NumUsersWithData())
+	}
+	// Full fraction returns everything.
+	if got := len(set.SmallBatch(1.0)); got != set.NumPairs() {
+		t.Fatalf("SmallBatch(1.0) = %d pairs, want %d", got, set.NumPairs())
+	}
+}
+
+func TestSmallBatchPanics(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	for _, frac := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SmallBatch(%v) should panic", frac)
+				}
+			}()
+			set.SmallBatch(frac)
+		}()
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{WindowCap: 0, Omega: 0, S: 1},
+		{WindowCap: 5, Omega: 5, S: 1},
+		{WindowCap: 5, Omega: -1, S: 1},
+		{WindowCap: 5, Omega: 1, S: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := (Config{WindowCap: 5, Omega: 1, S: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestUserOf(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	set.ForEachPair(func(p Pair) bool {
+		// Cross-check: the T-th event of that user's sequence is Pos.
+		if train[p.User][p.T] != p.Pos {
+			t.Fatalf("userOf mapping broken: user %d t %d", p.User, p.T)
+		}
+		return true
+	})
+}
+
+func TestForEachPairEarlyStop(t *testing.T) {
+	train, ex, cfg := fixture(t)
+	set, _ := Build(train, ex, cfg)
+	n := 0
+	set.ForEachPair(func(Pair) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rngutil.New(9)
+	train := make([]seq.Sequence, 20)
+	for u := range train {
+		s := make(seq.Sequence, 500)
+		for i := range s {
+			s[i] = seq.Item(rng.Intn(40))
+		}
+		train[u] = s
+	}
+	bld := features.NewBuilder(40, 100, 10)
+	for _, s := range train {
+		bld.Add(s)
+	}
+	ex := bld.Build(features.AllFeatures, features.Hyperbolic)
+	cfg := Config{WindowCap: 100, Omega: 10, S: 10, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(train, ex, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package seq_test
+
+import (
+	"fmt"
+
+	"tsppr/internal/seq"
+)
+
+// ExampleWindow walks the paper's Fig. 1 setup: a sliding window over a
+// consumption stream, asking whether the next event is a repeat.
+func ExampleWindow() {
+	w := seq.NewWindow(5)
+	for _, v := range []seq.Item{1, 2, 3, 2, 4} {
+		w.Push(v)
+	}
+	gap, ok := w.Gap(2)
+	fmt.Println("window full:", w.Full())
+	fmt.Println("contains 2:", w.Contains(2), "count:", w.Count(2), "gap:", gap, ok)
+	fmt.Println("candidates beyond Ω=1:", w.Candidates(1, nil))
+	// Output:
+	// window full: true
+	// contains 2: true count: 2 gap: 2 true
+	// candidates beyond Ω=1: [1 2 3]
+}
+
+// ExampleScan shows the repeat-event scanner that training and evaluation
+// are built on.
+func ExampleScan() {
+	s := seq.Sequence{1, 2, 3, 1, 9}
+	seq.Scan(s, 3, func(ev seq.Event, _ *seq.Window) bool {
+		fmt.Printf("t=%d item=%d repeat=%v gap=%d\n", ev.T, ev.Next, ev.Repeat, ev.Gap)
+		return true
+	})
+	// Output:
+	// t=3 item=1 repeat=true gap=3
+	// t=4 item=9 repeat=false gap=0
+}

@@ -1,0 +1,253 @@
+// Package strec implements the linear STREC model of the paper's
+// predecessor work (Chen et al., AAAI 2015): a binary classifier that
+// predicts, at each consumption step, whether the *next* consumption will
+// be a short-term reconsumption (an item from the current time window) or
+// a novel consumption.
+//
+// In this repository STREC plays the role the paper gives it in §5.7: a
+// switch in front of TS-PPR. We implement it as logistic regression with
+// elastic-net regularization over four window-level behavioural
+// aggregates, trained by SGD:
+//
+//	x1 — the user's running repeat ratio up to t
+//	x2 — mean item reconsumption ratio over the window's distinct items
+//	x3 — mean item quality over the window's distinct items
+//	x4 — window concentration: 1 − |distinct(W)|/|W|
+//
+// All four are in [0,1]; a bias term is learned as well. The original
+// STREC work also proposed a quadratic model; Config.Quadratic expands the
+// input with all pairwise products x_i·x_j (i ≤ j), matching it.
+package strec
+
+import (
+	"fmt"
+	"math"
+
+	"tsppr/internal/features"
+	"tsppr/internal/mathx"
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+// Dim is the number of base input features.
+const Dim = 4
+
+// QuadDim is the expanded dimension with all pairwise products included:
+// 4 linear terms + 10 products (i ≤ j).
+const QuadDim = Dim + Dim*(Dim+1)/2
+
+// Model is a trained STREC classifier.
+type Model struct {
+	W    []float64 // Dim (linear) or QuadDim (quadratic) weights
+	Bias float64
+
+	quadratic bool
+	ex        *features.Extractor
+	windowCap int
+}
+
+// Quadratic reports whether the model uses the quadratic expansion.
+func (m *Model) Quadratic() bool { return m.quadratic }
+
+// Config parameterizes training.
+type Config struct {
+	WindowCap    int
+	Epochs       int     // default 4
+	LearningRate float64 // default 0.1
+	L1           float64 // lasso penalty (default 1e-4)
+	L2           float64 // ridge penalty (default 1e-4)
+	Quadratic    bool    // expand features with pairwise products
+	Seed         uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L1 == 0 {
+		c.L1 = 1e-4
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Train fits the classifier on the training sequences.
+func Train(train []seq.Sequence, numItems int, cfg Config) (*Model, error) {
+	if cfg.WindowCap <= 0 {
+		return nil, fmt.Errorf("strec: WindowCap %d <= 0", cfg.WindowCap)
+	}
+	cfg = cfg.withDefaults()
+
+	b := features.NewBuilder(numItems, cfg.WindowCap, 0)
+	for _, s := range train {
+		b.Add(s)
+	}
+	m := &Model{
+		quadratic: cfg.Quadratic,
+		ex:        b.Build(features.AllFeatures, features.Hyperbolic),
+		windowCap: cfg.WindowCap,
+	}
+	dim := Dim
+	if cfg.Quadratic {
+		dim = QuadDim
+	}
+	m.W = make([]float64, dim)
+
+	rng := rngutil.New(cfg.Seed + 0x57ec)
+	order := rng.Perm(len(train))
+	x := make([]float64, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + float64(epoch))
+		for _, u := range order {
+			su := train[u]
+			repeats, events := 0, 0
+			seq.Scan(su, cfg.WindowCap, func(ev seq.Event, w *seq.Window) bool {
+				m.featurize(x, w, repeats, events)
+				y := 0.0
+				if ev.Repeat {
+					y = 1
+				}
+				p := mathx.Sigmoid(m.Bias + dot(m.W, x))
+				g := lr * (y - p)
+				m.Bias += g
+				for k := range m.W {
+					m.W[k] += g*x[k] - lr*cfg.L2*m.W[k]
+					// L1 subgradient with clipping at zero (lasso-style
+					// shrinkage, the "linear Lasso method" of the original
+					// STREC paper).
+					if m.W[k] > 0 {
+						m.W[k] = math.Max(0, m.W[k]-lr*cfg.L1)
+					} else {
+						m.W[k] = math.Min(0, m.W[k]+lr*cfg.L1)
+					}
+				}
+				events++
+				if ev.Repeat {
+					repeats++
+				}
+				return true
+			})
+		}
+	}
+	return m, nil
+}
+
+// featurize fills x with the window-level aggregates (and, for quadratic
+// models, their pairwise products). repeats/events carry the user's
+// running repeat statistics up to this point.
+func (m *Model) featurize(x []float64, w *seq.Window, repeats, events int) {
+	if events > 0 {
+		x[0] = float64(repeats) / float64(events)
+	} else {
+		x[0] = 0.5 // uninformative prior before the first observation
+	}
+	var sumIR, sumQ float64
+	distinct := 0
+	// Deterministic pass over the window's distinct items.
+	seen := make(map[seq.Item]struct{}, 16)
+	for i := 0; i < w.Len(); i++ {
+		v := w.At(i)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		distinct++
+		sumIR += m.ex.ReconsumptionRatio(v)
+		sumQ += m.ex.Quality(v)
+	}
+	if distinct > 0 {
+		x[1] = sumIR / float64(distinct)
+		x[2] = sumQ / float64(distinct)
+	} else {
+		x[1], x[2] = 0, 0
+	}
+	if w.Len() > 0 {
+		x[3] = 1 - float64(distinct)/float64(w.Len())
+	} else {
+		x[3] = 0
+	}
+	if m.quadratic {
+		k := Dim
+		for i := 0; i < Dim; i++ {
+			for j := i; j < Dim; j++ {
+				x[k] = x[i] * x[j]
+				k++
+			}
+		}
+	}
+}
+
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+// Predict returns the probability that the next consumption is a repeat,
+// given the current window and the user's running repeat statistics.
+func (m *Model) Predict(w *seq.Window, repeats, events int) float64 {
+	x := make([]float64, len(m.W))
+	m.featurize(x, w, repeats, events)
+	return mathx.Sigmoid(m.Bias + dot(m.W, x))
+}
+
+// EvalResult reports classification quality on held-out sequences.
+type EvalResult struct {
+	Accuracy  float64
+	Precision float64 // of the positive (repeat) class
+	Recall    float64
+	Events    int
+}
+
+// Evaluate replays each user's test suffix (with the training prefix
+// warming the window) and scores the classifier per event.
+func (m *Model) Evaluate(train, test []seq.Sequence) EvalResult {
+	var tp, fp, tn, fn int
+	for u := range test {
+		repeats, events := 0, 0
+		// Recover the user's training repeat statistics first.
+		seq.Scan(train[u], m.windowCap, func(ev seq.Event, _ *seq.Window) bool {
+			events++
+			if ev.Repeat {
+				repeats++
+			}
+			return true
+		})
+		seq.ScanFrom(train[u], test[u], m.windowCap, func(ev seq.Event, w *seq.Window) bool {
+			pred := m.Predict(w, repeats, events) >= 0.5
+			switch {
+			case pred && ev.Repeat:
+				tp++
+			case pred && !ev.Repeat:
+				fp++
+			case !pred && ev.Repeat:
+				fn++
+			default:
+				tn++
+			}
+			events++
+			if ev.Repeat {
+				repeats++
+			}
+			return true
+		})
+	}
+	res := EvalResult{Events: tp + fp + tn + fn}
+	if res.Events > 0 {
+		res.Accuracy = float64(tp+tn) / float64(res.Events)
+	}
+	if tp+fp > 0 {
+		res.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = float64(tp) / float64(tp+fn)
+	}
+	return res
+}

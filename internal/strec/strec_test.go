@@ -1,0 +1,186 @@
+package strec
+
+import (
+	"math"
+	"testing"
+
+	"tsppr/internal/datagen"
+	"tsppr/internal/seq"
+)
+
+func corpus(t testing.TB) (train, test []seq.Sequence, numItems int) {
+	t.Helper()
+	cfg := datagen.GowallaLike(15, 13)
+	cfg.MinLen, cfg.MaxLen = 100, 220
+	cfg.WindowCap = 20
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numItems = ds.NumItems()
+	train = make([]seq.Sequence, len(ds.Seqs))
+	test = make([]seq.Sequence, len(ds.Seqs))
+	for u, s := range ds.Seqs {
+		train[u], test[u] = s.Split(0.7)
+	}
+	return train, test, numItems
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 0, Config{WindowCap: 0}); err == nil {
+		t.Fatal("WindowCap 0 accepted")
+	}
+}
+
+func TestTrainProducesFiniteWeights(t *testing.T) {
+	train, _, numItems := corpus(t)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range m.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("W[%d] = %v", i, w)
+		}
+	}
+	if math.IsNaN(m.Bias) {
+		t.Fatal("NaN bias")
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	train, _, numItems := corpus(t)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := seq.NewWindow(20)
+	for _, v := range train[0] {
+		p := m.Predict(w, 0, 0)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Predict = %v", p)
+		}
+		w.Push(v)
+	}
+}
+
+func TestEvaluateBeatsCoinFlip(t *testing.T) {
+	// The gowalla-like corpus has a ~0.6+ repeat ratio and strongly
+	// autocorrelated windows; a fitted linear model must beat both the
+	// coin flip and the majority-class margin is not required, but 0.5 is.
+	train, test, numItems := corpus(t)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate(train, test)
+	if res.Events == 0 {
+		t.Fatal("no evaluation events")
+	}
+	if res.Accuracy <= 0.5 {
+		t.Fatalf("accuracy %v not better than coin flip", res.Accuracy)
+	}
+	if res.Precision < 0 || res.Precision > 1 || res.Recall < 0 || res.Recall > 1 {
+		t.Fatalf("precision/recall out of range: %+v", res)
+	}
+}
+
+func TestPerfectlySeparableCorpus(t *testing.T) {
+	// User A always repeats (cycle), user B never repeats (fresh items).
+	var repeat, novel seq.Sequence
+	for i := 0; i < 300; i++ {
+		repeat = append(repeat, seq.Item(i%5))
+		novel = append(novel, seq.Item(10+i))
+	}
+	train := []seq.Sequence{repeat[:200], novel[:200]}
+	test := []seq.Sequence{repeat[200:], novel[200:]}
+	m, err := Train(train, 400, Config{WindowCap: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate(train, test)
+	if res.Accuracy < 0.95 {
+		t.Fatalf("accuracy %v on separable corpus", res.Accuracy)
+	}
+}
+
+func TestEvaluateCountsEvents(t *testing.T) {
+	train, test, numItems := corpus(t)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate(train, test)
+	// Every test event with a full window counts exactly once (train
+	// prefixes exceed the window, so all test events are counted).
+	want := 0
+	for _, s := range test {
+		want += len(s)
+	}
+	if res.Events != want {
+		t.Fatalf("events = %d, want %d", res.Events, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	train, _, numItems := corpus(t)
+	cfg := Config{WindowCap: 20, Seed: 5}
+	a, _ := Train(train, numItems, cfg)
+	b, _ := Train(train, numItems, cfg)
+	if a.Bias != b.Bias {
+		t.Fatal("training not deterministic")
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	train, _, numItems := corpus(b)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := seq.NewWindow(20)
+	for _, v := range train[0][:20] {
+		w.Push(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(w, 10, 20)
+	}
+}
+
+func TestQuadraticModel(t *testing.T) {
+	train, test, numItems := corpus(t)
+	m, err := Train(train, numItems, Config{WindowCap: 20, Quadratic: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Quadratic() {
+		t.Fatal("Quadratic() false")
+	}
+	if len(m.W) != QuadDim {
+		t.Fatalf("weights = %d, want %d", len(m.W), QuadDim)
+	}
+	res := m.Evaluate(train, test)
+	if res.Accuracy <= 0.5 {
+		t.Fatalf("quadratic accuracy %v", res.Accuracy)
+	}
+	// Prediction stays a probability.
+	w := seq.NewWindow(20)
+	for _, v := range train[0][:20] {
+		w.Push(v)
+	}
+	if p := m.Predict(w, 3, 10); p < 0 || p > 1 {
+		t.Fatalf("Predict = %v", p)
+	}
+}
+
+func TestQuadDimConstant(t *testing.T) {
+	if QuadDim != 14 {
+		t.Fatalf("QuadDim = %d, want 14 (4 linear + 10 products)", QuadDim)
+	}
+}

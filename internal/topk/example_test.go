@@ -1,0 +1,21 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"tsppr/internal/topk"
+)
+
+// Example keeps the best three of five scored items; the exact tie at
+// score 0.9 breaks toward the smaller item ID.
+func Example() {
+	sel := topk.New(3)
+	sel.Push(10, 0.5)
+	sel.Push(11, 0.9)
+	sel.Push(12, 0.1)
+	sel.Push(13, 0.9)
+	sel.Push(14, 0.7)
+	fmt.Println(sel.Items(nil))
+	// Output:
+	// [11 13 14]
+}

@@ -1,0 +1,124 @@
+// Package topk provides bounded top-K selection of scored items, used by
+// every recommender to produce its Top-N list without sorting the whole
+// candidate set.
+//
+// Ordering is deterministic: higher score wins, and exact score ties break
+// toward the smaller item ID. Determinism matters because the evaluation
+// harness must be reproducible run-to-run, and floating-point score ties do
+// occur (e.g. the Pop baseline over items with equal frequency).
+package topk
+
+import "tsppr/internal/seq"
+
+// Entry is a scored item.
+type Entry struct {
+	Item  seq.Item
+	Score float64
+}
+
+// worse reports whether a ranks strictly below b in the final list.
+func worse(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+// Selector accumulates entries and retains the best K. The zero value is
+// unusable; construct with New. Selector is not safe for concurrent use.
+type Selector struct {
+	k    int
+	heap []Entry // min-heap on rank: root is the worst retained entry
+}
+
+// New returns a selector retaining the k best entries. It panics for
+// k <= 0.
+func New(k int) *Selector {
+	if k <= 0 {
+		panic("topk: New with k <= 0")
+	}
+	return &Selector{k: k, heap: make([]Entry, 0, k)}
+}
+
+// K returns the selector's capacity.
+func (s *Selector) K() int { return s.k }
+
+// Len returns the number of retained entries.
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Reset discards all retained entries, keeping capacity.
+func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+// Push offers a scored item. Entries ranking below the current K-th best
+// are dropped.
+func (s *Selector) Push(item seq.Item, score float64) {
+	e := Entry{Item: item, Score: score}
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, e)
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	if worse(e, s.heap[0]) || e == s.heap[0] {
+		return
+	}
+	s.heap[0] = e
+	s.siftDown(0)
+}
+
+func (s *Selector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Selector) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && worse(s.heap[l], s.heap[min]) {
+			min = l
+		}
+		if r < n && worse(s.heap[r], s.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}
+
+// AppendSorted appends the retained entries to dst in final ranking order
+// (best first) and returns the extended slice. The selector is left empty.
+func (s *Selector) AppendSorted(dst []Entry) []Entry {
+	start := len(dst)
+	for len(s.heap) > 0 {
+		last := len(s.heap) - 1
+		s.heap[0], s.heap[last] = s.heap[last], s.heap[0]
+		dst = append(dst, s.heap[last])
+		s.heap = s.heap[:last]
+		s.siftDown(0)
+	}
+	// Entries popped worst-first; reverse the appended segment.
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// Items appends just the item IDs in ranking order and returns the
+// extended slice. The selector is left empty.
+func (s *Selector) Items(dst []seq.Item) []seq.Item {
+	entries := s.AppendSorted(nil)
+	for _, e := range entries {
+		dst = append(dst, e.Item)
+	}
+	return dst
+}

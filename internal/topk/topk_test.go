@@ -1,0 +1,165 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tsppr/internal/rngutil"
+	"tsppr/internal/seq"
+)
+
+// reference computes the expected ranking by full sort.
+func reference(entries []Entry, k int) []Entry {
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Item < sorted[j].Item
+	})
+	// Drop exact duplicates the way the selector does (same item+score
+	// pushed twice is retained twice by both, so no dedup needed).
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+func TestSelectorMatchesSortSmall(t *testing.T) {
+	entries := []Entry{
+		{Item: 3, Score: 1.0},
+		{Item: 1, Score: 3.0},
+		{Item: 2, Score: 2.0},
+		{Item: 4, Score: 0.5},
+	}
+	s := New(2)
+	for _, e := range entries {
+		s.Push(e.Item, e.Score)
+	}
+	got := s.AppendSorted(nil)
+	want := reference(entries, 2)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectorTieBreaksByItemID(t *testing.T) {
+	s := New(2)
+	s.Push(9, 1.0)
+	s.Push(2, 1.0)
+	s.Push(5, 1.0)
+	got := s.Items(nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("tie-break wrong: %v", got)
+	}
+}
+
+func TestSelectorFewerThanK(t *testing.T) {
+	s := New(10)
+	s.Push(1, 0.1)
+	s.Push(2, 0.9)
+	got := s.Items(nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectorReset(t *testing.T) {
+	s := New(3)
+	s.Push(1, 1)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	s.Push(2, 2)
+	got := s.Items(nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectorPropertyMatchesSort(t *testing.T) {
+	f := func(scores []float64, kSeed uint8) bool {
+		if len(scores) == 0 {
+			return true
+		}
+		k := int(kSeed)%10 + 1
+		entries := make([]Entry, len(scores))
+		for i, sc := range scores {
+			entries[i] = Entry{Item: seq.Item(i), Score: sc}
+		}
+		s := New(k)
+		for _, e := range entries {
+			s.Push(e.Item, e.Score)
+		}
+		got := s.AppendSorted(nil)
+		want := reference(entries, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorLargeRandom(t *testing.T) {
+	rng := rngutil.New(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		k := 1 + rng.Intn(20)
+		entries := make([]Entry, n)
+		for i := range entries {
+			// Coarse scores force plenty of ties.
+			entries[i] = Entry{Item: seq.Item(i), Score: float64(rng.Intn(7))}
+		}
+		s := New(k)
+		for _, e := range entries {
+			s.Push(e.Item, e.Score)
+		}
+		got := s.AppendSorted(nil)
+		want := reference(entries, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: got %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkPush100Top10(b *testing.B) {
+	rng := rngutil.New(2)
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(10)
+		for j, sc := range scores {
+			s.Push(seq.Item(j), sc)
+		}
+		_ = s.Items(nil)
+	}
+}

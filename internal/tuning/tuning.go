@@ -1,0 +1,212 @@
+// Package tuning provides deterministic grid search over TS-PPR training
+// hyper-parameters. Points run in parallel (training is single-threaded,
+// so concurrent trials scale nearly linearly with cores) and results come
+// back in grid order regardless of scheduling.
+//
+// The search holds the sampled training set fixed — λ, γ, K, the learning
+// rate, the step budget and the map kind do not affect sampling — so one
+// expensive sampling pass serves the whole grid (see sampling.Set's
+// persistence for reusing it across processes too).
+package tuning
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tsppr/internal/core"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+)
+
+// Grid enumerates candidate values per hyper-parameter. Empty slices mean
+// "use the trainer's default" (a single nil-signalling zero value).
+type Grid struct {
+	Lambdas       []float64
+	Gammas        []float64
+	LearningRates []float64
+	Ks            []int
+	MaxSteps      []int
+	TwoPhase      []bool
+}
+
+func orFloat(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return []float64{0}
+	}
+	return xs
+}
+
+func orInt(xs []int) []int {
+	if len(xs) == 0 {
+		return []int{0}
+	}
+	return xs
+}
+
+func orBool(xs []bool) []bool {
+	if len(xs) == 0 {
+		return []bool{false}
+	}
+	return xs
+}
+
+// Point is one hyper-parameter assignment. Zero values defer to the
+// trainer's defaults.
+type Point struct {
+	Lambda, Gamma, LearningRate float64
+	K, MaxSteps                 int
+	TwoPhase                    bool
+}
+
+// String renders the point compactly for logs.
+func (p Point) String() string {
+	return fmt.Sprintf("λ=%g γ=%g α=%g K=%d steps=%d twoPhase=%v",
+		p.Lambda, p.Gamma, p.LearningRate, p.K, p.MaxSteps, p.TwoPhase)
+}
+
+// Points expands the grid into its cartesian product, in deterministic
+// order.
+func (g Grid) Points() []Point {
+	var out []Point
+	for _, lam := range orFloat(g.Lambdas) {
+		for _, gam := range orFloat(g.Gammas) {
+			for _, lr := range orFloat(g.LearningRates) {
+				for _, k := range orInt(g.Ks) {
+					for _, steps := range orInt(g.MaxSteps) {
+						for _, tp := range orBool(g.TwoPhase) {
+							out = append(out, Point{
+								Lambda: lam, Gamma: gam, LearningRate: lr,
+								K: k, MaxSteps: steps, TwoPhase: tp,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Task bundles the data a search runs against.
+type Task struct {
+	Train, Test []seq.Sequence
+	NumItems    int
+	Extractor   *features.Extractor
+	Set         *sampling.Set
+
+	// Eval configures the held-out evaluation (WindowCap/Omega required).
+	Eval eval.Options
+	// ObjectiveTopN selects which TopN drives Best (default 1).
+	ObjectiveTopN int
+	// Seed feeds every trainer (each point trains from the same seed, so
+	// differences are attributable to the hyper-parameters alone).
+	Seed uint64
+	// Parallelism bounds concurrent trials (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Outcome is one evaluated grid point.
+type Outcome struct {
+	Point  Point
+	Result eval.Result
+	Stats  *core.TrainStats
+	Err    error
+}
+
+// Objective returns the outcome's MaAP at the task's objective TopN
+// (−1 when the trial failed).
+func (o Outcome) objective(topN int) float64 {
+	if o.Err != nil {
+		return -1
+	}
+	ma, _ := o.Result.At(topN)
+	return ma
+}
+
+// Search trains and evaluates every grid point. The returned slice is in
+// grid order; individual failures are recorded on the outcome rather than
+// aborting the sweep.
+func Search(task Task, grid Grid) ([]Outcome, error) {
+	if task.Set == nil || task.Extractor == nil {
+		return nil, fmt.Errorf("tuning: Task requires Set and Extractor")
+	}
+	if len(task.Train) == 0 || len(task.Train) != len(task.Test) {
+		return nil, fmt.Errorf("tuning: bad train/test (%d/%d users)", len(task.Train), len(task.Test))
+	}
+	if task.ObjectiveTopN == 0 {
+		task.ObjectiveTopN = 1
+	}
+	par := task.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	points := grid.Points()
+	out := make([]Outcome, len(points))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, pt := range points {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pt Point) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = runPoint(task, pt)
+		}(i, pt)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func runPoint(task Task, pt Point) Outcome {
+	model, stats, err := core.Train(task.Set, len(task.Train), task.NumItems, task.Extractor, core.Config{
+		K:            pt.K,
+		Lambda:       pt.Lambda,
+		Gamma:        pt.Gamma,
+		LearningRate: pt.LearningRate,
+		MaxSteps:     pt.MaxSteps,
+		TwoPhase:     pt.TwoPhase,
+		Seed:         task.Seed,
+	})
+	if err != nil {
+		return Outcome{Point: pt, Err: err}
+	}
+	res, err := eval.Evaluate(task.Train, task.Test, model.Factory(), task.Eval)
+	if err != nil {
+		return Outcome{Point: pt, Err: err}
+	}
+	return Outcome{Point: pt, Result: res, Stats: stats}
+}
+
+// Best returns the outcome with the highest objective MaAP, or false when
+// every trial failed.
+func Best(outcomes []Outcome, topN int) (Outcome, bool) {
+	if topN == 0 {
+		topN = 1
+	}
+	bestIdx, bestVal := -1, -1.0
+	for i, o := range outcomes {
+		if v := o.objective(topN); v > bestVal {
+			bestVal, bestIdx = v, i
+		}
+	}
+	if bestIdx < 0 || outcomes[bestIdx].Err != nil {
+		return Outcome{}, false
+	}
+	return outcomes[bestIdx], true
+}
+
+// Rank orders outcomes descending by objective MaAP (failed trials last),
+// stably.
+func Rank(outcomes []Outcome, topN int) {
+	if topN == 0 {
+		topN = 1
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		return outcomes[i].objective(topN) > outcomes[j].objective(topN)
+	})
+}

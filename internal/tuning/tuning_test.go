@@ -1,0 +1,174 @@
+package tuning
+
+import (
+	"testing"
+
+	"tsppr/internal/datagen"
+	"tsppr/internal/eval"
+	"tsppr/internal/features"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+)
+
+func task(t *testing.T) Task {
+	t.Helper()
+	cfg := datagen.GowallaLike(10, 17)
+	cfg.MinLen, cfg.MaxLen = 80, 160
+	cfg.WindowCap = 20
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numItems := ds.NumItems()
+	train := make([]seq.Sequence, len(ds.Seqs))
+	test := make([]seq.Sequence, len(ds.Seqs))
+	for u, s := range ds.Seqs {
+		train[u], test[u] = s.Split(0.7)
+	}
+	b := features.NewBuilder(numItems, 20, 3)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: 20, Omega: 3, S: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Task{
+		Train: train, Test: test, NumItems: numItems,
+		Extractor: ex, Set: set,
+		Eval: eval.Options{WindowCap: 20, Omega: 3, Seed: 17},
+		Seed: 17,
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	g := Grid{
+		Lambdas: []float64{0.01, 0.1},
+		Ks:      []int{8, 16, 32},
+	}
+	pts := g.Points()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	// Unset dimensions default to the zero value exactly once.
+	if pts[0].Gamma != 0 || pts[0].MaxSteps != 0 {
+		t.Fatal("defaults not zero")
+	}
+	// Deterministic order: lambda-major.
+	if pts[0].Lambda != 0.01 || pts[3].Lambda != 0.1 {
+		t.Fatalf("order wrong: %+v", pts)
+	}
+	// Empty grid = a single default point.
+	if n := len((Grid{}).Points()); n != 1 {
+		t.Fatalf("empty grid points = %d", n)
+	}
+}
+
+func TestSearchFindsBest(t *testing.T) {
+	tk := task(t)
+	grid := Grid{
+		Ks:       []int{4, 8},
+		MaxSteps: []int{10_000},
+	}
+	outcomes, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("trial %d failed: %v", i, o.Err)
+		}
+		if o.Stats == nil || o.Stats.Steps == 0 {
+			t.Fatalf("trial %d has no training stats", i)
+		}
+		if o.Result.Events == 0 {
+			t.Fatalf("trial %d evaluated nothing", i)
+		}
+	}
+	best, ok := Best(outcomes, 1)
+	if !ok {
+		t.Fatal("no best outcome")
+	}
+	bm, _ := best.Result.At(1)
+	for _, o := range outcomes {
+		om, _ := o.Result.At(1)
+		if om > bm {
+			t.Fatal("Best did not return the maximum")
+		}
+	}
+}
+
+func TestSearchDeterministicAcrossParallelism(t *testing.T) {
+	tk := task(t)
+	grid := Grid{Ks: []int{4, 8, 12}, MaxSteps: []int{5_000}}
+	tk.Parallelism = 1
+	seqOut, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Parallelism = 4
+	parOut, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqOut {
+		a, _ := seqOut[i].Result.At(1)
+		b, _ := parOut[i].Result.At(1)
+		if a != b {
+			t.Fatalf("trial %d differs across parallelism: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSearchRecordsFailures(t *testing.T) {
+	tk := task(t)
+	grid := Grid{Ks: []int{-5, 8}, MaxSteps: []int{2_000}}
+	outcomes, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Err == nil {
+		t.Fatal("invalid K accepted")
+	}
+	if outcomes[1].Err != nil {
+		t.Fatalf("valid trial failed: %v", outcomes[1].Err)
+	}
+	// Best skips the failed trial.
+	best, ok := Best(outcomes, 1)
+	if !ok || best.Point.K != 8 {
+		t.Fatalf("Best = %+v ok=%v", best.Point, ok)
+	}
+	// Rank puts the failure last.
+	Rank(outcomes, 1)
+	if outcomes[len(outcomes)-1].Err == nil {
+		t.Fatal("failed trial not ranked last")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(Task{}, Grid{}); err == nil {
+		t.Fatal("empty task accepted")
+	}
+	tk := task(t)
+	tk.Test = tk.Test[:1]
+	if _, err := Search(tk, Grid{}); err == nil {
+		t.Fatal("mismatched train/test accepted")
+	}
+}
+
+func TestBestAllFailed(t *testing.T) {
+	outcomes := []Outcome{{Err: errTest}, {Err: errTest}}
+	if _, ok := Best(outcomes, 1); ok {
+		t.Fatal("Best returned ok with all failures")
+	}
+}
+
+var errTest = errFor("boom")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }
