@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build fmt vet test race fuzz
+
+## check: everything CI should gate on — formatting, vet, race-enabled tests
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz: a short bounded fuzz of the model loader (seed corpus always runs in `test`)
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzReadModel -fuzztime 20s

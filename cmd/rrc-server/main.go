@@ -3,8 +3,11 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          → {"status":"ok"}
-//	GET  /stats            → request counters and model shape
+//	GET  /healthz          → {"status":"ok"} while the process is alive
+//	GET  /readyz           → 200 when the primary scorer is healthy,
+//	                         503 while degraded (fallback-only) — wire
+//	                         this one into load balancers
+//	GET  /stats            → request counters, resilience counters, model shape
 //	POST /recommend        → body {"user":0,"history":[1,2,3,...],"n":5,"omega":10}
 //	                         reply {"items":[...],"scores":[...]}
 //	POST /recommend/batch  → body {"requests":[{...},{...}]}
@@ -12,8 +15,17 @@
 //
 // The caller supplies the user's recent consumption history (most recent
 // last); the server replays it into a time window and ranks the
-// reconsumable candidates. The process drains in-flight requests on
-// SIGINT/SIGTERM. Usage:
+// reconsumable candidates.
+//
+// Resilience: every request runs under panic recovery and a deadline; a
+// concurrency semaphore sheds load with 429 + Retry-After once saturated.
+// If the primary TS-PPR scorer panics or misses its deadline the request
+// is answered by a recency/popularity fallback scorer instead of failing,
+// and after a few consecutive primary failures the server enters degraded
+// mode (fallback-only, /readyz → 503) with periodic probes of the
+// primary. SIGHUP hot-reloads the model file with validate-before-swap —
+// a bad file on disk never displaces the serving model. SIGINT/SIGTERM
+// drain in-flight requests for -drain-timeout. Usage:
 //
 //	rrc-server -model model.tsppr -addr :8395 -window 100
 package main
@@ -28,21 +40,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"tsppr/internal/baselines"
 	"tsppr/internal/core"
+	"tsppr/internal/faultinject"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 )
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "trained model file (required)")
-		addr      = flag.String("addr", ":8395", "listen address")
-		window    = flag.Int("window", 100, "time window capacity |W|")
-		omega     = flag.Int("omega", 10, "default minimum gap Ω")
+		modelPath    = flag.String("model", "", "trained model file (required; re-read on SIGHUP)")
+		addr         = flag.String("addr", ":8395", "listen address")
+		window       = flag.Int("window", 100, "time window capacity |W|")
+		omega        = flag.Int("omega", 10, "default minimum gap Ω")
+		maxInFlight  = flag.Int("max-inflight", 64, "concurrent recommend requests before load-shedding with 429")
+		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request scoring deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -51,27 +69,43 @@ func main() {
 		os.Exit(2)
 	}
 	model, err := core.LoadFile(*modelPath)
+	if err == nil {
+		err = model.Validate()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrc-server:", err)
 		os.Exit(1)
 	}
-	srv := &server{model: model, windowCap: *window, defaultOmega: *omega}
+	srv := newServer(model, serverOptions{
+		modelPath:    *modelPath,
+		windowCap:    *window,
+		defaultOmega: *omega,
+		maxInFlight:  *maxInFlight,
+		reqTimeout:   *reqTimeout,
+	})
 	log.Printf("serving model (users=%d items=%d K=%d F=%d) on %s",
 		model.NumUsers(), model.NumItems(), model.K, model.F, *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      *reqTimeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
-	// Drain in-flight requests on SIGINT/SIGTERM.
+	// SIGHUP hot-reloads the model; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go srv.watchReload(hup)
+
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
 		log.Print("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
@@ -84,23 +118,103 @@ func main() {
 	<-idle
 }
 
-type server struct {
-	model        *core.Model
+// serverOptions configures a server. Zero resilience fields pick the
+// defaults applied by newServer.
+type serverOptions struct {
+	modelPath    string
 	windowCap    int
 	defaultOmega int
+
+	maxInFlight   int           // semaphore size; 0 → 64
+	reqTimeout    time.Duration // primary-scorer deadline; 0 → 2s
+	failThreshold int           // consecutive failures before degraded; 0 → 3
+	probeEvery    int           // degraded-mode primary probe period; 0 → 16
+}
+
+type server struct {
+	opts  serverOptions
+	model atomic.Pointer[core.Model]
+	sem   chan struct{}
 
 	requests atomic.Int64
 	errors   atomic.Int64
 	items    atomic.Int64
+
+	panics    atomic.Int64 // primary-scorer panics absorbed
+	timeouts  atomic.Int64 // primary-scorer deadline misses
+	shed      atomic.Int64 // requests rejected with 429
+	fallbacks atomic.Int64 // requests answered by the fallback scorer
+	reloads   atomic.Int64 // successful SIGHUP model swaps
+
+	failStreak atomic.Int64 // consecutive primary-scorer failures
+	degraded   atomic.Bool  // fallback-only mode
+	probeTick  atomic.Int64 // degraded-mode request counter for probing
+}
+
+func newServer(m *core.Model, opts serverOptions) *server {
+	if opts.maxInFlight <= 0 {
+		opts.maxInFlight = 64
+	}
+	if opts.reqTimeout <= 0 {
+		opts.reqTimeout = 2 * time.Second
+	}
+	if opts.failThreshold <= 0 {
+		opts.failThreshold = 3
+	}
+	if opts.probeEvery <= 0 {
+		opts.probeEvery = 16
+	}
+	s := &server{opts: opts, sem: make(chan struct{}, opts.maxInFlight)}
+	s.model.Store(m)
+	return s
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /recommend", s.handleRecommend)
-	mux.HandleFunc("POST /recommend/batch", s.handleBatch)
-	return mux
+	mux.Handle("POST /recommend", s.harden(http.HandlerFunc(s.handleRecommend)))
+	mux.Handle("POST /recommend/batch", s.harden(http.HandlerFunc(s.handleBatch)))
+	return s.recovered(mux)
+}
+
+// recovered is the outermost middleware: a panic anywhere in request
+// handling becomes a 500 and a counter bump instead of a dead process.
+func (s *server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.errors.Add(1)
+				log.Printf("rrc-server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				// Best effort: if the handler already wrote a status this
+				// is a no-op superfluous-header log, not a second panic.
+				writeError(w, http.StatusInternalServerError, errors.New("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// harden wraps the scoring endpoints with the concurrency semaphore
+// (load-shedding with 429 + Retry-After when saturated) and the
+// per-request deadline.
+func (s *server) harden(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // statsResponse is the GET /stats reply.
@@ -108,6 +222,12 @@ type statsResponse struct {
 	Requests         int64 `json:"requests"`
 	Errors           int64 `json:"errors"`
 	ItemsRecommended int64 `json:"items_recommended"`
+	Panics           int64 `json:"panics"`
+	Timeouts         int64 `json:"timeouts"`
+	Shed             int64 `json:"shed"`
+	Fallbacks        int64 `json:"fallbacks"`
+	Reloads          int64 `json:"reloads"`
+	Degraded         bool  `json:"degraded"`
 	Users            int   `json:"users"`
 	Items            int   `json:"items"`
 	K                int   `json:"k"`
@@ -116,20 +236,80 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	m := s.model.Load()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Requests:         s.requests.Load(),
 		Errors:           s.errors.Load(),
 		ItemsRecommended: s.items.Load(),
-		Users:            s.model.NumUsers(),
-		Items:            s.model.NumItems(),
-		K:                s.model.K,
-		F:                s.model.F,
-		WindowCap:        s.windowCap,
+		Panics:           s.panics.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Shed:             s.shed.Load(),
+		Fallbacks:        s.fallbacks.Load(),
+		Reloads:          s.reloads.Load(),
+		Degraded:         s.degraded.Load(),
+		Users:            m.NumUsers(),
+		Items:            m.NumItems(),
+		K:                m.K,
+		F:                m.F,
+		WindowCap:        s.opts.windowCap,
 	})
 }
 
+// handleHealth reports liveness only: the process is up and serving, even
+// if it is degraded to the fallback scorer.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports readiness: a loaded model and a healthy primary
+// scorer. Load balancers should route on this, so a degraded replica
+// keeps serving its in-flight traffic but stops attracting new traffic.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.model.Load() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model"})
+		return
+	}
+	if s.degraded.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// reload re-reads the model file and swaps it in atomically, but only
+// after it parses, checksums, and validates — a truncated or NaN-ridden
+// file on disk never displaces the serving model. A successful reload
+// also clears degraded mode: the new model gets a fresh chance.
+func (s *server) reload() error {
+	if s.opts.modelPath == "" {
+		return errors.New("no model path configured")
+	}
+	m, err := core.LoadFile(s.opts.modelPath)
+	if err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.model.Store(m)
+	s.failStreak.Store(0)
+	s.degraded.Store(false)
+	s.reloads.Add(1)
+	return nil
+}
+
+// watchReload performs a hot reload for every signal delivered on sig,
+// keeping the current model when the file on disk is rejected.
+func (s *server) watchReload(sig <-chan os.Signal) {
+	for range sig {
+		if err := s.reload(); err != nil {
+			log.Printf("rrc-server: reload rejected, keeping current model: %v", err)
+			continue
+		}
+		m := s.model.Load()
+		log.Printf("rrc-server: reloaded model (users=%d items=%d K=%d F=%d)",
+			m.NumUsers(), m.NumItems(), m.K, m.F)
+	}
 }
 
 // recommendRequest is the POST /recommend body.
@@ -140,23 +320,38 @@ type recommendRequest struct {
 	Omega   *int  `json:"omega,omitempty"`
 }
 
-// recommendResponse is the POST /recommend reply.
+// recommendResponse is the POST /recommend reply. Degraded marks answers
+// produced by the fallback scorer.
 type recommendResponse struct {
-	Items  []int     `json:"items"`
-	Scores []float64 `json:"scores"`
+	Items    []int     `json:"items"`
+	Scores   []float64 `json:"scores"`
+	Degraded bool      `json:"degraded,omitempty"`
+}
+
+// decodeJSON decodes a size-capped JSON body, distinguishing an oversized
+// body (413) from a malformed one (400).
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, err
+	}
+	return http.StatusOK, nil
 }
 
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req recommendRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if code, err := decodeJSON(w, r, 1<<22, &req); err != nil {
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, code, err)
 		return
 	}
-	resp, err := s.recommend(req)
+	resp, err := s.recommend(r.Context(), req)
 	if err != nil {
 		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
@@ -174,9 +369,10 @@ type batchRequest struct {
 // batchEntry is one element of the batch reply: either a response or an
 // error, never both.
 type batchEntry struct {
-	Items  []int     `json:"items,omitempty"`
-	Scores []float64 `json:"scores,omitempty"`
-	Error  string    `json:"error,omitempty"`
+	Items    []int     `json:"items,omitempty"`
+	Scores   []float64 `json:"scores,omitempty"`
+	Degraded bool      `json:"degraded,omitempty"`
+	Error    string    `json:"error,omitempty"`
 }
 
 // batchResponse is the POST /recommend/batch reply, parallel to the
@@ -190,11 +386,9 @@ const maxBatch = 256
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if code, err := decodeJSON(w, r, 1<<24, &req); err != nil {
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, code, err)
 		return
 	}
 	if len(req.Requests) == 0 || len(req.Requests) > maxBatch {
@@ -204,56 +398,147 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := batchResponse{Responses: make([]batchEntry, len(req.Requests))}
 	for i, one := range req.Requests {
-		resp, err := s.recommend(one)
+		resp, err := s.recommend(r.Context(), one)
 		if err != nil {
 			s.errors.Add(1)
 			out.Responses[i] = batchEntry{Error: err.Error()}
 			continue
 		}
 		s.items.Add(int64(len(resp.Items)))
-		out.Responses[i] = batchEntry{Items: resp.Items, Scores: resp.Scores}
+		out.Responses[i] = batchEntry{Items: resp.Items, Scores: resp.Scores, Degraded: resp.Degraded}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) recommend(req recommendRequest) (*recommendResponse, error) {
-	if req.User < 0 || req.User >= s.model.NumUsers() {
-		return nil, fmt.Errorf("user %d out of range [0,%d)", req.User, s.model.NumUsers())
+// recommend validates the request, then scores it with the primary TS-PPR
+// scorer under the request deadline, falling back to the recency/
+// popularity scorer when the primary panics or times out. Validation
+// errors are the caller's fault (400); scorer trouble never is — the
+// request still gets an answer.
+func (s *server) recommend(ctx context.Context, req recommendRequest) (*recommendResponse, error) {
+	m := s.model.Load()
+	if req.User < 0 || req.User >= m.NumUsers() {
+		return nil, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers())
 	}
 	if req.N <= 0 {
 		req.N = 10
 	}
-	if req.N > s.windowCap {
-		req.N = s.windowCap
+	if req.N > s.opts.windowCap {
+		req.N = s.opts.windowCap
 	}
-	omega := s.defaultOmega
+	omega := s.opts.defaultOmega
 	if req.Omega != nil {
 		omega = *req.Omega
 	}
-	if omega < 0 || omega >= s.windowCap {
-		return nil, fmt.Errorf("omega %d out of [0,%d)", omega, s.windowCap)
+	if omega < 0 || omega >= s.opts.windowCap {
+		return nil, fmt.Errorf("omega %d out of [0,%d)", omega, s.opts.windowCap)
 	}
 	if len(req.History) == 0 {
 		return nil, errors.New("history is empty")
 	}
 	history := make(seq.Sequence, len(req.History))
-	win := seq.NewWindow(s.windowCap)
+	win := seq.NewWindow(s.opts.windowCap)
 	for i, it := range req.History {
-		if it < 0 {
-			return nil, fmt.Errorf("history[%d] = %d is negative", i, it)
+		if it < 0 || it >= m.NumItems() {
+			return nil, fmt.Errorf("history[%d] = %d out of range [0,%d)", i, it, m.NumItems())
 		}
 		history[i] = seq.Item(it)
 		win.Push(seq.Item(it))
 	}
-	ctx := rec.Context{User: req.User, Window: win, History: history, Omega: omega}
-	sc := s.model.NewScorer()
-	items := sc.Recommend(&ctx, req.N, nil)
-	resp := &recommendResponse{Items: make([]int, len(items)), Scores: make([]float64, len(items))}
+	rctx := &rec.Context{User: req.User, Window: win, History: history, Omega: omega}
+
+	if s.shouldTryPrimary() {
+		resp, err := s.scorePrimary(ctx, m, rctx, req.N)
+		if err == nil {
+			s.primaryRecovered()
+			return resp, nil
+		}
+		s.primaryFailed(err)
+	}
+	s.fallbacks.Add(1)
+	return s.scoreFallback(rctx, req.N), nil
+}
+
+// shouldTryPrimary gates the primary scorer: always when healthy, every
+// probeEvery-th request while degraded so recovery is detected without
+// exposing much traffic to a still-broken scorer.
+func (s *server) shouldTryPrimary() bool {
+	if !s.degraded.Load() {
+		return true
+	}
+	return s.probeTick.Add(1)%int64(s.opts.probeEvery) == 0
+}
+
+func (s *server) primaryRecovered() {
+	s.failStreak.Store(0)
+	if s.degraded.CompareAndSwap(true, false) {
+		log.Print("rrc-server: primary scorer recovered, leaving degraded mode")
+	}
+}
+
+func (s *server) primaryFailed(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+	} else {
+		s.panics.Add(1)
+	}
+	streak := s.failStreak.Add(1)
+	if streak >= int64(s.opts.failThreshold) && s.degraded.CompareAndSwap(false, true) {
+		log.Printf("rrc-server: %d consecutive primary failures (last: %v), entering degraded mode", streak, err)
+	}
+}
+
+// scorePrimary runs the TS-PPR scorer in its own goroutine so a stalled
+// scorer cannot pin the request past its deadline, and absorbs scorer
+// panics into errors. On timeout the goroutine finishes in the
+// background and its buffered result is dropped.
+func (s *server) scorePrimary(ctx context.Context, m *core.Model, rctx *rec.Context, n int) (*recommendResponse, error) {
+	type scored struct {
+		resp *recommendResponse
+		err  error
+	}
+	ch := make(chan scored, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- scored{err: fmt.Errorf("primary scorer panic: %v", p)}
+			}
+		}()
+		// Resilience-test hook: a Panic/Delay plan armed at this point
+		// simulates a scorer bug or stall. Disarmed in production.
+		_ = faultinject.Do("server.score")
+		sc := m.NewScorer()
+		items := sc.Recommend(rctx, n, nil)
+		resp := &recommendResponse{Items: make([]int, len(items)), Scores: make([]float64, len(items))}
+		for i, it := range items {
+			resp.Items[i] = int(it)
+			resp.Scores[i] = sc.Score(rctx.User, it, rctx.Window)
+		}
+		ch <- scored{resp: resp}
+	}()
+	select {
+	case out := <-ch:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("primary scorer: %w", context.Cause(ctx))
+	}
+}
+
+// scoreFallback answers with the trained-table-free recency/popularity
+// scorer. It runs inline: it is allocation-light, panic-free, and fast.
+func (s *server) scoreFallback(rctx *rec.Context, n int) *recommendResponse {
+	fb := &baselines.Fallback{}
+	items := fb.Recommend(rctx, n, nil)
+	resp := &recommendResponse{
+		Items:    make([]int, len(items)),
+		Scores:   make([]float64, len(items)),
+		Degraded: true,
+	}
 	for i, it := range items {
 		resp.Items[i] = int(it)
-		resp.Scores[i] = sc.Score(req.User, it, win)
+		resp.Scores[i] = fb.Score(it, rctx.Window)
 	}
-	return resp, nil
+	return resp
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

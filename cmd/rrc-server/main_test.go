@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -37,7 +38,7 @@ func testServer(t *testing.T) (*server, []seq.Sequence) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{model: m, windowCap: 20, defaultOmega: 3}, ds.Seqs
+	return newServer(m, serverOptions{windowCap: 20, defaultOmega: 3}), ds.Seqs
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -114,7 +115,7 @@ func TestRecommendDefaultsN(t *testing.T) {
 	for _, v := range seqs[0][:40] {
 		history = append(history, int(v))
 	}
-	resp, err := srv.recommend(recommendRequest{User: 0, History: history})
+	resp, err := srv.recommend(context.Background(), recommendRequest{User: 0, History: history})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,71 +1,106 @@
 // Command rrc-train trains a TS-PPR model on a TSV event log and saves it
 // as a binary model file consumable by rrc-server and the examples.
 //
+// Long trainings are crash-tolerant: every convergence checkpoint the
+// current parameters are written atomically to a checkpoint file
+// (-checkpoint, default <out>.ckpt), and -resume warm-starts from that
+// file, so a killed run loses at most one checkpoint interval of work.
+// Divergence (NaN/Inf parameters or loss) is detected at checkpoint
+// boundaries and rolled back with a halved learning rate instead of
+// corrupting the output model.
+//
 // Usage:
 //
 //	rrc-train -data gowalla.tsv -out model.tsppr -k 40 -steps 1500000
+//	rrc-train -data gowalla.tsv -out model.tsppr -resume   # after a crash
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"time"
 
 	"tsppr/internal/core"
 	"tsppr/internal/dataset"
+	"tsppr/internal/faultinject"
 	"tsppr/internal/features"
 	"tsppr/internal/sampling"
 )
 
+// options collects every rrc-train knob; flags fill one in main.
+type options struct {
+	data      string
+	format    string
+	out       string
+	trainFrac float64
+	window    int
+	omega     int
+	negs      int
+	k         int
+	lambda    float64
+	gamma     float64
+	steps     int
+	seed      uint64
+	recency   string
+
+	checkpoint      string // "" → out + ".ckpt"
+	checkpointEvery int    // save every Nth convergence checkpoint; <=0 disables
+	resume          bool
+}
+
 func main() {
-	var (
-		data      = flag.String("data", "", "input TSV event log (required)")
-		format    = flag.String("format", "seq", "input format: seq (user<TAB>item, time-ordered) or events (user, time, item columns, any order)")
-		out       = flag.String("out", "model.tsppr", "output model path")
-		trainFrac = flag.Float64("train-frac", 0.7, "leading fraction of each sequence used for training")
-		window    = flag.Int("window", 100, "time window capacity |W|")
-		omega     = flag.Int("omega", 10, "minimum gap Ω")
-		negs      = flag.Int("s", 10, "negative samples per positive S")
-		k         = flag.Int("k", 40, "latent dimension K")
-		lambda    = flag.Float64("lambda", 0.01, "regularization λ on the maps A")
-		gamma     = flag.Float64("gamma", 0.05, "regularization γ on U and V")
-		steps     = flag.Int("steps", 0, "max SGD steps (0 = auto)")
-		seed      = flag.Uint64("seed", 42, "training seed")
-		recency   = flag.String("recency", "hyperbolic", "recency decay: hyperbolic or exponential")
-	)
+	var opts options
+	flag.StringVar(&opts.data, "data", "", "input TSV event log (required)")
+	flag.StringVar(&opts.format, "format", "seq", "input format: seq (user<TAB>item, time-ordered) or events (user, time, item columns, any order)")
+	flag.StringVar(&opts.out, "out", "model.tsppr", "output model path")
+	flag.Float64Var(&opts.trainFrac, "train-frac", 0.7, "leading fraction of each sequence used for training")
+	flag.IntVar(&opts.window, "window", 100, "time window capacity |W|")
+	flag.IntVar(&opts.omega, "omega", 10, "minimum gap Ω")
+	flag.IntVar(&opts.negs, "s", 10, "negative samples per positive S")
+	flag.IntVar(&opts.k, "k", 40, "latent dimension K")
+	flag.Float64Var(&opts.lambda, "lambda", 0.01, "regularization λ on the maps A")
+	flag.Float64Var(&opts.gamma, "gamma", 0.05, "regularization γ on U and V")
+	flag.IntVar(&opts.steps, "steps", 0, "max SGD steps (0 = auto)")
+	flag.Uint64Var(&opts.seed, "seed", 42, "training seed")
+	flag.StringVar(&opts.recency, "recency", "hyperbolic", "recency decay: hyperbolic or exponential")
+	flag.StringVar(&opts.checkpoint, "checkpoint", "", "checkpoint file (default <out>.ckpt)")
+	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 1, "save every Nth convergence checkpoint (<=0 disables checkpointing)")
+	flag.BoolVar(&opts.resume, "resume", false, "warm-start from the checkpoint file if present")
 	flag.Parse()
 
-	if err := run(*data, *format, *out, *trainFrac, *window, *omega, *negs, *k, *lambda, *gamma, *steps, *seed, *recency); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rrc-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, format, out string, trainFrac float64, window, omega, negs, k int, lambda, gamma float64, steps int, seed uint64, recency string) error {
-	if data == "" {
+func run(opts options) error {
+	if opts.data == "" {
 		return fmt.Errorf("-data is required")
 	}
 	var rk features.RecencyKind
-	switch recency {
+	switch opts.recency {
 	case "hyperbolic":
 		rk = features.Hyperbolic
 	case "exponential":
 		rk = features.Exponential
 	default:
-		return fmt.Errorf("unknown recency kind %q", recency)
+		return fmt.Errorf("unknown recency kind %q", opts.recency)
 	}
 
 	var ds *dataset.Dataset
-	switch format {
+	switch opts.format {
 	case "seq":
 		var err error
-		ds, err = dataset.LoadFile(data)
+		ds, err = dataset.LoadFile(opts.data)
 		if err != nil {
 			return err
 		}
 	case "events":
-		f, err := os.Open(data)
+		f, err := os.Open(opts.data)
 		if err != nil {
 			return err
 		}
@@ -81,27 +116,27 @@ func run(data, format, out string, trainFrac float64, window, omega, negs, k int
 			fmt.Fprintf(os.Stderr, "skipped %d unparseable lines\n", bad)
 		}
 	default:
-		return fmt.Errorf("unknown format %q (want seq or events)", format)
+		return fmt.Errorf("unknown format %q (want seq or events)", opts.format)
 	}
-	ds = ds.FilterMinTrain(trainFrac, window)
+	ds = ds.FilterMinTrain(opts.trainFrac, opts.window)
 	ds, numItems := ds.Compact()
 	if ds.NumUsers() == 0 {
-		return fmt.Errorf("no user passes the |S_u|·%.0f%% ≥ %d filter", trainFrac*100, window)
+		return fmt.Errorf("no user passes the |S_u|·%.0f%% ≥ %d filter", opts.trainFrac*100, opts.window)
 	}
 	fmt.Fprintf(os.Stderr, "dataset after filtering: %s\n", ds.Stats())
 
-	train, _ := ds.Split(trainFrac)
-	b := features.NewBuilder(numItems, window, omega)
+	train, _ := ds.Split(opts.trainFrac)
+	b := features.NewBuilder(numItems, opts.window, opts.omega)
 	for _, s := range train {
 		b.Add(s)
 	}
 	ex := b.Build(features.AllFeatures, rk)
 
 	set, err := sampling.Build(train, ex, sampling.Config{
-		WindowCap: window,
-		Omega:     omega,
-		S:         negs,
-		Seed:      seed,
+		WindowCap: opts.window,
+		Omega:     opts.omega,
+		S:         opts.negs,
+		Seed:      opts.seed,
 	})
 	if err != nil {
 		return err
@@ -109,23 +144,68 @@ func run(data, format, out string, trainFrac float64, window, omega, negs, k int
 	fmt.Fprintf(os.Stderr, "training set: %d positives, %d pairs, %d users with data\n",
 		set.NumPositives(), set.NumPairs(), set.NumUsersWithData())
 
+	cfg := core.Config{
+		K:        opts.k,
+		Lambda:   opts.lambda,
+		Gamma:    opts.gamma,
+		MaxSteps: opts.steps,
+		Seed:     opts.seed,
+	}
+
+	ckptPath := opts.checkpoint
+	if ckptPath == "" {
+		ckptPath = opts.out + ".ckpt"
+	}
+	if opts.resume {
+		warm, err := core.LoadFile(ckptPath)
+		switch {
+		case err == nil:
+			if verr := warm.Validate(); verr != nil {
+				return fmt.Errorf("checkpoint %s unusable: %w", ckptPath, verr)
+			}
+			cfg.Warm = warm
+			fmt.Fprintf(os.Stderr, "resuming from checkpoint %s\n", ckptPath)
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "no checkpoint at %s, starting fresh\n", ckptPath)
+		default:
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	ckptCount := 0
+	cfg.OnCheckpoint = func(cp core.Checkpoint) {
+		if cp.Diverged {
+			fmt.Fprintf(os.Stderr, "step %d: divergence detected (r~=%v), rolled back, learning rate halved to %g\n",
+				cp.Step, cp.RBar, cp.LR)
+			return
+		}
+		ckptCount++
+		if opts.checkpointEvery > 0 && ckptCount%opts.checkpointEvery == 0 {
+			if err := cp.Model.SaveFile(ckptPath); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint save failed (training continues): %v\n", err)
+			}
+		}
+		// Resilience-test hook: a Panic plan here simulates the process
+		// being killed mid-training, after a durable checkpoint exists.
+		_ = faultinject.Do("train.checkpoint")
+	}
+
 	start := time.Now()
-	model, stats, err := core.Train(set, len(train), numItems, ex, core.Config{
-		K:        k,
-		Lambda:   lambda,
-		Gamma:    gamma,
-		MaxSteps: steps,
-		Seed:     seed,
-	})
+	model, stats, err := core.Train(set, len(train), numItems, ex, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "trained in %v: steps=%d converged=%v r~=%.4f\n",
 		time.Since(start).Round(time.Millisecond), stats.Steps, stats.Converged, stats.FinalRBar)
+	if stats.Backoffs > 0 {
+		fmt.Fprintf(os.Stderr, "divergence rollbacks: %d (learning rate halved each time)\n", stats.Backoffs)
+	}
+	if stats.Diverged {
+		fmt.Fprintln(os.Stderr, "warning: training kept diverging; the output model is the last healthy checkpoint")
+	}
 
-	if err := model.SaveFile(out); err != nil {
+	if err := model.SaveFile(opts.out); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "model written to %s\n", out)
+	fmt.Fprintf(os.Stderr, "model written to %s\n", opts.out)
 	return nil
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
+	"tsppr/internal/faultinject"
 )
 
 func writeDataset(t *testing.T) string {
@@ -23,11 +25,21 @@ func writeDataset(t *testing.T) string {
 	return path
 }
 
+// testOpts returns the small-corpus defaults the old positional run()
+// signature used.
+func testOpts(data, out string) options {
+	return options{
+		data: data, format: "seq", out: out,
+		trainFrac: 0.7, window: 20, omega: 3, negs: 5, k: 8,
+		lambda: 0.01, gamma: 0.05, steps: 20_000, seed: 1,
+		recency: "hyperbolic", checkpointEvery: 1,
+	}
+}
+
 func TestTrainEndToEnd(t *testing.T) {
 	data := writeDataset(t)
 	out := filepath.Join(t.TempDir(), "model.tsppr")
-	err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 20_000, 1, "hyperbolic")
-	if err != nil {
+	if err := run(testOpts(data, out)); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadFile(out)
@@ -37,12 +49,22 @@ func TestTrainEndToEnd(t *testing.T) {
 	if m.K != 8 || m.F != 4 {
 		t.Fatalf("model shape K=%d F=%d", m.K, m.F)
 	}
+	// Checkpointing is on by default: the sidecar must exist and load.
+	ckpt, err := core.LoadFile(out + ".ckpt")
+	if err != nil {
+		t.Fatalf("checkpoint missing or unreadable: %v", err)
+	}
+	if err := ckpt.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTrainExponentialRecency(t *testing.T) {
 	data := writeDataset(t)
-	out := filepath.Join(t.TempDir(), "model.tsppr")
-	if err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 5_000, 1, "exponential"); err != nil {
+	opts := testOpts(data, filepath.Join(t.TempDir(), "model.tsppr"))
+	opts.recency = "exponential"
+	opts.steps = 5_000
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -50,19 +72,98 @@ func TestTrainExponentialRecency(t *testing.T) {
 func TestTrainErrors(t *testing.T) {
 	data := writeDataset(t)
 	out := filepath.Join(t.TempDir(), "m")
-	if err := run("", "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+	bad := func(mutate func(*options)) options {
+		o := testOpts(data, out)
+		o.steps = 0
+		mutate(&o)
+		return o
+	}
+	if err := run(bad(func(o *options) { o.data = "" })); err == nil {
 		t.Error("missing -data accepted")
 	}
-	if err := run(data, "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "linear"); err == nil {
+	if err := run(bad(func(o *options) { o.recency = "linear" })); err == nil {
 		t.Error("bad recency kind accepted")
 	}
-	if err := run(data, "xml", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+	if err := run(bad(func(o *options) { o.format = "xml" })); err == nil {
 		t.Error("bad format accepted")
 	}
-	if err := run(data, "seq", out, 0.7, 100_000, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+	if err := run(bad(func(o *options) { o.window = 100_000 })); err == nil {
 		t.Error("window larger than every sequence accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.tsv"), "seq", out, 0.7, 20, 3, 5, 8, 0.01, 0.05, 0, 1, "hyperbolic"); err == nil {
+	if err := run(bad(func(o *options) { o.data = filepath.Join(t.TempDir(), "missing.tsv") })); err == nil {
 		t.Error("missing input accepted")
+	}
+	if err := run(bad(func(o *options) {
+		o.resume = true
+		o.checkpoint = data // a TSV is not a model: resume must refuse, not start fresh
+	})); err == nil {
+		t.Error("resume from garbage checkpoint accepted")
+	}
+}
+
+// TestKilledAndResumedRun kills training mid-run (via an injected panic
+// right after the first durable checkpoint) and verifies that -resume
+// picks the checkpoint up and produces a loadable final model.
+func TestKilledAndResumedRun(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	data := writeDataset(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "model.tsppr")
+	opts := testOpts(data, out)
+	opts.steps = 40_000
+
+	// "Kill" the process at the second checkpoint: the first has already
+	// been written durably by then.
+	faultinject.Arm("train.checkpoint", faultinject.Plan{Mode: faultinject.Panic, After: 1})
+	killed := func() (killed bool) {
+		defer func() { killed = recover() != nil }()
+		_ = run(opts)
+		return false
+	}()
+	if !killed {
+		t.Fatal("injected kill did not fire")
+	}
+	faultinject.Reset()
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("final model exists after kill (err=%v)", err)
+	}
+	ckpt, err := core.LoadFile(out + ".ckpt")
+	if err != nil {
+		t.Fatalf("durable checkpoint unreadable after kill: %v", err)
+	}
+	if err := ckpt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: warm-starts from the checkpoint and completes.
+	opts.resume = true
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 8 || m.NumUsers() != ckpt.NumUsers() || m.NumItems() != ckpt.NumItems() {
+		t.Fatalf("resumed model shape K=%d users=%d items=%d", m.K, m.NumUsers(), m.NumItems())
+	}
+}
+
+// TestResumeWithoutCheckpointStartsFresh covers the cold-start path: the
+// flag is set but no checkpoint exists yet.
+func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	data := writeDataset(t)
+	opts := testOpts(data, filepath.Join(t.TempDir(), "model.tsppr"))
+	opts.steps = 5_000
+	opts.resume = true
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadFile(opts.out); err != nil {
+		t.Fatal(err)
 	}
 }

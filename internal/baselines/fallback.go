@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"math"
+
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// Fallback is the degraded-mode scorer used by serving layers when the
+// primary TS-PPR model is unavailable (panicking, past its deadline, or
+// failing to load). It needs no trained tables — every signal comes from
+// the request's own window — so it cannot itself fail on model state.
+//
+// The score blends the two signals repeat consumption is most skewed
+// toward: recency e^{−Δt} dominates among recently seen items, and
+// within-window frequency breaks ties in the long tail where the recency
+// term has decayed to noise. Degrading to exactly this kind of temporal
+// heuristic is principled, not just defensive: the paper's own Recency
+// and Pop baselines retain most of the achievable precision (Tables 5–6).
+type Fallback struct {
+	cands []seq.Item
+}
+
+// popWeight keeps the frequency term below the recency term for gaps up
+// to ≈ −ln(popWeight) ≈ 7 steps, past which recency is numerically noise.
+const popWeight = 1e-3
+
+// Score returns the fallback preference of v against the window.
+func (f *Fallback) Score(v seq.Item, w *seq.Window) float64 {
+	s := 0.0
+	if gap, ok := w.Gap(v); ok {
+		s = math.Exp(-float64(gap))
+	}
+	if n := w.Len(); n > 0 {
+		s += popWeight * float64(w.Count(v)) / float64(n)
+	}
+	return s
+}
+
+// Recommend implements rec.Recommender.
+func (f *Fallback) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+	f.cands = ctx.Window.Candidates(ctx.Omega, f.cands[:0])
+	return rankTopN(f.cands, func(v seq.Item) float64 {
+		return f.Score(v, ctx.Window)
+	}, n, dst)
+}
+
+// FallbackFactory returns the degraded-mode recommender factory.
+func FallbackFactory() rec.Factory {
+	return rec.Factory{Name: "Fallback", New: func(uint64) rec.Recommender {
+		return &Fallback{}
+	}}
+}

@@ -513,8 +513,16 @@ func TestOnCheckpointCallback(t *testing.T) {
 		t.Fatalf("callback fired %d times, %d checkpoints recorded", len(calls), len(stats.Checkpoints))
 	}
 	for i := range calls {
-		if calls[i] != stats.Checkpoints[i] {
-			t.Fatalf("callback %d mismatch", i)
+		if calls[i].Model == nil {
+			t.Fatalf("callback %d carried no model", i)
+		}
+		if stats.Checkpoints[i].Model != nil {
+			t.Fatalf("recorded checkpoint %d retains the live model", i)
+		}
+		got, want := calls[i], stats.Checkpoints[i]
+		got.Model = nil
+		if got != want {
+			t.Fatalf("callback %d mismatch: %+v != %+v", i, got, want)
 		}
 	}
 }

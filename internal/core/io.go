@@ -4,18 +4,31 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"tsppr/internal/faultinject"
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
 )
 
 // Model files are little-endian binary: a magic header, the shape and map
 // kind, the parameter tables, then the feature extractor's static tables.
-// The format is versioned via the magic so later revisions can migrate.
-const modelMagic = "TSPPRv1\n"
+// The format is versioned via the magic. Version 2 appends a CRC32-C
+// checksum of everything after the magic, so truncation and bit rot are
+// detected at load time instead of silently corrupting scores; the reader
+// still accepts v1 files (no checksum).
+const (
+	modelMagicV1 = "TSPPRv1\n"
+	modelMagic   = "TSPPRv2\n" // current write format
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type countingWriter struct {
 	w   io.Writer
@@ -40,13 +53,28 @@ func (cw *countingWriter) writeFloats(xs []float64) {
 	_, cw.err = cw.w.Write(buf)
 }
 
-// Write serializes the model (including its extractor) to w.
+// Write serializes the model (including its extractor) to w in the v2
+// format: magic, body, CRC32-C trailer over the body.
 func (m *Model) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, modelMagic); err != nil {
 		return fmt.Errorf("core: write magic: %w", err)
 	}
-	cw := &countingWriter{w: bw}
+	h := crc32.New(crcTable)
+	cw := &countingWriter{w: io.MultiWriter(bw, h)}
+	m.writeBody(cw)
+	if cw.err != nil {
+		return fmt.Errorf("core: write model: %w", cw.err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return fmt.Errorf("core: write checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// writeBody emits everything between the magic and the checksum trailer.
+// The layout is shared by v1 and v2.
+func (m *Model) writeBody(cw *countingWriter) {
 	cw.write(int64(m.K))
 	cw.write(int64(m.F))
 	cw.write(int64(m.MapType))
@@ -66,10 +94,6 @@ func (m *Model) Write(w io.Writer) error {
 	cw.write(int64(len(quality)))
 	cw.writeFloats(quality)
 	cw.writeFloats(reratio)
-	if cw.err != nil {
-		return fmt.Errorf("core: write model: %w", cw.err)
-	}
-	return bw.Flush()
 }
 
 type countingReader struct {
@@ -102,17 +126,52 @@ func (cr *countingReader) readFloats(n int) []float64 {
 	return xs
 }
 
-// ReadModel deserializes a model written by Write.
+// hashingReader forwards reads while feeding every delivered byte into h,
+// so the v2 reader can checksum exactly the bytes the parser consumed.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	if n > 0 {
+		hr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadModel deserializes a model written by Write. It accepts the current
+// v2 format (checksummed) and the legacy v1 format.
 func ReadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(modelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: read magic: %w", err)
 	}
-	if string(magic) != modelMagic {
+	switch string(magic) {
+	case modelMagicV1:
+		return readBody(&countingReader{r: br})
+	case modelMagic:
+		hr := &hashingReader{r: br, h: crc32.New(crcTable)}
+		m, err := readBody(&countingReader{r: hr})
+		if err != nil {
+			return nil, err
+		}
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, fmt.Errorf("core: read checksum: %w", err)
+		}
+		if got := hr.h.Sum32(); got != want {
+			return nil, fmt.Errorf("core: checksum mismatch (got %08x, want %08x): file is truncated or corrupt", got, want)
+		}
+		return m, nil
+	default:
 		return nil, fmt.Errorf("core: bad model magic %q", magic)
 	}
-	cr := &countingReader{r: br}
+}
+
+func readBody(cr *countingReader) (*Model, error) {
 	k := int(cr.readInt())
 	f := int(cr.readInt())
 	mapType := MapKind(cr.readInt())
@@ -173,18 +232,49 @@ func ReadModel(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes the model to path, creating or truncating it.
-func (m *Model) SaveFile(path string) (err error) {
-	f, err := os.Create(path)
+// SaveFile writes the model to path atomically: the bytes go to a
+// temporary file in the same directory which is fsynced and then renamed
+// over path, so a crash (or an injected fault) mid-write never leaves a
+// truncated model where a good one used to be.
+func (m *Model) SaveFile(path string) error {
+	return writeFileAtomic(path, m.Write)
+}
+
+// writeFileAtomic streams fn into a temp file next to path, fsyncs it,
+// and renames it over path. On any error the temp file is removed and the
+// existing file at path is left untouched. The write stream passes
+// through the "core.io.write" fault-injection point.
+func writeFileAtomic(path string, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 		}
 	}()
-	return m.Write(f)
+	if err := fn(faultinject.WrapWriter("core.io.write", tmp)); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("core: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	tmp = nil // renamed away; nothing to clean up
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a model from path.

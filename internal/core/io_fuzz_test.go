@@ -62,6 +62,43 @@ func TestReadModelArbitraryBytes(t *testing.T) {
 	}
 }
 
+// FuzzReadModel drives ReadModel with arbitrary bytes seeded from a real
+// v2 model, its v1 rendering, truncations, bit flips, and hostile shape
+// headers. The invariant: ReadModel returns (model, nil) or (nil, error) —
+// it never panics and never allocates from unvalidated shape claims.
+// The seed corpus alone runs under plain `go test`; `go test -fuzz
+// FuzzReadModel` explores further.
+func FuzzReadModel(f *testing.F) {
+	train, numItems, ex, set := corpus(f, 4)
+	m, _, err := Train(set, len(train), numItems, ex, smallConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])    // truncated mid-body
+	f.Add(blob[:len(blob)-2])    // truncated in the checksum trailer
+	f.Add([]byte(modelMagic))    // header only
+	f.Add([]byte{})              // empty
+	f.Add([]byte("TSPPRv9\nxx")) // unknown version
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	// Valid magic, absurd shape claim: must be rejected before allocating.
+	hostile := append([]byte(modelMagic), bytes.Repeat([]byte{0xff}, 40)...)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadModel(bytes.NewReader(data))
+		if (got == nil) == (err == nil) {
+			t.Fatalf("got model=%v err=%v; want exactly one", got != nil, err)
+		}
+	})
+}
+
 // TestReadModelHostileHeader crafts a valid magic with absurd shape
 // claims: the reader must reject them before allocating.
 func TestReadModelHostileHeader(t *testing.T) {

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
@@ -65,6 +66,44 @@ type Model struct {
 	// IdentityMap → nil.
 
 	Extractor *features.Extractor
+}
+
+// Validate checks that the model is fit to serve: consistent shapes and
+// finite parameters throughout. A file can parse (and even checksum)
+// cleanly yet hold NaN/Inf parameters if a diverged training run saved
+// it, so serving layers validate before swapping a model in.
+func (m *Model) Validate() error {
+	if m.U == nil || m.V == nil || m.Extractor == nil {
+		return fmt.Errorf("core: model missing tables")
+	}
+	if m.U.Cols != m.K || m.V.Cols != m.K {
+		return fmt.Errorf("core: latent table width %d/%d != K %d", m.U.Cols, m.V.Cols, m.K)
+	}
+	if m.Extractor.Dim() != m.F {
+		return fmt.Errorf("core: extractor dim %d != F %d", m.Extractor.Dim(), m.F)
+	}
+	if !finiteSlice(m.U.Data) {
+		return fmt.Errorf("core: non-finite value in U")
+	}
+	if !finiteSlice(m.V.Data) {
+		return fmt.Errorf("core: non-finite value in V")
+	}
+	for i, a := range m.A {
+		if !finiteSlice(a.Data) {
+			return fmt.Errorf("core: non-finite value in A[%d]", i)
+		}
+	}
+	return nil
+}
+
+func finiteSlice(xs []float64) bool {
+	for _, x := range xs {
+		// NaN and ±Inf both fail this self-comparison / range test.
+		if x != x || x > math.MaxFloat64 || x < -math.MaxFloat64 {
+			return false
+		}
+	}
+	return true
 }
 
 // NumUsers returns the number of users the model was trained over.

@@ -56,8 +56,16 @@ type Config struct {
 	TwoPhase bool
 
 	// OnCheckpoint, when non-nil, is invoked synchronously after every
-	// convergence checkpoint (progress reporting for long trainings).
+	// convergence checkpoint (progress reporting for long trainings, or
+	// durable checkpointing via Checkpoint.Model — training is paused for
+	// the duration of the call, so the model may be serialized safely).
 	OnCheckpoint func(Checkpoint)
+
+	// MaxBackoffs caps how many times a diverged run (NaN/Inf in the
+	// parameters or the convergence batch) is rolled back to the last
+	// healthy checkpoint with a halved learning rate before training
+	// gives up and returns the last healthy parameters. 0 means 8.
+	MaxBackoffs int
 }
 
 func (c Config) withDefaults(numPairs int) Config {
@@ -94,6 +102,9 @@ func (c Config) withDefaults(numPairs int) Config {
 	if c.ConvergenceTol == 0 {
 		c.ConvergenceTol = 1e-3
 	}
+	if c.MaxBackoffs == 0 {
+		c.MaxBackoffs = 8
+	}
 	return c
 }
 
@@ -114,9 +125,17 @@ func (c Config) validate(featDim int) error {
 // Checkpoint records the convergence-batch state at one check point
 // (paper Fig. 12 plots RBar against Step).
 type Checkpoint struct {
-	Step int
-	RBar float64 // mean preference difference r̃ over the small batch
-	Loss float64 // mean −ln σ(margin) over the small batch
+	Step     int
+	RBar     float64 // mean preference difference r̃ over the small batch
+	Loss     float64 // mean −ln σ(margin) over the small batch
+	LR       float64 // base learning rate in effect after this checkpoint
+	Diverged bool    // this checkpoint detected NaN/Inf and rolled back
+
+	// Model is the live training model at this checkpoint. Training is
+	// paused while OnCheckpoint runs, so hooks may read or serialize it;
+	// they must not retain it past the call or mutate it. After a
+	// Diverged checkpoint it holds the restored last-healthy parameters.
+	Model *Model
 }
 
 // TrainStats reports how training went.
@@ -125,6 +144,8 @@ type TrainStats struct {
 	Converged   bool
 	Checkpoints []Checkpoint
 	FinalRBar   float64
+	Backoffs    int  // divergence rollbacks performed (learning-rate halvings)
+	Diverged    bool // run hit MaxBackoffs and stopped at the last healthy parameters
 }
 
 // Train fits a TS-PPR model on the pre-sampled training set. numUsers and
@@ -195,6 +216,18 @@ func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 	tr := trainer{m: m, cfg: cfg}
 	tr.init()
 	baseLR := cfg.LearningRate
+	lastGood := snapshotParams(m)
+
+	emit := func(cp Checkpoint) {
+		// The stats copy drops the live model pointer: Checkpoints are
+		// retained by callers long after training mutates (or frees) it.
+		flat := cp
+		flat.Model = nil
+		stats.Checkpoints = append(stats.Checkpoints, flat)
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(cp)
+		}
+	}
 
 	// SGD makes r̃ noisy between checkpoints, so a single small Δr̃ is
 	// often luck rather than convergence; require a few consecutive
@@ -221,11 +254,25 @@ func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 		stats.Steps = step
 		if step%cfg.CheckEvery == 0 || step == cfg.MaxSteps {
 			rbar, loss := tr.evalBatch(batch)
-			cp := Checkpoint{Step: step, RBar: rbar, Loss: loss}
-			stats.Checkpoints = append(stats.Checkpoints, cp)
-			if cfg.OnCheckpoint != nil {
-				cfg.OnCheckpoint(cp)
+			if !finite(rbar) || !finite(loss) || !paramsFinite(m) {
+				// The run diverged. Roll back to the last healthy
+				// checkpoint and halve the learning rate rather than
+				// letting NaN/Inf spread through the parameter tables.
+				stats.Backoffs++
+				restoreParams(m, lastGood)
+				baseLR /= 2
+				emit(Checkpoint{Step: step, RBar: rbar, Loss: loss, LR: baseLR, Diverged: true, Model: m})
+				if stats.Backoffs >= cfg.MaxBackoffs {
+					stats.Diverged = true
+					stats.FinalRBar, _ = tr.evalBatch(batch)
+					return m, stats, nil
+				}
+				prevRBar = math.Inf(-1)
+				streak = 0
+				continue
 			}
+			copyParams(lastGood, m)
+			emit(Checkpoint{Step: step, RBar: rbar, Loss: loss, LR: baseLR, Model: m})
 			if math.Abs(rbar-prevRBar) <= cfg.ConvergenceTol {
 				streak++
 				if streak >= convergeStreak {
@@ -241,6 +288,60 @@ func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 	}
 	stats.FinalRBar = prevRBar
 	return m, stats, nil
+}
+
+// paramSnapshot is a deep copy of a model's mutable parameters, used to
+// roll back a diverged run to its last healthy checkpoint.
+type paramSnapshot struct {
+	u, v []float64
+	a    [][]float64
+}
+
+func snapshotParams(m *Model) *paramSnapshot {
+	s := &paramSnapshot{
+		u: append([]float64(nil), m.U.Data...),
+		v: append([]float64(nil), m.V.Data...),
+		a: make([][]float64, len(m.A)),
+	}
+	for i, a := range m.A {
+		s.a[i] = append([]float64(nil), a.Data...)
+	}
+	return s
+}
+
+// copyParams refreshes an existing snapshot from the model in place.
+func copyParams(dst *paramSnapshot, m *Model) {
+	copy(dst.u, m.U.Data)
+	copy(dst.v, m.V.Data)
+	for i, a := range m.A {
+		copy(dst.a[i], a.Data)
+	}
+}
+
+// restoreParams writes a snapshot back into the model's tables.
+func restoreParams(m *Model, s *paramSnapshot) {
+	copy(m.U.Data, s.u)
+	copy(m.V.Data, s.v)
+	for i, a := range m.A {
+		copy(a.Data, s.a[i])
+	}
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// paramsFinite scans every parameter table for NaN/Inf. It runs only at
+// checkpoint boundaries, so the O(params) cost is amortized over
+// CheckEvery SGD steps.
+func paramsFinite(m *Model) bool {
+	if !finiteSlice(m.U.Data) || !finiteSlice(m.V.Data) {
+		return false
+	}
+	for _, a := range m.A {
+		if !finiteSlice(a.Data) {
+			return false
+		}
+	}
+	return true
 }
 
 // initModel builds the parameter tables, Gaussian-initialized per

@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Do("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Do returned %v", err)
+	}
+	if _, fire := Fire("nothing.armed"); fire {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Plan{Mode: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed Panic plan did not panic")
+		}
+	}()
+	_ = Do("p")
+}
+
+func TestErrorPlan(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("e", Plan{Mode: Error})
+	if err := Do("e"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	custom := errors.New("boom")
+	Arm("e", Plan{Mode: Error, Err: custom})
+	if err := Do("e"); !errors.Is(err, custom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelayPlan(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("d", Plan{Mode: Delay, Sleep: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Do("d"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("ac", Plan{Mode: Error, After: 2, Count: 3})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if _, f := Fire("ac"); f {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired at hit %d despite After=2", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if hits, f := Hits("ac"); hits != 10 || f != 3 {
+		t.Fatalf("Hits = %d/%d", hits, f)
+	}
+}
+
+func TestProbIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Arm("pr", Plan{Mode: Error, Prob: 0.5, Seed: 7})
+		out := make([]bool, 100)
+		for i := range out {
+			_, out[i] = Fire("pr")
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Prob schedule not reproducible")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 20 || fired > 80 {
+		t.Fatalf("Prob=0.5 fired %d/100", fired)
+	}
+}
+
+func TestShortWriteWriter(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("w", Plan{Mode: ShortWrite})
+	var buf bytes.Buffer
+	w := WrapWriter("w", &buf)
+	n, err := w.Write(make([]byte, 64))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 32 || buf.Len() != 32 {
+		t.Fatalf("wrote %d/%d bytes, want 32", n, buf.Len())
+	}
+}
+
+func TestCorruptWriter(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("c", Plan{Mode: Corrupt, Seed: 3})
+	orig := bytes.Repeat([]byte{0xAA}, 128)
+	var buf bytes.Buffer
+	w := WrapWriter("c", &buf)
+	if _, err := w.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(orig) {
+		t.Fatalf("length changed: %d", buf.Len())
+	}
+	if bytes.Equal(buf.Bytes(), orig) {
+		t.Fatal("corrupt write left bytes untouched")
+	}
+	// The caller's buffer must not be mutated.
+	for _, b := range orig {
+		if b != 0xAA {
+			t.Fatal("caller buffer mutated")
+		}
+	}
+	diff := 0
+	for i := range orig {
+		if buf.Bytes()[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestWrapWriterDisarmedForwards(t *testing.T) {
+	Reset()
+	var buf bytes.Buffer
+	w := WrapWriter("none", &buf)
+	if _, err := w.Write([]byte("hello")); err != nil || buf.String() != "hello" {
+		t.Fatalf("forward failed: %v %q", err, buf.String())
+	}
+}
