@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz
+.PHONY: check build fmt vet test race fuzz fuzz-smoke
 
-## check: everything CI should gate on — formatting, vet, race-enabled tests
-check: fmt vet race
+## check: everything CI should gate on — formatting, vet, race-enabled tests,
+## and the fuzz targets over their seed corpora
+check: fmt vet race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-## fuzz: a short bounded fuzz of the model loader (seed corpus always runs in `test`)
+## fuzz-smoke: run every fuzz target over its checked-in seed corpus only
+## (no mutation) — fast enough to gate on
+fuzz-smoke:
+	$(GO) test ./internal/core ./internal/dataset -run '^Fuzz' -count=1
+
+## fuzz: short bounded fuzzing with mutation — model loader and TSV readers
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzReadModel -fuzztime 20s
+	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzReadWith -fuzztime 20s
+	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzValidateReader -fuzztime 10s

@@ -187,7 +187,7 @@ func ablationRun(b *testing.B, rk features.RecencyKind, mapType core.MapKind, fo
 		if err != nil {
 			b.Fatal(err)
 		}
-		lastMaAP, _ = r.At(10)
+		lastMaAP, _, _ = r.At(10)
 	}
 	b.ReportMetric(lastMaAP, "MaAP@10")
 }
@@ -232,7 +232,7 @@ func BenchmarkAblationResampling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			last, _ = r.At(10)
+			last, _, _ = r.At(10)
 		}
 		b.ReportMetric(last, "MaAP@10")
 	})
@@ -266,7 +266,7 @@ func BenchmarkAblationResampling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			last, _ = r.At(10)
+			last, _, _ = r.At(10)
 		}
 		b.ReportMetric(last, "MaAP@10")
 	})

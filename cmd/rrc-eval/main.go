@@ -6,39 +6,69 @@
 //	rrc-eval -exp fig5           # one experiment
 //	rrc-eval -exp all            # the whole evaluation section
 //	rrc-eval -exp fig9 -quick    # shrunken sweep for a fast look
+//	rrc-eval -exp all -timeout 10m
 //	rrc-eval -list               # show available experiment ids
+//
+// SIGINT/SIGTERM (and -timeout expiry) stop the run between stages:
+// experiments print complete artifacts or nothing. Exit codes: 0 ok,
+// 2 usage, 124 deadline exceeded, 130 interrupted, 1 otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"tsppr/internal/cli"
 	"tsppr/internal/experiments"
 )
 
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !isUsage(err) {
+		fmt.Fprintln(os.Stderr, "rrc-eval:", err)
+	}
+	os.Exit(cli.ExitCode(err))
+}
+
+// isUsage reports errors whose details the flag package already printed.
+func isUsage(err error) bool {
+	return err == flag.ErrHelp || err == cli.ErrUsage
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rrc-eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quick   = flag.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
-		gowalla = flag.Int("gowalla-users", 0, "override gowalla-sim user count")
-		lastfm  = flag.Int("lastfm-users", 0, "override lastfm-sim user count")
-		seed    = flag.Uint64("seed", 0, "override suite seed")
-		steps   = flag.Int("steps", 0, "override TS-PPR max SGD steps")
+		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		quick   = fs.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
+		gowalla = fs.Int("gowalla-users", 0, "override gowalla-sim user count")
+		lastfm  = fs.Int("lastfm-users", 0, "override lastfm-sim user count")
+		seed    = fs.Uint64("seed", 0, "override suite seed")
+		steps   = fs.Int("steps", 0, "override TS-PPR max SGD steps")
+		timeout = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return cli.ErrUsage // flag already printed the details
+	}
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return nil
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "rrc-eval: -exp is required (use -list to enumerate)")
-		os.Exit(2)
+		return fmt.Errorf("-exp is required (use -list to enumerate): %w", cli.ErrUsage)
 	}
+
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
 
 	p := experiments.Params{
 		GowallaUsers: *gowalla,
@@ -46,6 +76,7 @@ func main() {
 		Seed:         *seed,
 		MaxSteps:     *steps,
 		Quick:        *quick,
+		Context:      ctx,
 	}
 	if *quick {
 		if p.GowallaUsers == 0 {
@@ -61,17 +92,26 @@ func main() {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		run, ok := experiments.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "rrc-eval: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+		if _, ok := experiments.Registry[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list): %w", id, cli.ErrUsage)
 		}
-		fmt.Printf("==> %s\n", id)
-		start := time.Now()
-		if err := run(os.Stdout, p); err != nil {
-			fmt.Fprintf(os.Stderr, "rrc-eval: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("<== %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "rrc-eval: interrupted before %s\n", id)
+			return err
+		}
+		run := experiments.Registry[id]
+		fmt.Fprintf(stdout, "==> %s\n", id)
+		start := time.Now()
+		if err := run(stdout, p); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				fmt.Fprintf(stderr, "rrc-eval: interrupted during %s: %v\n", id, err)
+				return ctxErr
+			}
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(stdout, "<== %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }

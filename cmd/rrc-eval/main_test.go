@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"tsppr/internal/cli"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table2") {
+		t.Fatalf("-list output missing table2:\n%s", out.String())
+	}
+	if cli.ExitCode(nil) != 0 {
+		t.Fatal("nil error must exit 0")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                        // -exp missing
+		{"-exp", "nope"},           // unknown id
+		{"-definitely-not-a-flag"}, // parse failure
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		err := run(args, &out, &errb)
+		if err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+		if code := cli.ExitCode(err); code != 2 {
+			t.Fatalf("run(%v) exit code = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "table2", "-quick", "-gowalla-users", "12", "-lastfm-users", "8", "-steps", "2000"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("quick table2 failed: %v\nstderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "==> table2") || !strings.Contains(out.String(), "done in") {
+		t.Fatalf("missing experiment markers:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "table2", "-quick", "-gowalla-users", "12", "-lastfm-users", "8", "-timeout", "1ns"}
+	err := run(args, &out, &errb)
+	if err == nil {
+		t.Fatal("1ns timeout did not interrupt")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if code := cli.ExitCode(err); code != 124 {
+		t.Fatalf("exit code = %d, want 124", code)
+	}
+}

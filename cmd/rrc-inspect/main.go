@@ -3,15 +3,28 @@
 // w_u = A_uᵀu (the model's personalized weighting of IP/IR/RE/DF), their
 // population spread, and the magnitude split between the static and
 // dynamic terms of the preference function.
+//
+// With -validate, it instead streams the given TSV event logs and reports
+// per-file bad-line counts and dataset invariant violations (non-dense
+// user/item ids, empty sequences, ungrouped user blocks) without loading
+// the datasets into memory; the exit code is nonzero when any file has
+// problems.
+//
+//	rrc-inspect                       # model diagnostics
+//	rrc-inspect -validate a.tsv b.tsv # dataset health check
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
+	"tsppr/internal/cli"
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
+	"tsppr/internal/dataset"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
@@ -21,10 +34,48 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "rrc-inspect:", err)
-		os.Exit(1)
+	validate := flag.Bool("validate", false, "validate TSV event logs given as arguments instead of inspecting a model")
+	flag.Parse()
+	var err error
+	if *validate {
+		err = runValidate(flag.Args(), os.Stdout)
+	} else {
+		err = run()
 	}
+	if err != nil && err != cli.ErrUsage {
+		fmt.Fprintln(os.Stderr, "rrc-inspect:", err)
+	}
+	os.Exit(cli.ExitCode(err))
+}
+
+// runValidate streams each file once and prints its health report. It
+// fails when any file has malformed lines or invariant violations.
+func runValidate(paths []string, stdout io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-validate needs at least one TSV file argument: %w", cli.ErrUsage)
+	}
+	bad := 0
+	for _, path := range paths {
+		rep, err := dataset.ValidateFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: lines=%d events=%d users=%d items=%d badLines=%d outOfOrder=%d duplicates=%d\n",
+			rep.Path, rep.Lines, rep.Events, rep.Users, rep.Items, rep.BadLines, rep.OutOfOrder, rep.Duplicates)
+		vs := rep.Violations()
+		for _, v := range vs {
+			fmt.Fprintf(stdout, "  violation: %s\n", v)
+		}
+		if len(vs) > 0 {
+			bad++
+		} else {
+			fmt.Fprintln(stdout, "  ok")
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d files failed validation", bad, len(paths))
+	}
+	return nil
 }
 
 func run() error {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsppr/internal/cli"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateCleanFile(t *testing.T) {
+	path := writeFile(t, "clean.tsv", "0\t0\n0\t1\n1\t0\n1\t1\n")
+	var out bytes.Buffer
+	if err := runValidate([]string{path}, &out); err != nil {
+		t.Fatalf("clean file failed validation: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") || !strings.Contains(out.String(), "events=4") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+}
+
+func TestValidateDirtyFile(t *testing.T) {
+	// Bad line, a user id gap (user 5), and an out-of-order block for user 0.
+	path := writeFile(t, "dirty.tsv", "0\t0\nnot-a-line\n5\t1\n0\t2\n")
+	var out bytes.Buffer
+	err := runValidate([]string{path}, &out)
+	if err == nil {
+		t.Fatalf("dirty file passed validation:\n%s", out.String())
+	}
+	if cli.ExitCode(err) == 0 {
+		t.Fatal("validation failure must exit nonzero")
+	}
+	s := out.String()
+	if !strings.Contains(s, "badLines=1") || !strings.Contains(s, "violation:") {
+		t.Fatalf("report missing diagnostics:\n%s", s)
+	}
+}
+
+func TestValidateUsage(t *testing.T) {
+	if err := runValidate(nil, &bytes.Buffer{}); cli.ExitCode(err) != 2 {
+		t.Fatalf("no-args exit code = %d, want 2", cli.ExitCode(err))
+	}
+}

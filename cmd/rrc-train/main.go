@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"tsppr/internal/cli"
 	"tsppr/internal/core"
 	"tsppr/internal/dataset"
 	"tsppr/internal/faultinject"
@@ -49,6 +51,9 @@ type options struct {
 	checkpoint      string // "" → out + ".ckpt"
 	checkpointEvery int    // save every Nth convergence checkpoint; <=0 disables
 	resume          bool
+
+	lenient     bool // tolerate malformed input lines (seq format)
+	maxBadLines int  // lenient error budget; 0 = unlimited
 }
 
 func main() {
@@ -69,15 +74,21 @@ func main() {
 	flag.StringVar(&opts.checkpoint, "checkpoint", "", "checkpoint file (default <out>.ckpt)")
 	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 1, "save every Nth convergence checkpoint (<=0 disables checkpointing)")
 	flag.BoolVar(&opts.resume, "resume", false, "warm-start from the checkpoint file if present")
+	flag.BoolVar(&opts.lenient, "lenient", false, "tolerate malformed input lines (seq format): quarantine them to <data>.quarantine and keep going")
+	flag.IntVar(&opts.maxBadLines, "max-bad-lines", 0, "abort a lenient read after this many bad lines (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort training after this long, saving the last checkpoint (0 = no limit)")
 	flag.Parse()
 
-	if err := run(opts); err != nil {
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+	err := run(ctx, opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrc-train:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }
 
-func run(opts options) error {
+func run(ctx context.Context, opts options) error {
 	if opts.data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -95,9 +106,23 @@ func run(opts options) error {
 	switch opts.format {
 	case "seq":
 		var err error
-		ds, err = dataset.LoadFile(opts.data)
-		if err != nil {
-			return err
+		if opts.lenient {
+			var rep *dataset.ReadReport
+			ds, rep, err = dataset.LoadFileWith(opts.data, dataset.ReadOptions{
+				Lenient:     true,
+				MaxBadLines: opts.maxBadLines,
+			})
+			if err != nil {
+				return err
+			}
+			if rep.BadLines > 0 {
+				fmt.Fprintf(os.Stderr, "lenient read: %s (quarantine: %s)\n", rep.String(), dataset.QuarantinePath(opts.data))
+			}
+		} else {
+			ds, err = dataset.LoadFile(opts.data)
+			if err != nil {
+				return err
+			}
 		}
 	case "events":
 		f, err := os.Open(opts.data)
@@ -190,9 +215,23 @@ func run(opts options) error {
 	}
 
 	start := time.Now()
-	model, stats, err := core.Train(set, len(train), numItems, ex, cfg)
+	model, stats, err := core.TrainContext(ctx, set, len(train), numItems, ex, cfg)
 	if err != nil {
 		return err
+	}
+	if stats.Interrupted {
+		// Flush the partial model where -resume will find it, then report
+		// the interruption through the exit code (130/124).
+		if serr := model.SaveFile(ckptPath); serr != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; partial checkpoint save failed: %v\n", serr)
+		} else {
+			fmt.Fprintf(os.Stderr, "interrupted at step %d; partial model checkpointed to %s (re-run with -resume)\n",
+				stats.Steps, ckptPath)
+		}
+		if cause := context.Cause(ctx); cause != nil {
+			return fmt.Errorf("training interrupted: %w", cause)
+		}
+		return errors.New("training interrupted")
 	}
 	fmt.Fprintf(os.Stderr, "trained in %v: steps=%d converged=%v r~=%.4f\n",
 		time.Since(start).Round(time.Millisecond), stats.Steps, stats.Converged, stats.FinalRBar)

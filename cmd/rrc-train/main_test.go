@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -39,7 +40,7 @@ func testOpts(data, out string) options {
 func TestTrainEndToEnd(t *testing.T) {
 	data := writeDataset(t)
 	out := filepath.Join(t.TempDir(), "model.tsppr")
-	if err := run(testOpts(data, out)); err != nil {
+	if err := run(context.Background(), testOpts(data, out)); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadFile(out)
@@ -64,7 +65,7 @@ func TestTrainExponentialRecency(t *testing.T) {
 	opts := testOpts(data, filepath.Join(t.TempDir(), "model.tsppr"))
 	opts.recency = "exponential"
 	opts.steps = 5_000
-	if err := run(opts); err != nil {
+	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -78,22 +79,22 @@ func TestTrainErrors(t *testing.T) {
 		mutate(&o)
 		return o
 	}
-	if err := run(bad(func(o *options) { o.data = "" })); err == nil {
+	if err := run(context.Background(), bad(func(o *options) { o.data = "" })); err == nil {
 		t.Error("missing -data accepted")
 	}
-	if err := run(bad(func(o *options) { o.recency = "linear" })); err == nil {
+	if err := run(context.Background(), bad(func(o *options) { o.recency = "linear" })); err == nil {
 		t.Error("bad recency kind accepted")
 	}
-	if err := run(bad(func(o *options) { o.format = "xml" })); err == nil {
+	if err := run(context.Background(), bad(func(o *options) { o.format = "xml" })); err == nil {
 		t.Error("bad format accepted")
 	}
-	if err := run(bad(func(o *options) { o.window = 100_000 })); err == nil {
+	if err := run(context.Background(), bad(func(o *options) { o.window = 100_000 })); err == nil {
 		t.Error("window larger than every sequence accepted")
 	}
-	if err := run(bad(func(o *options) { o.data = filepath.Join(t.TempDir(), "missing.tsv") })); err == nil {
+	if err := run(context.Background(), bad(func(o *options) { o.data = filepath.Join(t.TempDir(), "missing.tsv") })); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(bad(func(o *options) {
+	if err := run(context.Background(), bad(func(o *options) {
 		o.resume = true
 		o.checkpoint = data // a TSV is not a model: resume must refuse, not start fresh
 	})); err == nil {
@@ -118,7 +119,7 @@ func TestKilledAndResumedRun(t *testing.T) {
 	faultinject.Arm("train.checkpoint", faultinject.Plan{Mode: faultinject.Panic, After: 1})
 	killed := func() (killed bool) {
 		defer func() { killed = recover() != nil }()
-		_ = run(opts)
+		_ = run(context.Background(), opts)
 		return false
 	}()
 	if !killed {
@@ -138,7 +139,7 @@ func TestKilledAndResumedRun(t *testing.T) {
 
 	// Resume: warm-starts from the checkpoint and completes.
 	opts.resume = true
-	if err := run(opts); err != nil {
+	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadFile(out)
@@ -160,7 +161,7 @@ func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
 	opts := testOpts(data, filepath.Join(t.TempDir(), "model.tsppr"))
 	opts.steps = 5_000
 	opts.resume = true
-	if err := run(opts); err != nil {
+	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := core.LoadFile(opts.out); err != nil {

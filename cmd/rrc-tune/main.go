@@ -4,13 +4,24 @@
 // decisions rather than folklore.
 //
 //	rrc-tune -gowalla-users 300 -lastfm-users 120
+//	rrc-tune -checkpoint tune.ckpt -timeout 30m   # resumable long sweep
+//
+// With -checkpoint, finished grid cells are flushed to disk as the sweep
+// runs; re-running the same command resumes where the previous run
+// stopped. SIGINT/SIGTERM (and -timeout expiry) stop the sweep between
+// cells. Exit codes: 0 ok, 2 usage, 124 deadline exceeded, 130
+// interrupted, 1 otherwise.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"tsppr/internal/cli"
 	"tsppr/internal/dataset"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
@@ -19,21 +30,42 @@ import (
 )
 
 func main() {
-	var (
-		gowallaUsers = flag.Int("gowalla-users", 60, "gowalla-sim user count")
-		lastfmUsers  = flag.Int("lastfm-users", 30, "lastfm-sim user count")
-		topN         = flag.Int("objective", 1, "TopN that ranks configurations")
-	)
-	flag.Parse()
-
-	if err := run(*gowallaUsers, *lastfmUsers, *topN); err != nil {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && err != flag.ErrHelp && err != cli.ErrUsage {
 		fmt.Fprintln(os.Stderr, "rrc-tune:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }
 
-func run(gowallaUsers, lastfmUsers, topN int) error {
-	p := experiments.Params{GowallaUsers: gowallaUsers, LastfmUsers: lastfmUsers, Quick: true}.Defaults()
+type options struct {
+	gowallaUsers int
+	lastfmUsers  int
+	topN         int
+	checkpoint   string
+	steps        int
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rrc-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opts options
+	fs.IntVar(&opts.gowallaUsers, "gowalla-users", 60, "gowalla-sim user count")
+	fs.IntVar(&opts.lastfmUsers, "lastfm-users", 30, "lastfm-sim user count")
+	fs.IntVar(&opts.topN, "objective", 1, "TopN that ranks configurations")
+	fs.StringVar(&opts.checkpoint, "checkpoint", "", "checkpoint file prefix for resumable sweeps (per-dataset suffix added)")
+	fs.IntVar(&opts.steps, "steps", 0, "override TS-PPR max SGD steps per cell")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return cli.ErrUsage // flag already printed the details
+	}
+
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+
+	p := experiments.Params{GowallaUsers: opts.gowallaUsers, LastfmUsers: opts.lastfmUsers, MaxSteps: opts.steps, Quick: true}.Defaults()
 	gow, lfm, err := experiments.Workloads(p)
 	if err != nil {
 		return err
@@ -45,40 +77,69 @@ func run(gowallaUsers, lastfmUsers, topN int) error {
 		Ks:            []int{40},
 		TwoPhase:      []bool{true},
 	}
+	if opts.steps > 0 {
+		grid.MaxSteps = []int{opts.steps}
+	}
+	var interrupted bool
 	for _, ds := range []*dataset.Dataset{gow, lfm} {
-		if err := tuneDataset(ds, p, grid, topN); err != nil {
+		partial, err := tuneDataset(ctx, ds, p, grid, opts, stdout)
+		if err != nil {
 			return err
 		}
+		interrupted = interrupted || partial
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "rrc-tune: interrupted — finished cells are checkpointed; re-run the same command to resume")
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return errors.New("interrupted")
 	}
 	return nil
 }
 
-func tuneDataset(ds *dataset.Dataset, p experiments.Params, grid tuning.Grid, topN int) error {
+// tuneDataset runs (or resumes) one dataset's sweep and prints the
+// ranking. It reports interrupted=true when some cells did not finish.
+func tuneDataset(ctx context.Context, ds *dataset.Dataset, p experiments.Params, grid tuning.Grid, opts options, stdout io.Writer) (interrupted bool, err error) {
 	pl, err := experiments.NewPipeline(ds, p, features.AllFeatures, features.Hyperbolic)
 	if err != nil {
-		return err
+		return false, err
 	}
-	outcomes, err := tuning.Search(tuning.Task{
+	task := tuning.Task{
 		Train: pl.Train, Test: pl.Test, NumItems: pl.NumItems,
 		Extractor: pl.Ex, Set: pl.Set,
 		Eval:          eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed},
-		ObjectiveTopN: topN,
+		ObjectiveTopN: opts.topN,
 		Seed:          p.Seed,
-	}, grid)
-	if err != nil {
-		return err
 	}
-	tuning.Rank(outcomes, topN)
-	fmt.Printf("\n%s — %d configurations, best first (objective MaAP@%d)\n", ds.Name, len(outcomes), topN)
-	for i, o := range outcomes {
-		if o.Err != nil {
-			fmt.Printf("%2d. %s  FAILED: %v\n", i+1, o.Point, o.Err)
+	if opts.checkpoint != "" {
+		task.CheckpointPath = opts.checkpoint + "." + ds.Name
+	}
+	outcomes, err := tuning.SearchContext(ctx, task, grid)
+	if err != nil {
+		return false, err
+	}
+	var done []tuning.Outcome
+	for _, o := range outcomes {
+		if errors.Is(o.Err, tuning.ErrInterrupted) {
+			interrupted = true
 			continue
 		}
-		ma1, _ := o.Result.At(1)
-		ma10, _ := o.Result.At(10)
-		fmt.Printf("%2d. %s  MaAP@1=%.4f MaAP@10=%.4f conv=%v\n",
-			i+1, o.Point, ma1, ma10, o.Stats.Converged)
+		done = append(done, o)
 	}
-	return nil
+	tuning.Rank(done, opts.topN)
+	fmt.Fprintf(stdout, "\n%s — %d/%d configurations, best first (objective MaAP@%d)\n",
+		ds.Name, len(done), len(outcomes), opts.topN)
+	for i, o := range done {
+		if o.Err != nil {
+			fmt.Fprintf(stdout, "%2d. %s  FAILED: %v\n", i+1, o.Point, o.Err)
+			continue
+		}
+		ma1, _, _ := o.Result.At(1)
+		ma10, _, _ := o.Result.At(10)
+		conv := o.Stats != nil && o.Stats.Converged
+		fmt.Fprintf(stdout, "%2d. %s  MaAP@1=%.4f MaAP@10=%.4f conv=%v\n",
+			i+1, o.Point, ma1, ma10, conv)
+	}
+	return interrupted, nil
 }

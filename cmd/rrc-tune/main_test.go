@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsppr/internal/cli"
+)
+
+func TestRunUsageExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-no-such-flag"}, &out, &errb)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if code := cli.ExitCode(err); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTimeoutExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	ckpt := filepath.Join(t.TempDir(), "tune.ckpt")
+	args := []string{"-gowalla-users", "10", "-lastfm-users", "8", "-steps", "2000", "-checkpoint", ckpt, "-timeout", "1ns"}
+	err := run(args, &out, &errb)
+	if err == nil {
+		t.Fatal("1ns timeout did not interrupt")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if code := cli.ExitCode(err); code != 124 {
+		t.Fatalf("exit code = %d, want 124", code)
+	}
+	if !strings.Contains(errb.String(), "re-run the same command to resume") {
+		t.Fatalf("missing resume hint on stderr:\n%s", errb.String())
+	}
+}
+
+func TestRunTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-gowalla-users", "10", "-lastfm-users", "8", "-steps", "2000"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("tiny sweep failed: %v\nstderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "best first") || !strings.Contains(out.String(), "MaAP@1=") {
+		t.Fatalf("missing ranking output:\n%s", out.String())
+	}
+}

@@ -88,6 +88,6 @@ func trainAndScore(train, test []seq.Sequence, numItems int, mask features.Mask)
 	if err != nil {
 		return 0, 0, err
 	}
-	ma10, mi10 = res.At(10)
+	ma10, mi10, _ = res.At(10)
 	return ma10, mi10, nil
 }

@@ -74,9 +74,9 @@ func run() error {
 	eval.SortByMaAP(results, 1)
 	t := experiments.NewTable("Method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@10")
 	for _, r := range results {
-		ma1, _ := r.At(1)
-		ma5, _ := r.At(5)
-		ma10, mi10 := r.At(10)
+		ma1, _, _ := r.At(1)
+		ma5, _, _ := r.At(5)
+		ma10, mi10, _ := r.At(10)
 		t.AddRow(r.Method,
 			fmt.Sprintf("%.4f", ma1),
 			fmt.Sprintf("%.4f", ma5),
@@ -94,8 +94,8 @@ func run() error {
 			tsppr = r
 		}
 	}
-	ours, _ := tsppr.At(1)
-	theirs, _ := best.At(1)
+	ours, _, _ := tsppr.At(1)
+	theirs, _, _ := best.At(1)
 	fmt.Printf("\nTS-PPR vs best baseline (%s) at Top-1: %+.1f%%\n",
 		best.Method, (ours-theirs)/theirs*100)
 	_ = rec.Context{}

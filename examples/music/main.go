@@ -64,8 +64,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ma1, _ := res.At(1)
-	ma10, _ := res.At(10)
+	ma1, _, _ := res.At(1)
+	ma10, _, _ := res.At(10)
 	fmt.Printf("TS-PPR: MaAP@1=%.3f MaAP@10=%.3f over %d eligible repeats\n", ma1, ma10, res.Events)
 	fmt.Printf("joint pipeline accuracy (STREC × TS-PPR@10): %.3f\n", cls.Accuracy*ma10)
 

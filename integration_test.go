@@ -92,8 +92,8 @@ func TestEndToEndPipeline(t *testing.T) {
 			t.Fatalf("reloaded model differs at TopN[%d]: %v vs %v", i, reloaded.MaAP[i], inMemory.MaAP[i])
 		}
 	}
-	ourMa, _ := reloaded.At(10)
-	rndMa, _ := random.At(10)
+	ourMa, _, _ := reloaded.At(10)
+	rndMa, _, _ := random.At(10)
 	if ourMa <= rndMa {
 		t.Fatalf("TS-PPR (%v) did not beat Random (%v) @10", ourMa, rndMa)
 	}

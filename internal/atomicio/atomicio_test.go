@@ -1,0 +1,88 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsppr/internal/faultinject"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, "", func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, "", func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "second" {
+		t.Fatalf("content = %q", b)
+	}
+}
+
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, "", func(w io.Writer) error {
+		_, err := io.WriteString(w, "good")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, "", func(w io.Writer) error {
+		_, _ = io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "good" {
+		t.Fatalf("content = %q after failed write", b)
+	}
+	// The temp file must have been cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileInjectedShortWrite(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	faultinject.Arm("atomicio.test", faultinject.Plan{Mode: faultinject.ShortWrite})
+	err := WriteFile(path, "atomicio.test", func(w io.Writer) error {
+		_, err := io.WriteString(w, "doomed payload")
+		return err
+	})
+	if err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target exists after failed write (err=%v)", serr)
+	}
+}

@@ -1,0 +1,55 @@
+// Package cli holds the small shared plumbing of the rrc-* binaries:
+// a signal-aware root context with an optional deadline, and the mapping
+// from a run() error to a process exit code. Centralizing both keeps the
+// binaries on a single "main calls run, run returns error" shape where
+// deferred cleanup and partial-result flushes actually execute — os.Exit
+// never fires while work is in flight.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ErrUsage marks command-line errors (bad flags, unknown subjects). Wrap
+// it so ExitCode maps the failure to the conventional exit code 2.
+var ErrUsage = errors.New("usage error")
+
+// Context returns a root context that is cancelled by SIGINT/SIGTERM and,
+// when timeout > 0, by a deadline. The cancel func releases the signal
+// watcher and must be deferred.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// ExitCode maps a run() error to the process exit code:
+//
+//	0   nil (success)
+//	2   usage errors (ErrUsage or flag parse failures)
+//	124 deadline exceeded (-timeout elapsed; GNU timeout's convention)
+//	130 interrupted (SIGINT/SIGTERM; 128+SIGINT convention)
+//	1   everything else
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrUsage), errors.Is(err, flag.ErrHelp):
+		return 2
+	case errors.Is(err, context.DeadlineExceeded):
+		return 124
+	case errors.Is(err, context.Canceled):
+		return 130
+	default:
+		return 1
+	}
+}

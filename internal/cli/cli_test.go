@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), 1},
+		{fmt.Errorf("bad flag: %w", ErrUsage), 2},
+		{flag.ErrHelp, 2},
+		{fmt.Errorf("run: %w", context.DeadlineExceeded), 124},
+		{fmt.Errorf("run: %w", context.Canceled), 130},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel := Context(time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestContextNoTimeout(t *testing.T) {
+	ctx, cancel := Context(0)
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already done: %v", ctx.Err())
+	}
+	cancel()
+}

@@ -9,9 +9,8 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
-	"tsppr/internal/faultinject"
+	"tsppr/internal/atomicio"
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
 )
@@ -241,40 +240,11 @@ func (m *Model) SaveFile(path string) error {
 }
 
 // writeFileAtomic streams fn into a temp file next to path, fsyncs it,
-// and renames it over path. On any error the temp file is removed and the
-// existing file at path is left untouched. The write stream passes
-// through the "core.io.write" fault-injection point.
+// and renames it over path (see atomicio.WriteFile, which every durable
+// artifact in the pipeline shares). The write stream passes through the
+// "core.io.write" fault-injection point.
 func writeFileAtomic(path string, fn func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := fn(faultinject.WrapWriter("core.io.write", tmp)); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("core: sync %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: close %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	tmp = nil // renamed away; nothing to clean up
-	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return atomicio.WriteFile(path, "core.io.write", fn)
 }
 
 // LoadFile reads a model from path.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -146,20 +147,38 @@ type TrainStats struct {
 	FinalRBar   float64
 	Backoffs    int  // divergence rollbacks performed (learning-rate halvings)
 	Diverged    bool // run hit MaxBackoffs and stopped at the last healthy parameters
+	Interrupted bool // the context was cancelled; the model holds the parameters at the last boundary
 }
 
 // Train fits a TS-PPR model on the pre-sampled training set. numUsers and
 // numItems size the latent tables; ex must be the extractor the set was
 // built with. Deterministic in cfg.Seed.
 func Train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cfg Config) (*Model, *TrainStats, error) {
+	return TrainContext(context.Background(), set, numUsers, numItems, ex, cfg)
+}
+
+// TrainContext is Train with cancellation: the context is polled at every
+// convergence-check boundary, and on cancellation training stops cleanly —
+// the returned model holds the parameters as of the last boundary and
+// stats.Interrupted is set, so callers can flush a partial model instead
+// of losing the run. A cancelled run returns a nil error: interruption is
+// an outcome, not a failure.
+func TrainContext(ctx context.Context, set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cfg Config) (*Model, *TrainStats, error) {
 	if cfg.TwoPhase && cfg.MapType == PerUserMap && cfg.Warm == nil {
 		phase1 := cfg
 		phase1.TwoPhase = false
 		phase1.MapType = SharedMap
 		phase1.MaxSteps = cfg.MaxSteps // resolved by withDefaults below if zero
-		shared, stats1, err := Train(set, numUsers, numItems, ex, phase1)
+		shared, stats1, err := TrainContext(ctx, set, numUsers, numItems, ex, phase1)
 		if err != nil {
 			return nil, nil, err
+		}
+		if stats1.Interrupted {
+			// Phase 1 was cut short; forking per-user maps from a half-built
+			// shared solution would bake the interruption into every user.
+			// Return the shared model (a valid, loadable map kind) marked
+			// interrupted instead.
+			return shared, stats1, nil
 		}
 		// Fork per-user maps from the shared solution and continue.
 		warm := &Model{K: shared.K, F: shared.F, MapType: PerUserMap, U: shared.U, V: shared.V, Extractor: ex}
@@ -171,7 +190,7 @@ func Train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 		phase2.TwoPhase = false
 		phase2.Warm = warm
 		phase2.Seed = cfg.Seed + 0x2fa5e
-		m, stats2, err := Train(set, numUsers, numItems, ex, phase2)
+		m, stats2, err := TrainContext(ctx, set, numUsers, numItems, ex, phase2)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -179,10 +198,10 @@ func Train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 		stats2.Checkpoints = append(stats1.Checkpoints, stats2.Checkpoints...)
 		return m, stats2, nil
 	}
-	return train(set, numUsers, numItems, ex, cfg)
+	return train(ctx, set, numUsers, numItems, ex, cfg)
 }
 
-func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cfg Config) (*Model, *TrainStats, error) {
+func train(ctx context.Context, set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cfg Config) (*Model, *TrainStats, error) {
 	cfg = cfg.withDefaults(set.NumPairs())
 	if w := cfg.Warm; w != nil {
 		if w.U.Rows != numUsers || w.V.Rows != numItems || w.F != ex.Dim() {
@@ -207,6 +226,11 @@ func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 	if set.NumPairs() == 0 {
 		// Nothing to learn from; return the initialized model so callers
 		// can still score (it degrades to noise, which tests rely on).
+		return m, stats, nil
+	}
+
+	if ctx.Err() != nil {
+		stats.Interrupted = true
 		return m, stats, nil
 	}
 
@@ -253,6 +277,14 @@ func train(set *sampling.Set, numUsers, numItems int, ex *features.Extractor, cf
 		tr.step(pair)
 		stats.Steps = step
 		if step%cfg.CheckEvery == 0 || step == cfg.MaxSteps {
+			// Cancellation is honored only at check boundaries: the model is
+			// always in a consistent state here, and polling amortizes the
+			// ctx read over CheckEvery SGD steps.
+			if ctx.Err() != nil {
+				stats.Interrupted = true
+				stats.FinalRBar, _ = tr.evalBatch(batch)
+				return m, stats, nil
+			}
 			rbar, loss := tr.evalBatch(batch)
 			if !finite(rbar) || !finite(loss) || !paramsFinite(m) {
 				// The run diverged. Roll back to the last healthy

@@ -13,9 +13,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"tsppr/internal/seq"
 )
@@ -153,55 +150,13 @@ func (d *Dataset) Write(w io.Writer) error {
 
 // Read parses a TSV event log produced by Write (or any user<TAB>item log
 // whose events are time-ascending per user). Unknown comment lines are
-// skipped; a "# dataset" header sets the name.
+// skipped; a "# dataset" header sets the name. Read is strict: the first
+// malformed line aborts with its position. For dirty real-world logs see
+// ReadWith, which can skip, count and quarantine bad lines under an error
+// budget.
 func Read(r io.Reader) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	name := "unnamed"
-	byUser := make(map[int]seq.Sequence)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			if rest, ok := strings.CutPrefix(text, "# dataset\t"); ok {
-				name = rest
-			}
-			continue
-		}
-		col := strings.IndexByte(text, '\t')
-		if col < 0 {
-			return nil, fmt.Errorf("dataset: line %d: missing tab separator", line)
-		}
-		u, err := strconv.Atoi(text[:col])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad user id: %w", line, err)
-		}
-		it, err := strconv.Atoi(text[col+1:])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad item id: %w", line, err)
-		}
-		if u < 0 || it < 0 {
-			return nil, fmt.Errorf("dataset: line %d: negative id", line)
-		}
-		byUser[u] = append(byUser[u], seq.Item(it))
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: scan: %w", err)
-	}
-	users := make([]int, 0, len(byUser))
-	for u := range byUser {
-		users = append(users, u)
-	}
-	sort.Ints(users)
-	seqs := make([]seq.Sequence, len(users))
-	for i, u := range users {
-		seqs[i] = byUser[u]
-	}
-	return &Dataset{Name: name, Seqs: seqs}, nil
+	ds, _, err := ReadWith(r, ReadOptions{})
+	return ds, err
 }
 
 // SaveFile writes the dataset to path, creating or truncating it.

@@ -39,11 +39,95 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadWith exercises the lenient TSV reader: truncated lines, huge
+// ids, non-UTF8 bytes and negative ids must never crash it, and with an
+// unlimited budget it must accept anything the scanner can tokenize.
+func FuzzReadWith(f *testing.F) {
+	f.Add([]byte("0\t1\n0\t2\n1\t1\n"))
+	f.Add([]byte("0\t"))                                     // truncated line
+	f.Add([]byte("\t1\n0"))                                  // truncated both ways
+	f.Add([]byte("99999999999999999999999999\t1\n"))         // huge id
+	f.Add([]byte{0xff, 0xfe, '\t', 0x80, '\n', '0', '\t'})   // non-UTF8 bytes
+	f.Add([]byte("-1\t2\n2\t-1\n"))                          // negative ids
+	f.Add([]byte("# dataset\tname\n5\t5\n5\t5\n1\t1\n5\t6")) // dup + out-of-order
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		var quarantine bytes.Buffer
+		ds, rep, err := ReadWith(bytes.NewReader(blob), ReadOptions{Lenient: true, Quarantine: &quarantine})
+		if err != nil {
+			// Only tokenizer-level failures (e.g. over-long lines) may
+			// surface in lenient mode with an unlimited budget.
+			if !strings.Contains(err.Error(), "scan") {
+				t.Fatalf("lenient read failed on a line-level error: %v", err)
+			}
+			return
+		}
+		if rep.Events+rep.BadLines > rep.Lines {
+			t.Fatalf("report inconsistent: %s", rep)
+		}
+		if rep.Quarantined != rep.BadLines {
+			t.Fatalf("quarantined %d of %d bad lines", rep.Quarantined, rep.BadLines)
+		}
+		total := 0
+		for u, s := range ds.Seqs {
+			total += len(s)
+			for i, v := range s {
+				if v < 0 {
+					t.Fatalf("negative item %d at user %d pos %d", v, u, i)
+				}
+			}
+		}
+		if total != rep.Events {
+			t.Fatalf("dataset has %d events, report says %d", total, rep.Events)
+		}
+		// Strict acceptance implies lenient acceptance with a clean report.
+		if _, serr := Read(bytes.NewReader(blob)); serr == nil && rep.BadLines != 0 {
+			t.Fatalf("strict accepted but lenient counted %d bad lines", rep.BadLines)
+		}
+		// Accepted data round-trips.
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+	})
+}
+
+// FuzzValidateReader keeps the streaming validator consistent with the
+// lenient reader on arbitrary input.
+func FuzzValidateReader(f *testing.F) {
+	f.Add([]byte("0\t1\n1\t2\n"))
+	f.Add([]byte("3\t1\nbroken\n1\t0\n"))
+	f.Add([]byte{0x00, 0x09, 0x30, 0x0a})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		vrep, verr := ValidateReader(bytes.NewReader(blob))
+		_, lrep, lerr := ReadWith(bytes.NewReader(blob), ReadOptions{Lenient: true})
+		if (verr == nil) != (lerr == nil) {
+			t.Fatalf("validator err=%v, lenient err=%v", verr, lerr)
+		}
+		if verr != nil {
+			return
+		}
+		// The validator flags implausible ids the reader would accept, so
+		// its event count can only be lower.
+		if vrep.Events > lrep.Events || vrep.BadLines < lrep.BadLines {
+			t.Fatalf("validator events=%d bad=%d vs reader events=%d bad=%d",
+				vrep.Events, vrep.BadLines, lrep.Events, lrep.BadLines)
+		}
+		if vrep.Users < 0 || vrep.MissingUsers < 0 || vrep.MissingItems < 0 {
+			t.Fatalf("negative counts: %+v", vrep)
+		}
+	})
+}
+
 // FuzzReadEvents exercises the raw event-log parser.
 func FuzzReadEvents(f *testing.F) {
 	f.Add([]byte("u\t1\tx\nu\t2\ty\n"))
 	f.Add([]byte("a\tnot-a-time\tz\n"))
 	f.Add([]byte("short\n"))
+	f.Add([]byte("u\t-5\tx\nu\t-4\ty\n"))            // negative timestamps
+	f.Add([]byte{0xf0, 0x28, '\t', '1', '\t', 0xff}) // non-UTF8 bytes
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		ds, ids, err := ReadEvents(bytes.NewReader(blob), EventReaderOptions{
 			OnBadLine: func(int, string, error) error { return nil },

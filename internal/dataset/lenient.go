@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tsppr/internal/faultinject"
+	"tsppr/internal/seq"
+)
+
+// ReadOptions selects how strictly ReadWith treats a TSV event log.
+//
+// The zero value is the strict mode Read uses: the first malformed line
+// aborts the load. Lenient mode is for real-world dumps (check-in logs,
+// listening histories) where a fraction of lines is garbage: bad lines
+// are counted, optionally copied to a quarantine writer, and the load
+// fails only when the error budget is exhausted.
+type ReadOptions struct {
+	// Lenient skips malformed lines instead of aborting on the first one.
+	Lenient bool
+	// MaxBadLines is the lenient-mode error budget: once more than this
+	// many lines are malformed the load aborts, on the theory that the
+	// file is the wrong format rather than merely dirty. 0 means
+	// unlimited.
+	MaxBadLines int
+	// Quarantine, when non-nil, receives every malformed line (prefixed
+	// by a "# line N: cause" comment) so the raw bytes can be inspected
+	// or repaired. A quarantine write error aborts the load.
+	Quarantine io.Writer
+}
+
+// LineError records one malformed input line.
+type LineError struct {
+	Line int    // 1-based physical line number
+	Text string // raw line content
+	Err  error  // what was wrong with it
+}
+
+func (e LineError) String() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+
+// maxBadSamples bounds how many malformed lines ReadReport retains
+// verbatim; the counts cover the rest.
+const maxBadSamples = 8
+
+// ReadReport is the line-level diagnostic summary of one load.
+type ReadReport struct {
+	Lines       int // physical lines scanned
+	Events      int // events accepted into the dataset
+	BadLines    int // malformed lines (skipped in lenient mode)
+	Quarantined int // bad lines copied to the quarantine writer
+	OutOfOrder  int // events that reopened an earlier user's block
+	Duplicates  int // lines identical to their predecessor (legal repeats, but worth eyeballing)
+
+	// FirstBad holds the first few malformed lines verbatim.
+	FirstBad []LineError
+}
+
+// String renders the report as a one-line summary.
+func (r *ReadReport) String() string {
+	return fmt.Sprintf("lines=%d events=%d bad=%d quarantined=%d out-of-order=%d duplicates=%d",
+		r.Lines, r.Events, r.BadLines, r.Quarantined, r.OutOfOrder, r.Duplicates)
+}
+
+// parseSeqLine parses one "user<TAB>item" line. Errors carry no position;
+// callers add it.
+func parseSeqLine(text string) (u, it int, err error) {
+	col := strings.IndexByte(text, '\t')
+	if col < 0 {
+		return 0, 0, fmt.Errorf("missing tab separator")
+	}
+	u, err = strconv.Atoi(text[:col])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad user id: %w", err)
+	}
+	it, err = strconv.Atoi(text[col+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad item id: %w", err)
+	}
+	if u < 0 || it < 0 {
+		return 0, 0, fmt.Errorf("negative id")
+	}
+	return u, it, nil
+}
+
+// ReadWith parses a TSV event log under the given strictness. It always
+// returns the diagnostic report, even alongside an error, so callers can
+// say how far a failed load got. The per-line path passes through the
+// "dataset.read.line" fault-injection point (an injected error is an I/O
+// failure, not a bad line: it aborts regardless of leniency).
+func ReadWith(r io.Reader, opt ReadOptions) (*Dataset, *ReadReport, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rep := &ReadReport{}
+	name := "unnamed"
+	byUser := make(map[int]seq.Sequence)
+	lastUser := -1
+	prevText := ""
+	havePrev := false
+	for sc.Scan() {
+		rep.Lines++
+		if err := faultinject.Do("dataset.read.line"); err != nil {
+			return nil, rep, fmt.Errorf("dataset: line %d: read: %w", rep.Lines, err)
+		}
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# dataset\t"); ok {
+				name = rest
+			}
+			continue
+		}
+		if havePrev && text == prevText {
+			rep.Duplicates++
+		}
+		prevText, havePrev = text, true
+		u, it, err := parseSeqLine(text)
+		if err != nil {
+			rep.BadLines++
+			if len(rep.FirstBad) < maxBadSamples {
+				rep.FirstBad = append(rep.FirstBad, LineError{Line: rep.Lines, Text: text, Err: err})
+			}
+			if !opt.Lenient {
+				return nil, rep, fmt.Errorf("dataset: line %d: %w", rep.Lines, err)
+			}
+			if opt.Quarantine != nil {
+				if _, qerr := fmt.Fprintf(opt.Quarantine, "# line %d: %v\n%s\n", rep.Lines, err, text); qerr != nil {
+					return nil, rep, fmt.Errorf("dataset: quarantine: %w", qerr)
+				}
+				rep.Quarantined++
+			}
+			if opt.MaxBadLines > 0 && rep.BadLines > opt.MaxBadLines {
+				return nil, rep, fmt.Errorf("dataset: %d bad lines exceed the %d-line budget (first: %s)",
+					rep.BadLines, opt.MaxBadLines, rep.FirstBad[0])
+			}
+			continue
+		}
+		if u != lastUser && len(byUser[u]) > 0 {
+			rep.OutOfOrder++
+		}
+		lastUser = u
+		byUser[u] = append(byUser[u], seq.Item(it))
+		rep.Events++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, rep, fmt.Errorf("dataset: scan: %w", err)
+	}
+	users := make([]int, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	seqs := make([]seq.Sequence, len(users))
+	for i, u := range users {
+		seqs[i] = byUser[u]
+	}
+	return &Dataset{Name: name, Seqs: seqs}, rep, nil
+}
+
+// QuarantinePath is where LoadFileWith writes the quarantine sidecar for
+// a given dataset path.
+func QuarantinePath(path string) string { return path + ".quarantine" }
+
+// lazyFile creates its file on the first write, so clean loads leave no
+// empty sidecar behind.
+type lazyFile struct {
+	path string
+	f    *os.File
+}
+
+func (lf *lazyFile) Write(b []byte) (int, error) {
+	if lf.f == nil {
+		f, err := os.Create(lf.path)
+		if err != nil {
+			return 0, err
+		}
+		lf.f = f
+	}
+	return lf.f.Write(b)
+}
+
+func (lf *lazyFile) Close() error {
+	if lf.f == nil {
+		return nil
+	}
+	return lf.f.Close()
+}
+
+// LoadFileWith reads a dataset from path under the given options. In
+// lenient mode with no explicit Quarantine writer, malformed lines go to
+// the QuarantinePath sidecar next to the input (created only if needed; a
+// stale sidecar from a previous load is removed first).
+func LoadFileWith(path string, opt ReadOptions) (*Dataset, *ReadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var sidecar *lazyFile
+	if opt.Lenient && opt.Quarantine == nil {
+		_ = os.Remove(QuarantinePath(path))
+		sidecar = &lazyFile{path: QuarantinePath(path)}
+		opt.Quarantine = sidecar
+	}
+	ds, rep, err := ReadWith(f, opt)
+	if sidecar != nil {
+		if cerr := sidecar.Close(); cerr != nil && err == nil {
+			return nil, rep, fmt.Errorf("dataset: quarantine: %w", cerr)
+		}
+	}
+	return ds, rep, err
+}

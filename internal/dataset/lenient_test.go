@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsppr/internal/faultinject"
+)
+
+// dirtyCorpus builds a TSV log of n events for a handful of users with
+// badFrac of the lines replaced by garbage, returning the text and the
+// number of corrupted lines.
+func dirtyCorpus(n int, badFrac float64) (string, int) {
+	rng := rand.New(rand.NewSource(11))
+	garbage := []string{
+		"not a line",
+		"12\t",
+		"\t7",
+		"-3\t4",
+		"3\t-9",
+		"99999999999999999999999999\t1",
+		"4\tx",
+		string([]byte{0xff, 0xfe, '\t', 0x01}),
+	}
+	var sb strings.Builder
+	sb.WriteString("# dataset\tdirty\n")
+	bad := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < badFrac {
+			sb.WriteString(garbage[rng.Intn(len(garbage))])
+			sb.WriteByte('\n')
+			bad++
+			continue
+		}
+		fmt.Fprintf(&sb, "%d\t%d\n", i/50, rng.Intn(30))
+	}
+	return sb.String(), bad
+}
+
+// TestLenientFivePercentCorpus is the acceptance scenario: a corpus with
+// ~5% malformed lines loads in lenient mode with an accurate quarantine
+// report, while strict mode still rejects it.
+func TestLenientFivePercentCorpus(t *testing.T) {
+	text, bad := dirtyCorpus(2000, 0.05)
+	if bad == 0 {
+		t.Fatal("corpus generator produced no bad lines")
+	}
+
+	if _, err := Read(strings.NewReader(text)); err == nil {
+		t.Fatal("strict Read accepted a corrupt corpus")
+	}
+
+	var quarantine bytes.Buffer
+	ds, rep, err := ReadWith(strings.NewReader(text), ReadOptions{Lenient: true, Quarantine: &quarantine})
+	if err != nil {
+		t.Fatalf("lenient read failed: %v", err)
+	}
+	if rep.BadLines != bad {
+		t.Fatalf("BadLines = %d, want %d", rep.BadLines, bad)
+	}
+	if rep.Quarantined != bad {
+		t.Fatalf("Quarantined = %d, want %d", rep.Quarantined, bad)
+	}
+	if rep.Events != 2000-bad {
+		t.Fatalf("Events = %d, want %d", rep.Events, 2000-bad)
+	}
+	total := 0
+	for _, s := range ds.Seqs {
+		total += len(s)
+	}
+	if total != rep.Events {
+		t.Fatalf("dataset holds %d events, report says %d", total, rep.Events)
+	}
+	// Quarantine holds one comment plus the raw line per bad line.
+	qLines := strings.Count(quarantine.String(), "\n")
+	if qLines != 2*bad {
+		t.Fatalf("quarantine has %d lines, want %d", qLines, 2*bad)
+	}
+	if len(rep.FirstBad) == 0 || rep.FirstBad[0].Line == 0 {
+		t.Fatalf("FirstBad not populated: %+v", rep.FirstBad)
+	}
+}
+
+func TestLenientErrorBudget(t *testing.T) {
+	text, bad := dirtyCorpus(2000, 0.05)
+	_, rep, err := ReadWith(strings.NewReader(text), ReadOptions{Lenient: true, MaxBadLines: 10})
+	if err == nil {
+		t.Fatalf("budget of 10 accepted %d bad lines", bad)
+	}
+	if rep.BadLines != 11 {
+		t.Fatalf("load aborted after %d bad lines, want 11 (budget+1)", rep.BadLines)
+	}
+	// A budget at least as large as the damage passes.
+	if _, _, err := ReadWith(strings.NewReader(text), ReadOptions{Lenient: true, MaxBadLines: bad}); err != nil {
+		t.Fatalf("budget %d rejected %d bad lines: %v", bad, bad, err)
+	}
+}
+
+func TestStrictMatchesLegacyErrors(t *testing.T) {
+	for _, in := range []string{"nosep", "x\t1", "1\tx", "-1\t2", "2\t-2"} {
+		_, rep, err := ReadWith(strings.NewReader(in), ReadOptions{})
+		if err == nil {
+			t.Errorf("strict ReadWith(%q) succeeded", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error %q lost its line position", err)
+		}
+		if rep.BadLines != 1 {
+			t.Errorf("report BadLines = %d", rep.BadLines)
+		}
+	}
+}
+
+func TestReadWithDiagnostics(t *testing.T) {
+	in := "0\t1\n0\t1\n1\t5\n0\t2\n"
+	_, rep, err := ReadWith(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", rep.Duplicates)
+	}
+	if rep.OutOfOrder != 1 {
+		t.Errorf("OutOfOrder = %d, want 1 (user 0 block reopened)", rep.OutOfOrder)
+	}
+}
+
+func TestLoadFileWithSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.tsv")
+	if err := os.WriteFile(path, []byte("0\t1\ngarbage\n0\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, rep, err := LoadFileWith(path, ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadLines != 1 || rep.Quarantined != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+	if len(ds.Seqs) != 1 || len(ds.Seqs[0]) != 2 {
+		t.Fatalf("dataset = %+v", ds.Seqs)
+	}
+	side, err := os.ReadFile(QuarantinePath(path))
+	if err != nil {
+		t.Fatalf("sidecar missing: %v", err)
+	}
+	if !strings.Contains(string(side), "garbage") {
+		t.Fatalf("sidecar content %q lacks the bad line", side)
+	}
+
+	// A clean reload removes the stale sidecar and leaves no new one.
+	if err := os.WriteFile(path, []byte("0\t1\n0\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, rep, err = LoadFileWith(path, ReadOptions{Lenient: true}); err != nil || rep.BadLines != 0 {
+		t.Fatalf("clean reload: rep=%v err=%v", rep, err)
+	}
+	if _, err := os.Stat(QuarantinePath(path)); !os.IsNotExist(err) {
+		t.Fatalf("stale sidecar survived a clean load (err=%v)", err)
+	}
+}
+
+func TestReadWithInjectedIOFault(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("dataset.read.line", faultinject.Plan{Mode: faultinject.Error, After: 2})
+	_, rep, err := ReadWith(strings.NewReader("0\t1\n0\t2\n0\t3\n0\t4\n"), ReadOptions{Lenient: true})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// The fault is an I/O failure: it aborts even in lenient mode, and the
+	// report shows how far the load got.
+	if rep.Lines != 3 {
+		t.Fatalf("aborted at line %d, want 3", rep.Lines)
+	}
+}
+
+func TestValidateReader(t *testing.T) {
+	in := "# dataset\tx\n0\t0\n0\t1\n1\t3\nbroken\n3\t1\n1\t0\n"
+	rep, err := ValidateReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 5 || rep.BadLines != 1 {
+		t.Fatalf("events=%d bad=%d", rep.Events, rep.BadLines)
+	}
+	if rep.MaxUser != 3 || rep.Users != 3 || rep.MissingUsers != 1 {
+		t.Fatalf("users=%d max=%d missing=%d", rep.Users, rep.MaxUser, rep.MissingUsers)
+	}
+	if rep.MaxItem != 3 || rep.Items != 3 || rep.MissingItems != 1 {
+		t.Fatalf("items=%d max=%d missing=%d", rep.Items, rep.MaxItem, rep.MissingItems)
+	}
+	if rep.OutOfOrder != 1 {
+		t.Fatalf("OutOfOrder = %d, want 1 (user 1 reopened)", rep.OutOfOrder)
+	}
+	v := rep.Violations()
+	if len(v) != 4 {
+		t.Fatalf("violations = %q, want 4 entries", v)
+	}
+}
+
+func TestValidateCleanFile(t *testing.T) {
+	rep, err := ValidateReader(strings.NewReader("0\t0\n0\t1\n1\t1\n1\t0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Violations(); len(got) != 0 {
+		t.Fatalf("clean file reported violations: %q", got)
+	}
+}

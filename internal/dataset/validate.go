@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// maxValidateID bounds the ids the validator will track densely; ids past
+// it are reported as implausible rather than allocated for. At the cap
+// the two bitsets cost 2 × 64 MiB, far below materializing the dataset.
+const maxValidateID = 1 << 29
+
+// FileReport summarizes a streaming validation pass over one event log:
+// per-line syntax health plus the dataset invariants the pipeline relies
+// on (dense user/item ids, no empty sequences), computed without building
+// the in-memory Dataset.
+type FileReport struct {
+	Path string
+
+	Lines    int // physical lines scanned
+	Events   int // well-formed events
+	BadLines int // malformed lines
+	FirstBad []LineError
+
+	Users        int // distinct user ids seen
+	Items        int // distinct item ids seen
+	MaxUser      int // largest user id (-1 when no events)
+	MaxItem      int // largest item id (-1 when no events)
+	MissingUsers int // gaps in [0, MaxUser]: users with empty sequences
+	MissingItems int // gaps in [0, MaxItem]: non-dense item ids
+	OutOfOrder   int // events that reopened an earlier user's block
+	Duplicates   int // lines identical to their predecessor
+}
+
+// Violations lists the invariant breaches a loader or trainer would trip
+// over, one human-readable line each. An empty slice means the file is
+// clean and dense.
+func (r *FileReport) Violations() []string {
+	var v []string
+	if r.BadLines > 0 {
+		v = append(v, fmt.Sprintf("%d malformed lines (first: %s)", r.BadLines, r.FirstBad[0]))
+	}
+	if r.MissingUsers > 0 {
+		v = append(v, fmt.Sprintf("non-dense user ids: %d of %d in [0,%d] have no events (empty sequences)",
+			r.MissingUsers, r.MaxUser+1, r.MaxUser))
+	}
+	if r.MissingItems > 0 {
+		v = append(v, fmt.Sprintf("non-dense item ids: %d of %d in [0,%d] never consumed",
+			r.MissingItems, r.MaxItem+1, r.MaxItem))
+	}
+	if r.OutOfOrder > 0 {
+		v = append(v, fmt.Sprintf("%d events reopen an earlier user's block (file not grouped by user)", r.OutOfOrder))
+	}
+	return v
+}
+
+// bitset is a growable dense-id presence set.
+type bitset struct {
+	words []uint64
+	count int
+}
+
+func (b *bitset) set(i int) {
+	w := i >> 6
+	if w >= len(b.words) {
+		grown := make([]uint64, w+1+w/2)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	if b.words[w]&(1<<(i&63)) == 0 {
+		b.words[w] |= 1 << (i & 63)
+		b.count++
+	}
+}
+
+func (b *bitset) get(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(1<<(i&63)) != 0
+}
+
+// ValidateReader streams one "user<TAB>item" log and accumulates the
+// report. It never materializes sequences: memory is two presence bitsets
+// over the id ranges. The error return covers I/O only; syntax problems
+// land in the report.
+func ValidateReader(r io.Reader) (*FileReport, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rep := &FileReport{MaxUser: -1, MaxItem: -1}
+	var users, items, opened bitset
+	lastUser := -1
+	prevText := ""
+	havePrev := false
+	record := func(err error) {
+		rep.BadLines++
+		if len(rep.FirstBad) < maxBadSamples {
+			rep.FirstBad = append(rep.FirstBad, LineError{Line: rep.Lines, Err: err})
+		}
+	}
+	for sc.Scan() {
+		rep.Lines++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if havePrev && text == prevText {
+			rep.Duplicates++
+		}
+		prevText, havePrev = text, true
+		u, it, err := parseSeqLine(text)
+		if err != nil {
+			record(err)
+			continue
+		}
+		if u >= maxValidateID || it >= maxValidateID {
+			record(fmt.Errorf("implausible id (>= %d)", maxValidateID))
+			continue
+		}
+		rep.Events++
+		users.set(u)
+		items.set(it)
+		if u > rep.MaxUser {
+			rep.MaxUser = u
+		}
+		if it > rep.MaxItem {
+			rep.MaxItem = it
+		}
+		// A block opening for a user whose block was already opened means
+		// the file is not grouped by user.
+		if u != lastUser {
+			if opened.get(u) {
+				rep.OutOfOrder++
+			}
+			opened.set(u)
+		}
+		lastUser = u
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("dataset: scan: %w", err)
+	}
+	rep.Users = users.count
+	rep.Items = items.count
+	if rep.MaxUser >= 0 {
+		rep.MissingUsers = rep.MaxUser + 1 - rep.Users
+	}
+	if rep.MaxItem >= 0 {
+		rep.MissingItems = rep.MaxItem + 1 - rep.Items
+	}
+	return rep, nil
+}
+
+// ValidateFile streams a validation pass over the file at path.
+func ValidateFile(path string) (*FileReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	rep, err := ValidateReader(f)
+	if rep != nil {
+		rep.Path = path
+	}
+	return rep, err
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+
+	"tsppr/internal/atomicio"
+)
+
+// The eval checkpoint is JSON lines: a key line binding the file to one
+// exact evaluation (method, user universe, and every option that changes
+// per-user outcomes), then one record per completed user. Writes replace
+// the whole file atomically, so a kill at any moment leaves either the
+// previous or the next consistent snapshot — never a torn one. Floats
+// survive the JSON round trip exactly (Go marshals the shortest
+// representation that parses back to the same float64), which is what
+// makes resumed aggregates byte-identical to uninterrupted ones.
+
+// progressFormat versions the checkpoint layout.
+const progressFormat = "tsppr-evalckpt-v1"
+
+// key binds a checkpoint to one evaluation configuration; any mismatch on
+// resume is an error rather than a silent wrong-answer merge.
+type key struct {
+	Format         string `json:"format"`
+	Method         string `json:"method"`
+	NumUsers       int    `json:"numUsers"`
+	Seed           uint64 `json:"seed"`
+	WindowCap      int    `json:"windowCap"`
+	Omega          int    `json:"omega"`
+	TopNs          []int  `json:"topNs"`
+	MeasureLatency bool   `json:"measureLatency"`
+}
+
+func progressKey(method string, numUsers int, opt Options) key {
+	return key{
+		Format:         progressFormat,
+		Method:         method,
+		NumUsers:       numUsers,
+		Seed:           opt.Seed,
+		WindowCap:      opt.WindowCap,
+		Omega:          opt.Omega,
+		TopNs:          opt.TopNs,
+		MeasureLatency: opt.MeasureLatency,
+	}
+}
+
+// userRecord is one completed user's replay outcome on disk.
+type userRecord struct {
+	User      int     `json:"u"`
+	Events    int     `json:"e"`
+	Recs      int     `json:"n"`
+	Hits      []int   `json:"h"`
+	RRSum     float64 `json:"rr"`
+	DCGSum    float64 `json:"dcg"`
+	LatencyNs int64   `json:"lat"`
+}
+
+// progress is the live handle on a checkpoint file.
+type progress struct {
+	path   string
+	key    key
+	loaded map[int]userStats // completed users found on disk at open
+}
+
+// openProgress loads the checkpoint at path if it exists, verifying that
+// it belongs to the same evaluation. A missing file is a fresh start.
+func openProgress(path string, k key) (*progress, error) {
+	p := &progress{path: path, key: k, loaded: map[int]userStats{}}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return p, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eval: checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("eval: checkpoint %s: empty or unreadable", path)
+	}
+	var have key
+	if err := json.Unmarshal(sc.Bytes(), &have); err != nil {
+		return nil, fmt.Errorf("eval: checkpoint %s: bad key line: %w", path, err)
+	}
+	wantJSON, _ := json.Marshal(k)
+	haveJSON, _ := json.Marshal(have)
+	if string(wantJSON) != string(haveJSON) {
+		return nil, fmt.Errorf("eval: checkpoint %s belongs to a different run (have %s, want %s); delete it to start over",
+			path, haveJSON, wantJSON)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec userRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("eval: checkpoint %s: line %d: %w", path, line, err)
+		}
+		if rec.User < 0 || rec.User >= k.NumUsers || len(rec.Hits) != len(k.TopNs) {
+			return nil, fmt.Errorf("eval: checkpoint %s: line %d: record out of shape", path, line)
+		}
+		p.loaded[rec.User] = userStats{
+			events:  rec.Events,
+			recs:    rec.Recs,
+			hits:    rec.Hits,
+			rrSum:   rec.RRSum,
+			dcgSum:  rec.DCGSum,
+			latency: time.Duration(rec.LatencyNs),
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// save atomically replaces the checkpoint with every completed user. The
+// write passes through the "eval.checkpoint.write" fault-injection point.
+func (p *progress) save(stats []userStats, done []bool) error {
+	return atomicio.WriteFile(p.path, "eval.checkpoint.write", func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		if err := enc.Encode(p.key); err != nil {
+			return err
+		}
+		for u := range stats {
+			if !done[u] {
+				continue
+			}
+			st := &stats[u]
+			rec := userRecord{
+				User:      u,
+				Events:    st.events,
+				Recs:      st.recs,
+				Hits:      st.hits,
+				RRSum:     st.rrSum,
+				DCGSum:    st.dcgSum,
+				LatencyNs: int64(st.latency),
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+}

@@ -11,13 +11,16 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"tsppr/internal/faultinject"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 )
@@ -38,6 +41,18 @@ type Options struct {
 	// KeepPerUser retains per-user outcomes on the Result, enabling the
 	// paired bootstrap comparison in this package.
 	KeepPerUser bool
+
+	// CheckpointPath, when non-empty, makes the evaluation resumable:
+	// per-user outcomes are flushed there atomically as users complete,
+	// and a later run with the same options skips users already on disk.
+	// The file is deleted when the evaluation completes uninterrupted.
+	// Because each user's replay is deterministic in (Seed, user), a
+	// resumed run reproduces the uninterrupted result bit for bit.
+	CheckpointPath string
+	// CheckpointEvery is how many newly completed users trigger a flush
+	// (default 64). Lower values lose less work to a kill; higher values
+	// write less often.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism == 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
 	}
 	return o
 }
@@ -86,6 +104,13 @@ type Result struct {
 
 	Events         int // total eligible repeat events
 	UsersEvaluated int // users contributing at least one event
+	UsersDone      int // users actually replayed (== all users unless Interrupted)
+
+	// Interrupted is set when the context was cancelled (or a fault
+	// injected at "eval.user" fired) before every user was replayed: the
+	// aggregates cover only the UsersDone completed users, and — when
+	// checkpointing is on — the completed work is on disk for resumption.
+	Interrupted bool
 
 	// Latency of a single online recommendation (populated only when
 	// Options.MeasureLatency is set).
@@ -104,14 +129,15 @@ type UserOutcome struct {
 	Hits   []int
 }
 
-// At returns (MaAP@n, MiAP@n). It panics if n was not evaluated.
-func (r Result) At(n int) (maap, miap float64) {
+// At returns (MaAP@n, MiAP@n) in comma-ok form: ok is false (with zero
+// values) when n was not among the evaluated TopNs.
+func (r Result) At(n int) (maap, miap float64, ok bool) {
 	for i, tn := range r.TopNs {
 		if tn == n {
-			return r.MaAP[i], r.MiAP[i]
+			return r.MaAP[i], r.MiAP[i], true
 		}
 	}
-	panic(fmt.Sprintf("eval: Top-%d was not evaluated", n))
+	return 0, 0, false
 }
 
 // userStats accumulates one user's replay outcome.
@@ -127,6 +153,16 @@ type userStats struct {
 // Evaluate replays every user's test suffix against the factory's
 // recommenders and aggregates precision.
 func Evaluate(train, test []seq.Sequence, f rec.Factory, opt Options) (Result, error) {
+	return EvaluateContext(context.Background(), train, test, f, opt)
+}
+
+// EvaluateContext is Evaluate with cancellation and (optionally, via
+// Options.CheckpointPath) resumption. On cancellation the replay stops
+// scheduling users, flushes completed work to the checkpoint, and returns
+// a partial Result with Interrupted set and a nil error: per-user results
+// are order-independent, so a resumed run finishes the remaining users
+// and reproduces the uninterrupted aggregates exactly.
+func EvaluateContext(ctx context.Context, train, test []seq.Sequence, f rec.Factory, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return Result{}, err
@@ -142,28 +178,123 @@ func Evaluate(train, test []seq.Sequence, f rec.Factory, opt Options) (Result, e
 	}
 
 	stats := make([]userStats, len(test))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
-	for u := range test {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(u int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			stats[u] = replayUser(u, train[u], test[u], f, opt, maxN)
-		}(u)
+	done := make([]bool, len(test))
+	var ck *progress
+	if opt.CheckpointPath != "" {
+		var err error
+		ck, err = openProgress(opt.CheckpointPath, progressKey(f.Name, len(test), opt))
+		if err != nil {
+			return Result{}, err
+		}
+		for u, st := range ck.loaded {
+			stats[u] = st
+			done[u] = true
+		}
 	}
-	wg.Wait()
+	pending := make([]int, 0, len(test))
+	for u := range test {
+		if !done[u] {
+			pending = append(pending, u)
+		}
+	}
 
+	// evalCtx lets an injected fault at "eval.user" interrupt the replay
+	// exactly like an external cancellation would.
+	evalCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex // guards stats/done for checkpoint snapshots, and flush bookkeeping
+		sinceSave int
+		saveErr   error
+	)
+	jobs := make(chan int)
+	workers := opt.Parallelism
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				if evalCtx.Err() != nil {
+					continue // drain the queue without doing work
+				}
+				if err := faultinject.Do("eval.user"); err != nil {
+					cancel()
+					continue
+				}
+				st := replayUser(u, train[u], test[u], f, opt, maxN)
+				mu.Lock()
+				stats[u] = st
+				done[u] = true
+				sinceSave++
+				if ck != nil && sinceSave >= opt.CheckpointEvery {
+					if err := ck.save(stats, done); err != nil && saveErr == nil {
+						saveErr = err
+						cancel()
+					}
+					sinceSave = 0
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, u := range pending {
+		select {
+		case jobs <- u:
+		case <-evalCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if saveErr != nil {
+		return Result{}, fmt.Errorf("eval: checkpoint: %w", saveErr)
+	}
+	interrupted := evalCtx.Err() != nil
+
+	if interrupted {
+		if ck != nil && sinceSave > 0 {
+			if err := ck.save(stats, done); err != nil {
+				return Result{}, fmt.Errorf("eval: checkpoint: %w", err)
+			}
+		}
+		res := aggregate(f.Name, stats, done, opt)
+		res.Interrupted = true
+		return res, nil
+	}
+	res := aggregate(f.Name, stats, done, opt)
+	if ck != nil {
+		// Complete: the checkpoint has served its purpose. Removing it
+		// keeps a later, differently-parameterized run from tripping over
+		// a stale file.
+		_ = os.Remove(opt.CheckpointPath)
+	}
+	return res, nil
+}
+
+// aggregate folds completed per-user stats into the reported Result.
+// Iteration is in user-index order, so the floating-point accumulation —
+// and therefore the reported metrics — are independent of replay
+// scheduling and of how work was split across interrupted runs.
+func aggregate(method string, stats []userStats, done []bool, opt Options) Result {
 	res := Result{
-		Method: f.Name,
+		Method: method,
 		TopNs:  append([]int(nil), opt.TopNs...),
 		MaAP:   make([]float64, len(opt.TopNs)),
 		MiAP:   make([]float64, len(opt.TopNs)),
 	}
 	totalHits := make([]int, len(opt.TopNs))
 	var totalLatency time.Duration
-	for _, st := range stats {
+	for u, st := range stats {
+		if !done[u] {
+			continue
+		}
+		res.UsersDone++
 		if st.events == 0 {
 			continue
 		}
@@ -196,10 +327,12 @@ func Evaluate(train, test []seq.Sequence, f rec.Factory, opt Options) (Result, e
 	if opt.KeepPerUser {
 		res.PerUser = make([]UserOutcome, len(stats))
 		for u, st := range stats {
-			res.PerUser[u] = UserOutcome{Events: st.events, Hits: st.hits}
+			if done[u] {
+				res.PerUser[u] = UserOutcome{Events: st.events, Hits: st.hits}
+			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // userSeed derives a deterministic per-user stream seed so results do not
@@ -271,13 +404,26 @@ func replayUser(u int, train, test seq.Sequence, f rec.Factory, opt Options, max
 
 // EvaluateAll runs Evaluate for every factory, in order.
 func EvaluateAll(train, test []seq.Sequence, fs []rec.Factory, opt Options) ([]Result, error) {
+	return EvaluateAllContext(context.Background(), train, test, fs, opt)
+}
+
+// EvaluateAllContext runs EvaluateContext for every factory, in order,
+// stopping at the first interrupted (or failed) evaluation so a cancelled
+// sweep never reports methods evaluated on disjoint user subsets.
+func EvaluateAllContext(ctx context.Context, train, test []seq.Sequence, fs []rec.Factory, opt Options) ([]Result, error) {
 	out := make([]Result, 0, len(fs))
 	for _, f := range fs {
-		r, err := Evaluate(train, test, f, opt)
+		r, err := EvaluateContext(ctx, train, test, f, opt)
 		if err != nil {
 			return nil, fmt.Errorf("eval: method %s: %w", f.Name, err)
 		}
 		out = append(out, r)
+		if r.Interrupted {
+			if cause := context.Cause(ctx); cause != nil {
+				return out, fmt.Errorf("eval: method %s interrupted: %w", f.Name, cause)
+			}
+			return out, fmt.Errorf("eval: method %s interrupted", f.Name)
+		}
 	}
 	return out, nil
 }
@@ -291,7 +437,10 @@ func Best(rs []Result, n int, exclude map[string]bool) (Result, bool) {
 		if exclude[r.Method] {
 			continue
 		}
-		ma, _ := r.At(n)
+		ma, _, ok := r.At(n)
+		if !ok {
+			continue
+		}
 		if ma > bestVal {
 			bestVal, bestIdx = ma, i
 		}
@@ -305,8 +454,8 @@ func Best(rs []Result, n int, exclude map[string]bool) (Result, bool) {
 // SortByMaAP orders results descending by MaAP at the given N (stable).
 func SortByMaAP(rs []Result, n int) {
 	sort.SliceStable(rs, func(i, j int) bool {
-		a, _ := rs[i].At(n)
-		b, _ := rs[j].At(n)
+		a, _, _ := rs[i].At(n)
+		b, _, _ := rs[j].At(n)
 		return a > b
 	})
 }

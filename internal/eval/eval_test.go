@@ -67,11 +67,11 @@ func TestEvaluatePerfectRecommender(t *testing.T) {
 	if r.Events != 20 {
 		t.Fatalf("events = %d, want 20", r.Events)
 	}
-	ma1, mi1 := r.At(1)
+	ma1, mi1, _ := r.At(1)
 	if ma1 != 1 || mi1 != 1 {
 		t.Fatalf("perfect recommender @1 = %v/%v", ma1, mi1)
 	}
-	ma3, _ := r.At(3)
+	ma3, _, _ := r.At(3)
 	if ma3 != 1 {
 		t.Fatalf("@3 = %v", ma3)
 	}
@@ -88,7 +88,7 @@ func TestEvaluateUselessRecommender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ma, mi := r.At(1)
+	ma, mi, _ := r.At(1)
 	if ma != 0 || mi != 0 {
 		t.Fatalf("useless recommender scored %v/%v", ma, mi)
 	}
@@ -119,7 +119,7 @@ func TestMetricMathMaAPvsMiAP(t *testing.T) {
 	if r.UsersEvaluated != 2 {
 		t.Fatalf("users = %d", r.UsersEvaluated)
 	}
-	ma, mi := r.At(1)
+	ma, mi, _ := r.At(1)
 	if math.Abs(ma-0.8) > 1e-12 {
 		t.Fatalf("MaAP@1 = %v, want 0.8", ma)
 	}
@@ -142,7 +142,7 @@ func TestEvaluateSkipsIneligibleEvents(t *testing.T) {
 	if r.Events != 0 || r.UsersEvaluated != 0 {
 		t.Fatalf("events=%d users=%d, want 0/0", r.Events, r.UsersEvaluated)
 	}
-	ma, mi := r.At(1)
+	ma, mi, _ := r.At(1)
 	if ma != 0 || mi != 0 {
 		t.Fatal("metrics should be zero with no events")
 	}
@@ -225,14 +225,15 @@ func TestEvaluateLatencyMeasurement(t *testing.T) {
 	}
 }
 
-func TestResultAtPanicsOnUnknownN(t *testing.T) {
-	r := Result{TopNs: []int{1}, MaAP: []float64{0}, MiAP: []float64{0}}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.At(7)
+func TestResultAtUnknownN(t *testing.T) {
+	r := Result{TopNs: []int{1}, MaAP: []float64{0.5}, MiAP: []float64{0.25}}
+	if _, _, ok := r.At(7); ok {
+		t.Fatal("At(7) reported ok for an unevaluated N")
+	}
+	ma, mi, ok := r.At(1)
+	if !ok || ma != 0.5 || mi != 0.25 {
+		t.Fatalf("At(1) = %v/%v ok=%v", ma, mi, ok)
+	}
 }
 
 func TestEvaluateAllAndBest(t *testing.T) {

@@ -39,7 +39,7 @@ func Example() {
 		fmt.Println("evaluate:", err)
 		return
 	}
-	ma1, mi1 := res.At(1)
+	ma1, mi1, _ := res.At(1)
 	fmt.Printf("events=%d MaAP@1=%.2f MiAP@1=%.2f MRR=%.2f\n", res.Events, ma1, mi1, res.MRR)
 	// Output:
 	// events=20 MaAP@1=1.00 MiAP@1=1.00 MRR=1.00

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/faultinject"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// resumeWorkload builds a multi-user workload with eligible repeat events
+// for every user.
+func resumeWorkload(users int) (train, test []seq.Sequence) {
+	for u := 0; u < users; u++ {
+		period := 5 + u%3
+		s := make(seq.Sequence, 60)
+		for i := range s {
+			s[i] = seq.Item(i % period)
+		}
+		train = append(train, s[:40])
+		test = append(test, s[40:])
+	}
+	return train, test
+}
+
+// oldestFirst recommends the window's candidates oldest first — a
+// deterministic, moderately accurate recommender.
+func oldestFirst() rec.Factory {
+	return rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
+		return rec.Func(func(ctx *rec.Context, n int, out []seq.Item) []seq.Item {
+			cands := ctx.Window.Candidates(ctx.Omega, nil)
+			if len(cands) > n {
+				cands = cands[:n]
+			}
+			return append(out, cands...)
+		})
+	}}
+}
+
+// metricsString flattens every reported aggregate for byte-identity
+// comparison.
+func metricsString(r Result) string {
+	return fmt.Sprintf("%s %v %v %v %v %v %d %d %d",
+		r.Method, r.TopNs, r.MaAP, r.MiAP, r.MRR, r.NDCG, r.Events, r.UsersEvaluated, r.Recs)
+}
+
+func TestEvaluateContextCancelledUpfront(t *testing.T) {
+	train, test := resumeWorkload(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := EvaluateContext(ctx, train, test, oldestFirst(), Options{WindowCap: 10, Omega: 2, TopNs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Interrupted {
+		t.Fatal("pre-cancelled context not reported as interrupted")
+	}
+	if r.UsersDone != 0 {
+		t.Fatalf("UsersDone = %d on a pre-cancelled run", r.UsersDone)
+	}
+}
+
+// TestEvaluateInterruptAndResume is the paper-pipeline acceptance path: an
+// evaluation interrupted at roughly half the users and resumed from its
+// checkpoint must reproduce the uninterrupted metrics byte for byte.
+func TestEvaluateInterruptAndResume(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	const users = 24
+	train, test := resumeWorkload(users)
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1, 5}, Seed: 99, Parallelism: 4}
+
+	ref, err := Evaluate(train, test, oldestFirst(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "eval.ckpt")
+	opt.CheckpointPath = ckpt
+	opt.CheckpointEvery = 1 // flush every user so the kill loses nothing
+
+	// Interrupt at ~50% of users via the eval.user fault point.
+	faultinject.Arm("eval.user", faultinject.Plan{Mode: faultinject.Error, After: users / 2, Count: 1})
+	partial, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Interrupted {
+		t.Fatal("injected fault did not interrupt the evaluation")
+	}
+	if partial.UsersDone == 0 || partial.UsersDone >= users {
+		t.Fatalf("UsersDone = %d, want a strict partial of %d", partial.UsersDone, users)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+
+	resumed, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted {
+		t.Fatal("resumed run still interrupted")
+	}
+	if got, want := metricsString(resumed), metricsString(ref); got != want {
+		t.Fatalf("resumed metrics differ from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived a completed run (err=%v)", err)
+	}
+}
+
+func TestEvaluateCheckpointKeyMismatch(t *testing.T) {
+	train, test := resumeWorkload(6)
+	ckpt := filepath.Join(t.TempDir(), "eval.ckpt")
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1}, Seed: 1, CheckpointPath: ckpt, CheckpointEvery: 1}
+
+	// Interrupt once so a checkpoint exists.
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("eval.user", faultinject.Plan{Mode: faultinject.Error, After: 2, Count: 1})
+	if _, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+
+	// A different seed must refuse the stale file loudly.
+	opt.Seed = 2
+	if _, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt); err == nil {
+		t.Fatal("checkpoint from a different run accepted")
+	}
+}
+
+func TestEvaluateResumeKeepsPerUser(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	train, test := resumeWorkload(10)
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1}, Seed: 3, KeepPerUser: true}
+
+	ref, err := Evaluate(train, test, oldestFirst(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.CheckpointPath = filepath.Join(t.TempDir(), "eval.ckpt")
+	opt.CheckpointEvery = 1
+	faultinject.Arm("eval.user", faultinject.Plan{Mode: faultinject.Error, After: 4, Count: 1})
+	if _, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+	resumed, err := EvaluateContext(context.Background(), train, test, oldestFirst(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.PerUser) != len(ref.PerUser) {
+		t.Fatalf("PerUser length %d vs %d", len(resumed.PerUser), len(ref.PerUser))
+	}
+	for u := range ref.PerUser {
+		if ref.PerUser[u].Events != resumed.PerUser[u].Events {
+			t.Fatalf("user %d events %d vs %d", u, resumed.PerUser[u].Events, ref.PerUser[u].Events)
+		}
+		for i := range ref.PerUser[u].Hits {
+			if ref.PerUser[u].Hits[i] != resumed.PerUser[u].Hits[i] {
+				t.Fatalf("user %d hits differ", u)
+			}
+		}
+	}
+}

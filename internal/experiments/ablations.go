@@ -33,7 +33,7 @@ func RunAblations(w io.Writer, p Params) error {
 			if err != nil {
 				return fmt.Errorf("experiments: ablation %s: %w", name, err)
 			}
-			ma, mi := r.At(10)
+			ma, mi, _ := r.At(10)
 			t.AddRow(name, f3(ma), f3(mi))
 			return nil
 		}
@@ -92,7 +92,7 @@ func evalPPR(ds *dataset.Dataset, p Params) (eval.Result, error) {
 	if err != nil {
 		return eval.Result{}, err
 	}
-	return eval.Evaluate(train, test, m.Factory(), evalOptions(p, false))
+	return evaluate(p, train, test, m.Factory(), evalOptions(p, false))
 }
 
 // trainEvalMap is trainEval with an explicit map kind.
@@ -101,9 +101,12 @@ func trainEvalMap(ds *dataset.Dataset, p Params, mapType core.MapKind) (eval.Res
 	if err != nil {
 		return eval.Result{}, err
 	}
-	model, _, err := core.Train(pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, mapType))
+	model, stats, err := core.TrainContext(p.ctx(), pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, mapType))
 	if err != nil {
 		return eval.Result{}, err
 	}
-	return eval.Evaluate(pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+	if stats.Interrupted {
+		return eval.Result{}, interruptedErr(p, "training")
+	}
+	return evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
 }

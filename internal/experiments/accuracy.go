@@ -51,6 +51,7 @@ var (
 // returning results keyed by dataset name.
 func accuracyResults(p Params) (map[string][]eval.Result, error) {
 	key := accuracyKey{p}
+	key.p.Context = nil // memoization must not depend on the caller's context
 	accMu.Lock()
 	if r, ok := accCache[key]; ok {
 		accMu.Unlock()
@@ -77,7 +78,7 @@ func accuracyResults(p Params) (map[string][]eval.Result, error) {
 			return nil, err
 		}
 		fs = append(fs, model.Factory())
-		rs, err := eval.EvaluateAll(pl.Train, pl.Test, fs, evalOptions(p, false))
+		rs, err := eval.EvaluateAllContext(p.ctx(), pl.Train, pl.Test, fs, evalOptions(p, false))
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tsppr/internal/dataset"
-	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/plot"
 	"tsppr/internal/strec"
@@ -89,7 +88,7 @@ func RunFig13(w io.Writer, p Params) error {
 		fmt.Fprintf(w, "\n%s\n", ds.Name)
 		t := NewTable("Method", "Mean latency", "ns/rec", "Recs")
 		for _, f := range fs {
-			r, err := eval.Evaluate(pl.Train, pl.Test, f, opt)
+			r, err := evaluate(p, pl.Train, pl.Test, f, opt)
 			if err != nil {
 				return err
 			}
@@ -135,13 +134,13 @@ func RunTable5(w io.Writer, p Params) error {
 		// it on the repeats STREC classifies correctly; conditioning on
 		// all true eligible repeats is the same population up to STREC's
 		// recall, which its accuracy already captures in the product).
-		r, err := eval.Evaluate(pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+		r, err := evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
 		if err != nil {
 			return err
 		}
-		ma1, _ := r.At(1)
-		ma5, _ := r.At(5)
-		ma10, _ := r.At(10)
+		ma1, _, _ := r.At(1)
+		ma5, _, _ := r.At(5)
+		ma10, _, _ := r.At(10)
 		t.AddRow(ds.Name,
 			f3(cls.Accuracy), f3(ma1), f3(ma5), f3(ma10),
 			f3(cls.Accuracy*ma10))

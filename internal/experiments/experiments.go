@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -50,6 +51,20 @@ type Params struct {
 	MaxSteps int
 	// Quick shrinks sweeps (used by tests to keep runtimes sane).
 	Quick bool
+
+	// Context, when set, cancels long-running drivers between (and inside)
+	// their training and evaluation stages; nil means Background. A
+	// cancelled driver returns the context's error rather than printing a
+	// partial table.
+	Context context.Context
+}
+
+// ctx resolves the driver context.
+func (p Params) ctx() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
 }
 
 // Defaults fills unset fields with the paper's Table 4 settings at a
@@ -229,8 +244,39 @@ func coreConfig(p Params, mapType core.MapKind) core.Config {
 }
 
 // TrainTSPPR trains the model on the pipeline with the paper's defaults.
+// A cancelled Params.Context surfaces as an error: experiment drivers
+// print complete artifacts or nothing.
 func (pl *Pipeline) TrainTSPPR(p Params) (*core.Model, *core.TrainStats, error) {
-	return core.Train(pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, core.PerUserMap))
+	m, stats, err := core.TrainContext(p.ctx(), pl.Set, len(pl.Train), pl.NumItems, pl.Ex, coreConfig(p, core.PerUserMap))
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats.Interrupted {
+		return nil, nil, interruptedErr(p, "training")
+	}
+	return m, stats, nil
+}
+
+// interruptedErr explains an interrupted stage, wrapping the context's
+// cause when there is one (a fault-injected interruption has none).
+func interruptedErr(p Params, stage string) error {
+	if cause := context.Cause(p.ctx()); cause != nil {
+		return fmt.Errorf("experiments: %s interrupted: %w", stage, cause)
+	}
+	return fmt.Errorf("experiments: %s interrupted", stage)
+}
+
+// evaluate runs eval.EvaluateContext under the driver context, converting
+// interruption into an error for the same complete-or-nothing reason.
+func evaluate(p Params, train, test []seq.Sequence, f rec.Factory, opt eval.Options) (eval.Result, error) {
+	res, err := eval.EvaluateContext(p.ctx(), train, test, f, opt)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	if res.Interrupted {
+		return eval.Result{}, interruptedErr(p, "evaluation")
+	}
+	return res, nil
 }
 
 // evalOptions assembles the standard evaluation options for p.

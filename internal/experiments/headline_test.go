@@ -24,7 +24,7 @@ func TestHeadlineResultRegression(t *testing.T) {
 		var tsppr, bestBaseline float64
 		bestName := ""
 		for _, r := range results {
-			ma1, _ := r.At(1)
+			ma1, _, _ := r.At(1)
 			if r.Method == "TS-PPR" {
 				tsppr = ma1
 				continue
@@ -41,7 +41,7 @@ func TestHeadlineResultRegression(t *testing.T) {
 		// Recency stays weak (both paper claims).
 		var random, recency, pop float64
 		for _, r := range results {
-			ma1, _ := r.At(1)
+			ma1, _, _ := r.At(1)
 			switch r.Method {
 			case "Random":
 				random = ma1

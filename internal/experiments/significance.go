@@ -36,14 +36,14 @@ func RunSignificance(w io.Writer, p Params) error {
 		}
 		opt := evalOptions(p, false)
 		opt.KeepPerUser = true
-		ours, err := eval.Evaluate(pl.Train, pl.Test, model.Factory(), opt)
+		ours, err := evaluate(p, pl.Train, pl.Test, model.Factory(), opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\n%s (bootstrap iters=2000)\n", ds.Name)
 		t := NewTable("Baseline", "Δ@1", "CI@1", "p@1", "Δ@10", "CI@10", "p@10")
 		for _, f := range fs {
-			theirs, err := eval.Evaluate(pl.Train, pl.Test, f, opt)
+			theirs, err := evaluate(p, pl.Train, pl.Test, f, opt)
 			if err != nil {
 				return err
 			}
@@ -51,8 +51,11 @@ func RunSignificance(w io.Writer, p Params) error {
 			if err != nil {
 				return err
 			}
-			i1 := indexOf(c.TopNs, 1)
-			i10 := indexOf(c.TopNs, 10)
+			i1, ok1 := indexOf(c.TopNs, 1)
+			i10, ok10 := indexOf(c.TopNs, 10)
+			if !ok1 || !ok10 {
+				return fmt.Errorf("experiments: significance needs Top-1 and Top-10 in the evaluated TopNs, got %v", c.TopNs)
+			}
 			t.AddRow(f.Name,
 				fmt.Sprintf("%+.4f%s", c.DeltaMaAP[i1], star(c.SignificantMaAP(i1))),
 				fmt.Sprintf("[%+.3f,%+.3f]", c.CILowMaAP[i1], c.CIHighMaAP[i1]),
@@ -69,13 +72,13 @@ func RunSignificance(w io.Writer, p Params) error {
 	return nil
 }
 
-func indexOf(xs []int, v int) int {
+func indexOf(xs []int, v int) (int, bool) {
 	for i, x := range xs {
 		if x == v {
-			return i
+			return i, true
 		}
 	}
-	panic(fmt.Sprintf("experiments: %d not evaluated", v))
+	return -1, false
 }
 
 func star(sig bool) string {

@@ -22,7 +22,7 @@ func trainEval(ds *dataset.Dataset, p Params, mask features.Mask, rk features.Re
 	if err != nil {
 		return eval.Result{}, err
 	}
-	return eval.Evaluate(pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+	return evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
 }
 
 // RunFig7 reports the feature-importance ablation (paper Fig. 7): drop
@@ -41,14 +41,14 @@ func RunFig7(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		ma, mi := all.At(10)
+		ma, mi, _ := all.At(10)
 		t.AddRow("All", f3(ma), f3(mi))
 		for k := features.Kind(0); k < features.NumKinds; k++ {
 			r, err := trainEval(ds, p, features.AllFeatures.Without(k), features.Hyperbolic)
 			if err != nil {
 				return err
 			}
-			ma, mi := r.At(10)
+			ma, mi, _ := r.At(10)
 			t.AddRow("-"+k.String(), f3(ma), f3(mi))
 		}
 		if err := t.Render(w); err != nil {
@@ -75,7 +75,7 @@ func sweep(w io.Writer, base Params, label string, values []string, vary func(Pa
 			if err != nil {
 				return err
 			}
-			ma, mi := r.At(10)
+			ma, mi, _ := r.At(10)
 			series = append(series, ma)
 			t.AddRow(val, f3(ma), f3(mi))
 		}

@@ -1,0 +1,179 @@
+package tuning
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"tsppr/internal/atomicio"
+	"tsppr/internal/core"
+	"tsppr/internal/eval"
+)
+
+// The tuning checkpoint is JSON lines: a key line binding the file to one
+// exact search (seed, data shape, eval protocol, grid size), then one
+// record per finished cell keyed by its hyper-parameter point. Whole-file
+// atomic replacement means a kill mid-search leaves a consistent snapshot;
+// a resumed search skips every cell already on disk and re-runs only the
+// rest. Interrupted cells are never written — only completed successes and
+// deterministic failures.
+
+// cellsFormat versions the checkpoint layout.
+const cellsFormat = "tsppr-tunckpt-v1"
+
+// tuneKey binds a checkpoint to one search configuration.
+type tuneKey struct {
+	Format    string `json:"format"`
+	Seed      uint64 `json:"seed"`
+	NumUsers  int    `json:"numUsers"`
+	NumItems  int    `json:"numItems"`
+	WindowCap int    `json:"windowCap"`
+	Omega     int    `json:"omega"`
+	TopNs     []int  `json:"topNs"`
+	Points    int    `json:"points"`
+}
+
+func cellsKey(task Task, points int) tuneKey {
+	return tuneKey{
+		Format:    cellsFormat,
+		Seed:      task.Seed,
+		NumUsers:  len(task.Train),
+		NumItems:  task.NumItems,
+		WindowCap: task.Eval.WindowCap,
+		Omega:     task.Eval.Omega,
+		TopNs:     task.Eval.TopNs,
+		Points:    points,
+	}
+}
+
+// cellStats is the durable subset of core.TrainStats. Per-step checkpoint
+// snapshots (which embed whole models) are deliberately dropped: a resumed
+// sweep needs the outcome of a cell, not its training trajectory.
+type cellStats struct {
+	Steps     int     `json:"steps"`
+	Converged bool    `json:"converged"`
+	FinalRBar float64 `json:"finalRBar"`
+	Backoffs  int     `json:"backoffs,omitempty"`
+	Diverged  bool    `json:"diverged,omitempty"`
+}
+
+// cellRecord is one finished grid cell on disk.
+type cellRecord struct {
+	Point  Point       `json:"point"`
+	Result eval.Result `json:"result"`
+	Stats  *cellStats  `json:"stats,omitempty"`
+	Err    string      `json:"err,omitempty"`
+}
+
+// cells is the live handle on a tuning checkpoint file.
+type cells struct {
+	path   string
+	key    tuneKey
+	loaded map[Point]Outcome
+}
+
+// openCells loads the checkpoint at path if it exists, verifying that it
+// belongs to the same search. A missing file is a fresh start.
+func openCells(path string, k tuneKey) (*cells, error) {
+	c := &cells{path: path, key: k, loaded: map[Point]Outcome{}}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tuning: checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("tuning: checkpoint %s: empty or unreadable", path)
+	}
+	var have tuneKey
+	if err := json.Unmarshal(sc.Bytes(), &have); err != nil {
+		return nil, fmt.Errorf("tuning: checkpoint %s: bad key line: %w", path, err)
+	}
+	wantJSON, _ := json.Marshal(k)
+	haveJSON, _ := json.Marshal(have)
+	if string(wantJSON) != string(haveJSON) {
+		return nil, fmt.Errorf("tuning: checkpoint %s belongs to a different search (have %s, want %s); delete it to start over",
+			path, haveJSON, wantJSON)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec cellRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tuning: checkpoint %s: line %d: %w", path, line, err)
+		}
+		o := Outcome{Point: rec.Point, Result: rec.Result}
+		if rec.Stats != nil {
+			o.Stats = &core.TrainStats{
+				Steps:     rec.Stats.Steps,
+				Converged: rec.Stats.Converged,
+				FinalRBar: rec.Stats.FinalRBar,
+				Backoffs:  rec.Stats.Backoffs,
+				Diverged:  rec.Stats.Diverged,
+			}
+		}
+		if rec.Err != "" {
+			o.Err = errors.New(rec.Err)
+		}
+		c.loaded[rec.Point] = o
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tuning: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// lookup returns the stored outcome for a point, if any.
+func (c *cells) lookup(pt Point) (Outcome, bool) {
+	o, ok := c.loaded[pt]
+	return o, ok
+}
+
+// save atomically replaces the checkpoint with every finished cell. The
+// write passes through the "tuning.checkpoint.write" fault-injection
+// point.
+func (c *cells) save(out []Outcome, ran []bool) error {
+	return atomicio.WriteFile(c.path, "tuning.checkpoint.write", func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		if err := enc.Encode(c.key); err != nil {
+			return err
+		}
+		for i, o := range out {
+			if !ran[i] {
+				continue
+			}
+			rec := cellRecord{Point: o.Point, Result: o.Result}
+			rec.Result.PerUser = nil // per-user detail is not part of the sweep's durable state
+			if o.Stats != nil {
+				rec.Stats = &cellStats{
+					Steps:     o.Stats.Steps,
+					Converged: o.Stats.Converged,
+					FinalRBar: o.Stats.FinalRBar,
+					Backoffs:  o.Stats.Backoffs,
+					Diverged:  o.Stats.Diverged,
+				}
+			}
+			if o.Err != nil {
+				rec.Err = o.Err.Error()
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+}
+
+// remove deletes a completed search's checkpoint (best effort).
+func (c *cells) remove() {
+	_ = os.Remove(c.path)
+}

@@ -1,0 +1,144 @@
+package tuning
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsppr/internal/faultinject"
+)
+
+func metricsString(o Outcome) string {
+	if o.Err != nil {
+		return "err:" + o.Err.Error()
+	}
+	s := fmt.Sprintf("%v %v %v %d", o.Result.MaAP, o.Result.MiAP, o.Result.TopNs, o.Result.Events)
+	if o.Stats != nil {
+		s += fmt.Sprintf(" steps=%d conv=%v rbar=%v", o.Stats.Steps, o.Stats.Converged, o.Stats.FinalRBar)
+	}
+	return s
+}
+
+// TestSearchInterruptAndResume interrupts the middle cell of a serial
+// three-cell sweep via the eval.user fault point, then resumes from the
+// checkpoint: only the interrupted cell re-runs and the combined outcomes
+// must match an uninterrupted sweep cell for cell.
+func TestSearchInterruptAndResume(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	tk := task(t)
+	grid := Grid{Ks: []int{4, 8, 12}, MaxSteps: []int{5_000}}
+
+	ref, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tk.CheckpointPath = filepath.Join(t.TempDir(), "tune.ckpt")
+	tk.Parallelism = 1
+
+	// Each cell evaluates 10 users in order, one eval.user probe per user;
+	// firing once after 12 probes lands mid-evaluation of cell 1.
+	faultinject.Arm("eval.user", faultinject.Plan{Mode: faultinject.Error, After: 12, Count: 1})
+	partial, err := SearchContext(context.Background(), tk, grid)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := 0
+	for i, o := range partial {
+		if o.Err == nil {
+			finished++
+		} else if !errors.Is(o.Err, ErrInterrupted) {
+			t.Fatalf("cell %d: unexpected error: %v", i, o.Err)
+		}
+	}
+	if finished == 0 || finished >= len(ref) {
+		t.Fatalf("finished %d of %d cells, want a strict partial", finished, len(ref))
+	}
+	if _, err := os.Stat(tk.CheckpointPath); err != nil {
+		t.Fatalf("finished cells but no checkpoint: %v", err)
+	}
+
+	resumed, err := SearchContext(context.Background(), tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got, want := metricsString(resumed[i]), metricsString(ref[i]); got != want {
+			t.Fatalf("cell %d differs after resume:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	if _, err := os.Stat(tk.CheckpointPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived a completed sweep (err=%v)", err)
+	}
+}
+
+// TestSearchCheckpointSkipsFinishedCells proves resumption actually skips
+// work: after a full checkpointed pass is forced to keep its file, a
+// second pass with an always-cancelled context still returns every cell —
+// all answered from disk.
+func TestSearchCheckpointSkipsFinishedCells(t *testing.T) {
+	tk := task(t)
+	grid := Grid{Ks: []int{4, 8}, MaxSteps: []int{5_000}}
+	tk.CheckpointPath = filepath.Join(t.TempDir(), "tune.ckpt")
+
+	ref, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The completed sweep removed its checkpoint; rebuild one by saving
+	// every cell through the real writer.
+	ck, err := openCells(tk.CheckpointPath, cellsKey(tk, len(ref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]bool, len(ref))
+	for i := range ran {
+		ran[i] = true
+	}
+	if err := ck.save(ref, ran); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := SearchContext(ctx, tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if out[i].Err != nil {
+			t.Fatalf("cell %d not served from checkpoint: %v", i, out[i].Err)
+		}
+		if got, want := metricsString(out[i]), metricsString(ref[i]); got != want {
+			t.Fatalf("cell %d differs from checkpoint:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestSearchCheckpointKeyMismatch(t *testing.T) {
+	tk := task(t)
+	grid := Grid{Ks: []int{4}, MaxSteps: []int{2_000}}
+	tk.CheckpointPath = filepath.Join(t.TempDir(), "tune.ckpt")
+
+	out, err := Search(tk, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := openCells(tk.CheckpointPath, cellsKey(tk, len(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.save(out, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+
+	tk.Seed++ // a different search must refuse the stale file loudly
+	if _, err := Search(tk, grid); err == nil {
+		t.Fatal("checkpoint from a different search accepted")
+	}
+}

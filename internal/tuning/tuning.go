@@ -10,6 +10,8 @@
 package tuning
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +23,11 @@ import (
 	"tsppr/internal/sampling"
 	"tsppr/internal/seq"
 )
+
+// ErrInterrupted marks grid cells that were not run (or not finished)
+// because the search's context was cancelled. Their outcomes carry it as
+// Err; a resumed search re-runs exactly those cells.
+var ErrInterrupted = errors.New("tuning: interrupted")
 
 // Grid enumerates candidate values per hyper-parameter. Empty slices mean
 // "use the trainer's default" (a single nil-signalling zero value).
@@ -107,6 +114,15 @@ type Task struct {
 	Seed uint64
 	// Parallelism bounds concurrent trials (default GOMAXPROCS).
 	Parallelism int
+
+	// CheckpointPath, when non-empty, makes the search resumable: every
+	// finished cell (success or deterministic failure) is flushed there
+	// atomically, and a later run with the same task and grid skips cells
+	// already on disk. The file is removed when the search completes.
+	CheckpointPath string
+	// CheckpointEvery is how many newly finished cells trigger a flush
+	// (default 1: grid cells are expensive, flush each).
+	CheckpointEvery int
 }
 
 // Outcome is one evaluated grid point.
@@ -118,12 +134,15 @@ type Outcome struct {
 }
 
 // Objective returns the outcome's MaAP at the task's objective TopN
-// (−1 when the trial failed).
+// (−1 when the trial failed or the TopN was not evaluated).
 func (o Outcome) objective(topN int) float64 {
 	if o.Err != nil {
 		return -1
 	}
-	ma, _ := o.Result.At(topN)
+	ma, _, ok := o.Result.At(topN)
+	if !ok {
+		return -1
+	}
 	return ma
 }
 
@@ -131,6 +150,16 @@ func (o Outcome) objective(topN int) float64 {
 // grid order; individual failures are recorded on the outcome rather than
 // aborting the sweep.
 func Search(task Task, grid Grid) ([]Outcome, error) {
+	return SearchContext(context.Background(), task, grid)
+}
+
+// SearchContext is Search with cancellation and (optionally, via
+// Task.CheckpointPath) resumption. On cancellation no new cells start;
+// cells already running finish (a mid-cell cancel marks that cell
+// ErrInterrupted instead), finished work is flushed to the checkpoint,
+// and the partial outcome slice returns with a nil error — unfinished
+// cells carry ErrInterrupted.
+func SearchContext(ctx context.Context, task Task, grid Grid) ([]Outcome, error) {
 	if task.Set == nil || task.Extractor == nil {
 		return nil, fmt.Errorf("tuning: Task requires Set and Extractor")
 	}
@@ -140,30 +169,107 @@ func Search(task Task, grid Grid) ([]Outcome, error) {
 	if task.ObjectiveTopN == 0 {
 		task.ObjectiveTopN = 1
 	}
+	if task.CheckpointEvery <= 0 {
+		task.CheckpointEvery = 1
+	}
 	par := task.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	points := grid.Points()
 	out := make([]Outcome, len(points))
+	ranCell := make([]bool, len(points))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, pt := range points {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, pt Point) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = runPoint(task, pt)
-		}(i, pt)
+	var ck *cells
+	if task.CheckpointPath != "" {
+		var err error
+		ck, err = openCells(task.CheckpointPath, cellsKey(task, len(points)))
+		if err != nil {
+			return nil, err
+		}
 	}
+	var pending []int
+	for i, pt := range points {
+		if ck != nil {
+			if o, ok := ck.lookup(pt); ok {
+				out[i] = o
+				ranCell[i] = true
+				continue
+			}
+		}
+		out[i] = Outcome{Point: pt, Err: ErrInterrupted} // overwritten when the cell runs
+		pending = append(pending, i)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		sinceSave int
+		saveErr   error
+	)
+	jobs := make(chan int)
+	if par > len(pending) {
+		par = len(pending)
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without starting new cells
+				}
+				o := runPoint(ctx, task, points[i])
+				mu.Lock()
+				out[i] = o
+				if !errors.Is(o.Err, ErrInterrupted) {
+					ranCell[i] = true
+					sinceSave++
+					if ck != nil && sinceSave >= task.CheckpointEvery {
+						if err := ck.save(out, ranCell); err != nil && saveErr == nil {
+							saveErr = err
+						}
+						sinceSave = 0
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+	if saveErr != nil {
+		return nil, fmt.Errorf("tuning: checkpoint: %w", saveErr)
+	}
+	if ck != nil {
+		allDone := true
+		for _, r := range ranCell {
+			if !r {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			ck.remove()
+		} else if sinceSave > 0 {
+			if err := ck.save(out, ranCell); err != nil {
+				return nil, fmt.Errorf("tuning: checkpoint: %w", err)
+			}
+		}
+	}
 	return out, nil
 }
 
-func runPoint(task Task, pt Point) Outcome {
-	model, stats, err := core.Train(task.Set, len(task.Train), task.NumItems, task.Extractor, core.Config{
+func runPoint(ctx context.Context, task Task, pt Point) Outcome {
+	model, stats, err := core.TrainContext(ctx, task.Set, len(task.Train), task.NumItems, task.Extractor, core.Config{
 		K:            pt.K,
 		Lambda:       pt.Lambda,
 		Gamma:        pt.Gamma,
@@ -175,9 +281,15 @@ func runPoint(task Task, pt Point) Outcome {
 	if err != nil {
 		return Outcome{Point: pt, Err: err}
 	}
-	res, err := eval.Evaluate(task.Train, task.Test, model.Factory(), task.Eval)
+	if stats.Interrupted {
+		return Outcome{Point: pt, Err: ErrInterrupted}
+	}
+	res, err := eval.EvaluateContext(ctx, task.Train, task.Test, model.Factory(), task.Eval)
 	if err != nil {
 		return Outcome{Point: pt, Err: err}
+	}
+	if res.Interrupted {
+		return Outcome{Point: pt, Err: ErrInterrupted}
 	}
 	return Outcome{Point: pt, Result: res, Stats: stats}
 }

@@ -93,9 +93,9 @@ func TestSearchFindsBest(t *testing.T) {
 	if !ok {
 		t.Fatal("no best outcome")
 	}
-	bm, _ := best.Result.At(1)
+	bm, _, _ := best.Result.At(1)
 	for _, o := range outcomes {
-		om, _ := o.Result.At(1)
+		om, _, _ := o.Result.At(1)
 		if om > bm {
 			t.Fatal("Best did not return the maximum")
 		}
@@ -116,8 +116,8 @@ func TestSearchDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range seqOut {
-		a, _ := seqOut[i].Result.At(1)
-		b, _ := parOut[i].Result.At(1)
+		a, _, _ := seqOut[i].Result.At(1)
+		b, _, _ := parOut[i].Result.At(1)
 		if a != b {
 			t.Fatalf("trial %d differs across parallelism: %v vs %v", i, a, b)
 		}
