@@ -10,8 +10,15 @@
 // the datasets into memory; the exit code is nonzero when any file has
 // problems.
 //
+// With -wal, it stream-verifies an rrc-server write-ahead event log
+// directory: per-segment record counts, CRC failures, and torn tails,
+// without mutating anything (unlike server startup, it never truncates).
+// The exit code is nonzero when any segment has CRC failures or a torn
+// tail.
+//
 //	rrc-inspect                       # model diagnostics
 //	rrc-inspect -validate a.tsv b.tsv # dataset health check
+//	rrc-inspect -wal events/          # event-log health check
 package main
 
 import (
@@ -31,21 +38,59 @@ import (
 	"tsppr/internal/linalg"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
+	"tsppr/internal/wal"
 )
 
 func main() {
 	validate := flag.Bool("validate", false, "validate TSV event logs given as arguments instead of inspecting a model")
+	walDir := flag.String("wal", "", "verify the write-ahead event log in this directory instead of inspecting a model")
 	flag.Parse()
 	var err error
-	if *validate {
+	switch {
+	case *validate:
 		err = runValidate(flag.Args(), os.Stdout)
-	} else {
+	case *walDir != "":
+		err = runWALVerify(*walDir, os.Stdout)
+	default:
 		err = run()
 	}
 	if err != nil && err != cli.ErrUsage {
 		fmt.Fprintln(os.Stderr, "rrc-inspect:", err)
 	}
 	os.Exit(cli.ExitCode(err))
+}
+
+// runWALVerify streams every segment of the event log once, read-only,
+// and prints its health report, mirroring the -validate dataset mode.
+// It fails when any record fails its CRC or any segment has a torn
+// tail.
+func runWALVerify(dir string, stdout io.Writer) error {
+	rep, err := wal.Verify(dir, 0)
+	if err != nil {
+		return err
+	}
+	if len(rep.Segments) == 0 {
+		return fmt.Errorf("%s: no wal segments found", dir)
+	}
+	for _, sg := range rep.Segments {
+		fmt.Fprintf(stdout, "%s: firstLSN=%d bytes=%d records=%d good=%d crcFailures=%d tornTailBytes=%d\n",
+			sg.Name, sg.FirstLSN, sg.Bytes, sg.Records, sg.Good, len(sg.Corrupt), sg.TornTail)
+		for _, idx := range sg.Corrupt {
+			fmt.Fprintf(stdout, "  violation: record %d (lsn %d) failed CRC32-C\n", idx, sg.FirstLSN+uint64(idx))
+		}
+		if sg.TornTail > 0 {
+			fmt.Fprintf(stdout, "  violation: torn tail of %d bytes (server startup would truncate it)\n", sg.TornTail)
+		}
+		if len(sg.Corrupt) == 0 && sg.TornTail == 0 {
+			fmt.Fprintln(stdout, "  ok")
+		}
+	}
+	fmt.Fprintf(stdout, "total: segments=%d records=%d good=%d crcFailures=%d tornSegments=%d\n",
+		len(rep.Segments), rep.Records, rep.Good, rep.CorruptRecords, rep.TornSegments)
+	if !rep.Clean() {
+		return fmt.Errorf("%s: %d CRC failure(s), %d torn segment(s)", dir, rep.CorruptRecords, rep.TornSegments)
+	}
+	return nil
 }
 
 // runValidate streams each file once and prints its health report. It

@@ -12,10 +12,18 @@
 //	                         reply {"items":[...],"scores":[...]}
 //	POST /recommend/batch  → body {"requests":[{...},{...}]}
 //	                         reply {"responses":[{...}|{"error":...},...]}
+//	POST /consume          → (with -events-dir) body {"user":0,"item":42}
+//	                         append one consumption durably, advance W_ut
+//	POST /recommend/user   → (with -events-dir) body {"user":0,"n":5}
+//	                         rank from the server-held window
 //
 // The caller supplies the user's recent consumption history (most recent
 // last); the server replays it into a time window and ranks the
-// reconsumable candidates.
+// reconsumable candidates. With -events-dir the server instead owns the
+// per-user windows: events POSTed to /consume are appended to a
+// crash-recoverable write-ahead log (fsync policy via -fsync) before
+// they touch memory, periodic snapshots bound recovery time, and
+// /recommend/user ranks from the stored window with no history payload.
 //
 // Resilience: every request runs under panic recovery and a deadline; a
 // concurrency semaphore sheds load with 429 + Retry-After once saturated.
@@ -50,6 +58,8 @@ import (
 	"tsppr/internal/faultinject"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
+	"tsppr/internal/sessions"
+	"tsppr/internal/wal"
 )
 
 func main() {
@@ -61,11 +71,23 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 64, "concurrent recommend requests before load-shedding with 429")
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request scoring deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+
+		eventsDir     = flag.String("events-dir", "", "enable durable online sessions: write-ahead event log + snapshots live here")
+		fsyncPolicy   = flag.String("fsync", "always", "event-log durability: always (lose nothing), interval (batched), never (page cache)")
+		fsyncInterval = flag.Duration("fsync-interval", wal.DefaultSyncEvery, "batching period for -fsync interval")
+		snapshotEvery = flag.Int("snapshot-every", 4096, "session snapshot every N appended events (0 = only at shutdown)")
+		maxSessions   = flag.Int("max-sessions", sessions.DefaultMaxUsers, "in-memory session bound; least-recently-used windows are evicted past it")
+		corruptSkip   = flag.Bool("wal-skip-corrupt", false, "quarantine CRC-failed log records instead of refusing to start")
 	)
 	flag.Parse()
 
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "rrc-server: -model is required")
+		os.Exit(2)
+	}
+	fsync, err := wal.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-server:", err)
 		os.Exit(2)
 	}
 	model, err := core.LoadFile(*modelPath)
@@ -76,13 +98,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrc-server:", err)
 		os.Exit(1)
 	}
+	corrupt := wal.CorruptHalt
+	if *corruptSkip {
+		corrupt = wal.CorruptSkip
+	}
 	srv := newServer(model, serverOptions{
 		modelPath:    *modelPath,
 		windowCap:    *window,
 		defaultOmega: *omega,
 		maxInFlight:  *maxInFlight,
 		reqTimeout:   *reqTimeout,
+
+		eventsDir:     *eventsDir,
+		fsync:         fsync,
+		fsyncInterval: *fsyncInterval,
+		snapshotEvery: *snapshotEvery,
+		maxSessions:   *maxSessions,
+		corrupt:       corrupt,
 	})
+	if *eventsDir != "" {
+		online, err := newOnline(srv.opts, model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrc-server:", err)
+			os.Exit(1)
+		}
+		srv.online = online
+		ws := online.log.Stats()
+		log.Printf("recovered %d sessions (snapshot lsn=%d + %d replayed records, %d torn tail(s) truncated, %d corrupt skipped) from %s",
+			online.store.Len(), online.recover.SnapshotLSN, online.recover.Replayed,
+			ws.TruncatedTails, ws.SkippedCorrupt, *eventsDir)
+	}
 	log.Printf("serving model (users=%d items=%d K=%d F=%d) on %s",
 		model.NumUsers(), model.NumItems(), model.K, model.F, *addr)
 	httpSrv := &http.Server{
@@ -110,6 +155,13 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		// The listener has drained: flush a final snapshot and close the
+		// event log so the next start recovers without a WAL replay.
+		if srv.online != nil {
+			if err := srv.online.close(); err != nil {
+				log.Printf("event log close: %v", err)
+			}
+		}
 		close(idle)
 	}()
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -129,12 +181,21 @@ type serverOptions struct {
 	reqTimeout    time.Duration // primary-scorer deadline; 0 → 2s
 	failThreshold int           // consecutive failures before degraded; 0 → 3
 	probeEvery    int           // degraded-mode primary probe period; 0 → 16
+
+	// Online-session fields; zero values defer to wal/sessions defaults.
+	eventsDir     string // "" disables /consume and /recommend/user
+	fsync         wal.SyncPolicy
+	fsyncInterval time.Duration
+	snapshotEvery int
+	maxSessions   int
+	corrupt       wal.CorruptPolicy
 }
 
 type server struct {
-	opts  serverOptions
-	model atomic.Pointer[core.Model]
-	sem   chan struct{}
+	opts   serverOptions
+	model  atomic.Pointer[core.Model]
+	sem    chan struct{}
+	online *onlineState // nil unless -events-dir is configured
 
 	requests atomic.Int64
 	errors   atomic.Int64
@@ -176,6 +237,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("POST /recommend", s.harden(http.HandlerFunc(s.handleRecommend)))
 	mux.Handle("POST /recommend/batch", s.harden(http.HandlerFunc(s.handleBatch)))
+	if s.online != nil {
+		mux.Handle("POST /consume", s.harden(http.HandlerFunc(s.handleConsume)))
+		mux.Handle("POST /recommend/user", s.harden(http.HandlerFunc(s.handleRecommendUser)))
+	} else {
+		mux.HandleFunc("POST /consume", s.errOnlineDisabled)
+		mux.HandleFunc("POST /recommend/user", s.errOnlineDisabled)
+	}
 	return s.recovered(mux)
 }
 
@@ -233,11 +301,25 @@ type statsResponse struct {
 	K                int   `json:"k"`
 	F                int   `json:"f"`
 	WindowCap        int   `json:"window"`
+
+	// Online-session counters; all zero when -events-dir is off.
+	Online           bool   `json:"online"`
+	Sessions         int    `json:"sessions,omitempty"`
+	AppliedLSN       uint64 `json:"applied_lsn,omitempty"`
+	Appends          int64  `json:"appends,omitempty"`
+	Fsyncs           int64  `json:"fsyncs,omitempty"`
+	RecoveredRecords int64  `json:"recovered_records,omitempty"`
+	TruncatedTails   int64  `json:"truncated_tails,omitempty"`
+	SkippedCorrupt   int64  `json:"skipped_corrupt,omitempty"`
+	Evictions        int64  `json:"evictions,omitempty"`
+	DroppedEvents    int64  `json:"dropped_events,omitempty"`
+	Snapshots        int64  `json:"snapshots,omitempty"`
+	SnapshotErrors   int64  `json:"snapshot_errors,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	m := s.model.Load()
-	writeJSON(w, http.StatusOK, statsResponse{
+	st := statsResponse{
 		Requests:         s.requests.Load(),
 		Errors:           s.errors.Load(),
 		ItemsRecommended: s.items.Load(),
@@ -252,7 +334,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		K:                m.K,
 		F:                m.F,
 		WindowCap:        s.opts.windowCap,
-	})
+	}
+	if s.online != nil {
+		s.online.statsInto(&st)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleHealth reports liveness only: the process is up and serving, even
@@ -271,6 +357,10 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.degraded.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
+		return
+	}
+	if s.online != nil && !s.online.ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -410,31 +500,53 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// maxHistoryLen caps the caller-shipped history of a single recommend
+// request. It exists so the single and batch paths enforce the same
+// per-request budget: /recommend's 4 MiB body cap would otherwise let a
+// batch entry (under the batch's larger whole-body cap) carry a history
+// no single request could.
+const maxHistoryLen = 1 << 17
+
+// clampNOmega applies the shared N defaulting/capping and Ω validation
+// used by every recommend path (stateless, batch, session-backed).
+func (s *server) clampNOmega(n int, omegaPtr *int) (int, int, error) {
+	if n <= 0 {
+		n = 10
+	}
+	if n > s.opts.windowCap {
+		n = s.opts.windowCap
+	}
+	omega := s.opts.defaultOmega
+	if omegaPtr != nil {
+		omega = *omegaPtr
+	}
+	if omega < 0 || omega >= s.opts.windowCap {
+		return 0, 0, fmt.Errorf("omega %d out of [0,%d)", omega, s.opts.windowCap)
+	}
+	return n, omega, nil
+}
+
 // recommend validates the request, then scores it with the primary TS-PPR
 // scorer under the request deadline, falling back to the recency/
 // popularity scorer when the primary panics or times out. Validation
-// errors are the caller's fault (400); scorer trouble never is — the
-// request still gets an answer.
+// errors are the caller's fault (400, or a 400-style batch entry);
+// scorer trouble never is — the request still gets an answer. Both
+// /recommend and every /recommend/batch entry go through this one
+// function, so the two paths cannot drift apart.
 func (s *server) recommend(ctx context.Context, req recommendRequest) (*recommendResponse, error) {
 	m := s.model.Load()
 	if req.User < 0 || req.User >= m.NumUsers() {
 		return nil, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers())
 	}
-	if req.N <= 0 {
-		req.N = 10
-	}
-	if req.N > s.opts.windowCap {
-		req.N = s.opts.windowCap
-	}
-	omega := s.opts.defaultOmega
-	if req.Omega != nil {
-		omega = *req.Omega
-	}
-	if omega < 0 || omega >= s.opts.windowCap {
-		return nil, fmt.Errorf("omega %d out of [0,%d)", omega, s.opts.windowCap)
+	n, omega, err := s.clampNOmega(req.N, req.Omega)
+	if err != nil {
+		return nil, err
 	}
 	if len(req.History) == 0 {
 		return nil, errors.New("history is empty")
+	}
+	if len(req.History) > maxHistoryLen {
+		return nil, fmt.Errorf("history length %d over the %d cap", len(req.History), maxHistoryLen)
 	}
 	history := make(seq.Sequence, len(req.History))
 	win := seq.NewWindow(s.opts.windowCap)
@@ -446,17 +558,22 @@ func (s *server) recommend(ctx context.Context, req recommendRequest) (*recommen
 		win.Push(seq.Item(it))
 	}
 	rctx := &rec.Context{User: req.User, Window: win, History: history, Omega: omega}
+	return s.score(ctx, m, rctx, n), nil
+}
 
+// score runs the primary-with-fallback orchestration over an assembled
+// recommendation context. It always produces an answer.
+func (s *server) score(ctx context.Context, m *core.Model, rctx *rec.Context, n int) *recommendResponse {
 	if s.shouldTryPrimary() {
-		resp, err := s.scorePrimary(ctx, m, rctx, req.N)
+		resp, err := s.scorePrimary(ctx, m, rctx, n)
 		if err == nil {
 			s.primaryRecovered()
-			return resp, nil
+			return resp
 		}
 		s.primaryFailed(err)
 	}
 	s.fallbacks.Add(1)
-	return s.scoreFallback(rctx, req.N), nil
+	return s.scoreFallback(rctx, n)
 }
 
 // shouldTryPrimary gates the primary scorer: always when healthy, every

@@ -1,0 +1,258 @@
+// Online ingestion-and-session layer: with -events-dir set, the server
+// owns the per-user time windows the paper's preference function is
+// computed over, instead of making every caller re-ship history.
+//
+//	POST /consume         → body {"user":0,"item":42}
+//	                        reply {"lsn":17,"window":33}
+//	POST /recommend/user  → body {"user":0,"n":5,"omega":10}
+//	                        reply {"items":[...],"scores":[...]}
+//
+// Every consumption is appended to the write-ahead log (internal/wal)
+// *before* it touches the in-memory window, so an acknowledged event
+// survives a crash (always, under -fsync always; up to the unsynced
+// suffix otherwise). Startup recovery = newest loadable snapshot +
+// WAL tail replay; /readyz stays 503 until it completes. Periodic
+// snapshots (-snapshot-every) bound replay time and let old WAL
+// segments be pruned; graceful shutdown flushes a final snapshot.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"tsppr/internal/core"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+	"tsppr/internal/sessions"
+	"tsppr/internal/wal"
+)
+
+// onlineState bundles the durable event log with the session store it
+// feeds. mu serializes the append→apply pair so LSNs reach the store in
+// order (the store ignores stale LSNs, so ordering is what makes every
+// acknowledged event land).
+type onlineState struct {
+	mu            sync.Mutex
+	dir           string
+	log           *wal.Log
+	store         *sessions.Store
+	snapshotEvery int
+	sinceSnapshot int
+
+	recovered    bool // set once startup recovery finished (under mu)
+	snapshots    int64
+	snapshotErrs int64
+	recover      sessions.RecoverStats
+}
+
+// newOnline opens the event log in opts.eventsDir and recovers the
+// session store from snapshot + WAL tail. It is called before the
+// listener starts; until it returns, /readyz reports 503.
+func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
+	l, err := wal.Open(opts.eventsDir, wal.Options{
+		Sync:      opts.fsync,
+		SyncEvery: opts.fsyncInterval,
+		Corrupt:   opts.corrupt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, rstats, err := sessions.Recover(opts.eventsDir, l, sessions.Config{
+		WindowCap: opts.windowCap,
+		MaxUsers:  opts.maxSessions,
+		NumUsers:  m.NumUsers(),
+		NumItems:  m.NumItems(),
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	o := &onlineState{
+		dir:           opts.eventsDir,
+		log:           l,
+		store:         store,
+		snapshotEvery: opts.snapshotEvery,
+		recovered:     true,
+		recover:       rstats,
+	}
+	return o, nil
+}
+
+// ready reports whether startup recovery has completed.
+func (o *onlineState) ready() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.recovered
+}
+
+// ingest makes one consumption durable and applies it to the user's
+// window, returning the event's LSN and the window's new length. When
+// the append crosses the snapshot threshold it also flushes a snapshot
+// and prunes covered WAL segments; a failed snapshot is counted, not
+// fatal — the WAL alone still guarantees recovery.
+func (o *onlineState) ingest(user int, item seq.Item) (lsn uint64, winLen int, err error) {
+	o.mu.Lock()
+	lsn, err = o.log.Append(sessions.EncodeEvent(user, item))
+	if err != nil {
+		o.mu.Unlock()
+		return 0, 0, err
+	}
+	o.store.Apply(lsn, user, item)
+	winLen = o.store.WindowLen(user)
+	snap := false
+	if o.snapshotEvery > 0 {
+		o.sinceSnapshot++
+		if o.sinceSnapshot >= o.snapshotEvery {
+			o.sinceSnapshot = 0
+			snap = true
+		}
+	}
+	o.mu.Unlock()
+	if snap {
+		o.snapshot()
+	}
+	return lsn, winLen, nil
+}
+
+// snapshot flushes the store and prunes WAL segments covered by the
+// oldest *kept* snapshot generation (the older fallback must stay
+// replayable in case the newest snapshot is lost).
+func (o *onlineState) snapshot() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, _, err := o.store.Save(o.dir); err != nil {
+		o.snapshotErrs++
+		log.Printf("rrc-server: snapshot failed (WAL still authoritative): %v", err)
+		return
+	}
+	o.snapshots++
+	horizon, err := sessions.PruneSnapshots(o.dir)
+	if err != nil {
+		log.Printf("rrc-server: snapshot prune: %v", err)
+		return
+	}
+	if err := o.log.Prune(horizon); err != nil {
+		log.Printf("rrc-server: wal prune: %v", err)
+	}
+}
+
+// close flushes a final snapshot and closes the log; part of graceful
+// shutdown, after the listener has drained.
+func (o *onlineState) close() error {
+	o.snapshot()
+	return o.log.Close()
+}
+
+// statsInto copies the online counters into a /stats reply.
+func (o *onlineState) statsInto(st *statsResponse) {
+	o.mu.Lock()
+	snaps, serrs := o.snapshots, o.snapshotErrs
+	o.mu.Unlock()
+	ws := o.log.Stats()
+	st.Online = true
+	st.Sessions = o.store.Len()
+	st.AppliedLSN = o.store.AppliedLSN()
+	st.Appends = ws.Appends
+	st.Fsyncs = ws.Fsyncs
+	st.RecoveredRecords = ws.RecoveredRecords
+	st.TruncatedTails = ws.TruncatedTails
+	st.SkippedCorrupt = ws.SkippedCorrupt
+	st.Evictions = o.store.Evictions()
+	st.DroppedEvents = o.store.Dropped()
+	st.Snapshots = snaps
+	st.SnapshotErrors = serrs
+}
+
+// consumeRequest is the POST /consume body.
+type consumeRequest struct {
+	User int `json:"user"`
+	Item int `json:"item"`
+}
+
+// consumeResponse acknowledges a durable event. LSN is its position in
+// the write-ahead log; Window is the user's window length afterwards.
+type consumeResponse struct {
+	LSN    uint64 `json:"lsn"`
+	Window int    `json:"window"`
+}
+
+func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req consumeRequest
+	if code, err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		s.errors.Add(1)
+		writeError(w, code, err)
+		return
+	}
+	m := s.model.Load()
+	if req.User < 0 || req.User >= m.NumUsers() {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
+		return
+	}
+	if req.Item < 0 || req.Item >= m.NumItems() {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0,%d)", req.Item, m.NumItems()))
+		return
+	}
+	lsn, winLen, err := s.online.ingest(req.User, seq.Item(req.Item))
+	if err != nil {
+		// The event is NOT durable; the caller must retry. 503 rather
+		// than 500: this is a storage-state problem, not a bug.
+		s.errors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event not durable: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, consumeResponse{LSN: lsn, Window: winLen})
+}
+
+// recommendUserRequest is the POST /recommend/user body: like
+// /recommend but the history lives server-side.
+type recommendUserRequest struct {
+	User  int  `json:"user"`
+	N     int  `json:"n"`
+	Omega *int `json:"omega,omitempty"`
+}
+
+func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req recommendUserRequest
+	if code, err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		s.errors.Add(1)
+		writeError(w, code, err)
+		return
+	}
+	m := s.model.Load()
+	if req.User < 0 || req.User >= m.NumUsers() {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
+		return
+	}
+	n, omega, err := s.clampNOmega(req.N, req.Omega)
+	if err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	win, ok := s.online.store.WindowClone(req.User)
+	if !ok {
+		s.errors.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session for user %d (POST /consume first)", req.User))
+		return
+	}
+	items, _ := win.Snapshot()
+	rctx := &rec.Context{User: req.User, Window: win, History: items, Omega: omega}
+	resp := s.score(r.Context(), m, rctx, n)
+	s.items.Add(int64(len(resp.Items)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errOnlineDisabled answers the online endpoints when -events-dir is
+// not configured.
+func (s *server) errOnlineDisabled(w http.ResponseWriter, _ *http.Request) {
+	s.errors.Add(1)
+	writeError(w, http.StatusNotFound, errors.New("online sessions disabled: start rrc-server with -events-dir"))
+}

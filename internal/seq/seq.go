@@ -203,6 +203,42 @@ func (w *Window) Candidates(omega int, dst []Item) []Item {
 	return dst
 }
 
+// Snapshot returns the window's contents oldest-first together with the
+// total number of events ever pushed. It is the canonical serializable
+// form of a window: RestoreWindow(w.Cap(), pushed, items) rebuilds a
+// window observationally identical to w (same contents, counts, gaps,
+// and T), which is what the session-store snapshots persist.
+func (w *Window) Snapshot() (items []Item, pushed int) {
+	items = make([]Item, w.size)
+	for i := 0; i < w.size; i++ {
+		items[i] = w.buf[(w.head+i)%w.capacity]
+	}
+	return items, w.pushed
+}
+
+// RestoreWindow rebuilds a window from a Snapshot dump. It errors
+// (rather than panicking) on impossible dumps, because its inputs come
+// from disk, not from code.
+func RestoreWindow(capacity, pushed int, items []Item) (*Window, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("seq: RestoreWindow capacity %d <= 0", capacity)
+	}
+	if len(items) > capacity {
+		return nil, fmt.Errorf("seq: RestoreWindow %d items over capacity %d", len(items), capacity)
+	}
+	if pushed < len(items) {
+		return nil, fmt.Errorf("seq: RestoreWindow pushed %d < %d items", pushed, len(items))
+	}
+	w := NewWindow(capacity)
+	// Rebase so each pushed item lands at its original absolute
+	// position; Gap arithmetic then matches the pre-snapshot window.
+	w.pushed = pushed - len(items)
+	for _, v := range items {
+		w.Push(v)
+	}
+	return w, nil
+}
+
 // Clone returns an independent deep copy of the window.
 func (w *Window) Clone() *Window {
 	c := &Window{

@@ -1,0 +1,147 @@
+package seq
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The largest possible gap in a window of size |W| is |W| (the oldest
+// element), so any omega >= |W| makes the candidate set empty: nothing
+// is recommendable until the user falls idle longer than the window
+// remembers.
+func TestCandidatesEmptyWhenOmegaCoversWindow(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []Item{1, 2, 3, 4} {
+		w.Push(v)
+	}
+	if got := w.Candidates(w.Len(), nil); len(got) != 0 {
+		t.Fatalf("Candidates(|W|) = %v, want empty", got)
+	}
+	if got := w.Candidates(100, nil); len(got) != 0 {
+		t.Fatalf("Candidates(100) = %v, want empty", got)
+	}
+	// omega = |W|-1 readmits exactly the oldest item (gap |W|).
+	if got := w.Candidates(w.Len()-1, nil); !reflect.DeepEqual(got, []Item{1}) {
+		t.Fatalf("Candidates(|W|-1) = %v, want [1]", got)
+	}
+}
+
+// A window saturated by one item has a single distinct candidate whose
+// gap is always 1, so any omega >= 1 empties the candidate set while
+// counts and MaxCount stay pinned at capacity.
+func TestDuplicateSaturatedWindow(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 10; i++ {
+		w.Push(7)
+	}
+	if w.Len() != 3 || w.Count(7) != 3 || w.MaxCount() != 3 {
+		t.Fatalf("saturated window: len=%d count=%d max=%d", w.Len(), w.Count(7), w.MaxCount())
+	}
+	if got := w.DistinctItems(nil); !reflect.DeepEqual(got, []Item{7}) {
+		t.Fatalf("distinct = %v", got)
+	}
+	if got := w.Candidates(0, nil); !reflect.DeepEqual(got, []Item{7}) {
+		t.Fatalf("Candidates(0) = %v", got)
+	}
+	if got := w.Candidates(1, nil); len(got) != 0 {
+		t.Fatalf("Candidates(1) = %v, want empty (item was just consumed)", got)
+	}
+	if gap, ok := w.Gap(7); !ok || gap != 1 {
+		t.Fatalf("Gap(7) = (%d, %v)", gap, ok)
+	}
+}
+
+// Capacity 1 is the degenerate ring: every push evicts, the window only
+// remembers the latest event, and T still counts the full stream.
+func TestWindowCapacityOne(t *testing.T) {
+	w := NewWindow(1)
+	for i, v := range []Item{4, 5, 4, 6} {
+		w.Push(v)
+		if w.Len() != 1 || w.At(0) != v {
+			t.Fatalf("after push %d: len=%d at0=%v", i, w.Len(), w.At(0))
+		}
+	}
+	if w.T() != 4 || w.MaxCount() != 1 {
+		t.Fatalf("T=%d max=%d", w.T(), w.MaxCount())
+	}
+	if w.Contains(5) || w.Count(4) != 0 {
+		t.Fatal("evicted items still counted")
+	}
+	if got := w.Candidates(0, nil); !reflect.DeepEqual(got, []Item{6}) {
+		t.Fatalf("Candidates(0) = %v", got)
+	}
+	if got := w.Candidates(1, nil); len(got) != 0 {
+		t.Fatalf("Candidates(1) = %v, want empty", got)
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []Item{9, 1, 9, 2, 3, 1} {
+		w.Push(v)
+	}
+	items, pushed := w.Snapshot()
+	r, err := RestoreWindow(w.Cap(), pushed, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != w.T() || r.Len() != w.Len() || r.MaxCount() != w.MaxCount() {
+		t.Fatalf("restored T=%d len=%d max=%d, want T=%d len=%d max=%d",
+			r.T(), r.Len(), r.MaxCount(), w.T(), w.T(), w.MaxCount())
+	}
+	for i := 0; i < w.Len(); i++ {
+		if r.At(i) != w.At(i) {
+			t.Fatalf("At(%d) = %v, want %v", i, r.At(i), w.At(i))
+		}
+	}
+	for _, v := range []Item{9, 1, 2, 3} {
+		wg, wok := w.Gap(v)
+		rg, rok := r.Gap(v)
+		if wg != rg || wok != rok {
+			t.Fatalf("Gap(%v) = (%d,%v), want (%d,%v)", v, rg, rok, wg, wok)
+		}
+	}
+	// Behaviour after restore matches too: same candidate sets.
+	for omega := 0; omega <= 5; omega++ {
+		if got, want := r.Candidates(omega, nil), w.Candidates(omega, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Candidates(%d) = %v, want %v", omega, got, want)
+		}
+	}
+}
+
+func TestSnapshotOfEmptyAndPartialWindows(t *testing.T) {
+	w := NewWindow(3)
+	items, pushed := w.Snapshot()
+	if len(items) != 0 || pushed != 0 {
+		t.Fatalf("empty snapshot = (%v, %d)", items, pushed)
+	}
+	r, err := RestoreWindow(3, pushed, items)
+	if err != nil || r.Len() != 0 || r.T() != 0 {
+		t.Fatalf("empty restore: %v len=%d T=%d", err, r.Len(), r.T())
+	}
+	w.Push(8)
+	items, pushed = w.Snapshot()
+	r, err = RestoreWindow(3, pushed, items)
+	if err != nil || r.Len() != 1 || r.At(0) != 8 || r.T() != 1 {
+		t.Fatalf("partial restore: %v", err)
+	}
+}
+
+func TestRestoreWindowRejectsImpossibleDumps(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		pushed   int
+		items    []Item
+	}{
+		{"zero capacity", 0, 0, nil},
+		{"negative capacity", -1, 0, nil},
+		{"items over capacity", 2, 3, []Item{1, 2, 3}},
+		{"pushed below item count", 3, 1, []Item{1, 2}},
+	}
+	for _, tc := range cases {
+		if _, err := RestoreWindow(tc.capacity, tc.pushed, tc.items); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

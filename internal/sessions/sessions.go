@@ -1,0 +1,251 @@
+// Package sessions holds rrc-server's online per-user consumption
+// state: a bounded map of user → time window W_ut, fed by WAL-appended
+// consumption events and recoverable after a crash from the latest
+// snapshot plus a WAL tail replay.
+//
+// The store is deliberately dumb about durability: callers append to
+// the WAL first and Apply second, so the on-disk log is always ahead of
+// (or equal to) memory and recovery can only over-replay, never invent.
+// Apply is idempotent over LSNs, which makes the over-replay harmless.
+package sessions
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"tsppr/internal/seq"
+	"tsppr/internal/wal"
+)
+
+// Config bounds a Store.
+type Config struct {
+	WindowCap int // |W| per user; required > 0
+	MaxUsers  int // LRU session bound; 0 → DefaultMaxUsers
+	NumUsers  int // user-id validity bound; 0 → unbounded
+	NumItems  int // item-id validity bound; 0 → unbounded
+}
+
+// DefaultMaxUsers is the LRU session bound when Config.MaxUsers is 0.
+const DefaultMaxUsers = 1 << 16
+
+// Store is the in-memory session state. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	cfg        Config
+	users      map[int]*entry
+	lru        *list.List // Front = most recently used
+	appliedLSN uint64
+	evictions  int64
+	dropped    int64 // replayed events outside the configured id bounds
+}
+
+type entry struct {
+	user int
+	win  *seq.Window
+	elem *list.Element
+}
+
+// NewStore returns an empty store. It panics on a non-positive window
+// capacity, mirroring seq.NewWindow.
+func NewStore(cfg Config) *Store {
+	if cfg.WindowCap <= 0 {
+		panic(fmt.Sprintf("sessions: window capacity %d <= 0", cfg.WindowCap))
+	}
+	if cfg.MaxUsers <= 0 {
+		cfg.MaxUsers = DefaultMaxUsers
+	}
+	return &Store{cfg: cfg, users: make(map[int]*entry), lru: list.New()}
+}
+
+// Apply advances user's window with item as the event at the given LSN.
+// Events at or below the store's applied LSN are duplicates from a WAL
+// over-replay and are ignored; events outside the configured user/item
+// bounds are dropped and counted, never applied. It reports whether the
+// event advanced state.
+func (s *Store) Apply(lsn uint64, user int, item seq.Item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn <= s.appliedLSN {
+		return false
+	}
+	s.appliedLSN = lsn
+	if user < 0 || (s.cfg.NumUsers > 0 && user >= s.cfg.NumUsers) ||
+		item < 0 || (s.cfg.NumItems > 0 && int(item) >= s.cfg.NumItems) {
+		s.dropped++
+		return false
+	}
+	e := s.touchLocked(user)
+	e.win.Push(item)
+	return true
+}
+
+// touchLocked returns user's entry, creating it (and evicting the least
+// recently used session when over MaxUsers) as needed, and marks it
+// most recently used.
+func (s *Store) touchLocked(user int) *entry {
+	e, ok := s.users[user]
+	if !ok {
+		e = &entry{user: user, win: seq.NewWindow(s.cfg.WindowCap)}
+		e.elem = s.lru.PushFront(e)
+		s.users[user] = e
+		for len(s.users) > s.cfg.MaxUsers {
+			oldest := s.lru.Back()
+			victim := oldest.Value.(*entry)
+			s.lru.Remove(oldest)
+			delete(s.users, victim.user)
+			s.evictions++
+		}
+		return e
+	}
+	s.lru.MoveToFront(e.elem)
+	return e
+}
+
+// WindowClone returns an independent copy of user's current window (a
+// read also counts as LRU use). The clone is safe to score against
+// without holding any lock.
+func (s *Store) WindowClone(user int) (*seq.Window, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.users[user]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	return e.win.Clone(), true
+}
+
+// WindowLen returns the current length of user's window (0 when the
+// user has no session). Unlike WindowClone it does not touch LRU order.
+func (s *Store) WindowLen(user int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.users[user]; ok {
+		return e.win.Len()
+	}
+	return 0
+}
+
+// Len returns the number of live sessions.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.users)
+}
+
+// AppliedLSN returns the LSN of the last event observed (applied or
+// dropped).
+func (s *Store) AppliedLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedLSN
+}
+
+// Evictions returns how many sessions the LRU bound has evicted.
+func (s *Store) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Dropped returns how many events were outside the id bounds.
+func (s *Store) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// UserWindow is one session in serializable form (see seq.Snapshot).
+type UserWindow struct {
+	User   int        `json:"u"`
+	Pushed int        `json:"t"`
+	Items  []seq.Item `json:"w"`
+}
+
+// Dump returns every session in ascending user order — the canonical
+// fingerprint of the store's state, used by tests to prove recovery
+// equivalence.
+func (s *Store) Dump() []UserWindow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.lruDumpLocked()
+	// lruDumpLocked is least-recent-first; re-sort by user id.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].User > out[j].User; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// lruDumpLocked serializes sessions least-recently-used first, so that
+// re-applying them in file order reconstructs both the windows and the
+// LRU recency order exactly.
+func (s *Store) lruDumpLocked() []UserWindow {
+	out := make([]UserWindow, 0, len(s.users))
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		items, pushed := e.win.Snapshot()
+		out = append(out, UserWindow{User: e.user, Pushed: pushed, Items: items})
+	}
+	return out
+}
+
+// eventSize is the wire size of one encoded consumption event.
+const eventSize = 8
+
+// EncodeEvent serializes one consumption event as the WAL payload:
+// little-endian uint32 user, uint32 item.
+func EncodeEvent(user int, item seq.Item) []byte {
+	b := make([]byte, eventSize)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(user))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(item))
+	return b
+}
+
+// DecodeEvent is the inverse of EncodeEvent.
+func DecodeEvent(b []byte) (user int, item seq.Item, err error) {
+	if len(b) != eventSize {
+		return 0, 0, fmt.Errorf("sessions: event payload %d bytes, want %d", len(b), eventSize)
+	}
+	return int(binary.LittleEndian.Uint32(b[0:4])), seq.Item(binary.LittleEndian.Uint32(b[4:8])), nil
+}
+
+// RecoverStats describes what Recover rebuilt state from.
+type RecoverStats struct {
+	SnapshotPath     string // "" when no usable snapshot existed
+	SnapshotLSN      uint64
+	SnapshotUsers    int
+	SnapshotsSkipped int // unreadable/corrupt snapshots passed over
+	Replayed         int // WAL records applied after the snapshot
+}
+
+// Recover rebuilds a store from dir: the newest loadable snapshot, then
+// a replay of every WAL record past the snapshot's LSN. A corrupt or
+// incompatible snapshot falls back to the next older one (and
+// ultimately to a full-log replay), so a crash mid-snapshot can slow
+// recovery down but never lose acknowledged events.
+func Recover(dir string, log *wal.Log, cfg Config) (*Store, RecoverStats, error) {
+	store, stats, err := LoadLatest(dir, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	err = log.Replay(store.AppliedLSN()+1, func(lsn uint64, payload []byte) error {
+		user, item, err := DecodeEvent(payload)
+		if err != nil {
+			// A CRC-intact record that does not decode is a version or
+			// programming error, not media damage: halt loudly.
+			return fmt.Errorf("lsn %d: %w", lsn, err)
+		}
+		store.Apply(lsn, user, item)
+		stats.Replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("sessions: recover: %w", err)
+	}
+	return store, stats, nil
+}

@@ -1,0 +1,245 @@
+// Snapshot persistence: periodic whole-store dumps that bound recovery
+// time and let the WAL be pruned. A snapshot is a JSON-lines file named
+// sessions-<appliedLSN as %016x>.snap written atomically via
+// internal/atomicio: line 1 is a header binding the file to its format,
+// window capacity, applied LSN, and a CRC32-C of the body; then one
+// line per session, least-recently-used first, so restoring in file
+// order reconstructs both the windows and the LRU recency order.
+package sessions
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tsppr/internal/atomicio"
+	"tsppr/internal/seq"
+)
+
+const (
+	snapFormat = "tsppr-sessnap-v1"
+	snapPrefix = "sessions-"
+	snapSuffix = ".snap"
+
+	// KeepSnapshots is how many generations Prune retains: the newest
+	// for fast recovery, plus one older fallback in case a crash or bit
+	// rot claims the newest. The WAL must therefore only be pruned up to
+	// the *oldest kept* snapshot's LSN.
+	KeepSnapshots = 2
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+type snapHeader struct {
+	Format     string `json:"format"`
+	WindowCap  int    `json:"window_cap"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	Users      int    `json:"users"`
+	BodyCRC    uint32 `json:"body_crc"`
+}
+
+// Save atomically writes the store's current state to dir and returns
+// the snapshot path and its applied LSN. The write streams through the
+// "sessions.snapshot" fault-injection point; on any failure the
+// previous snapshot generation is untouched.
+func (s *Store) Save(dir string) (string, uint64, error) {
+	s.mu.Lock()
+	dump := s.lruDumpLocked()
+	lsn := s.appliedLSN
+	cap := s.cfg.WindowCap
+	s.mu.Unlock()
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, uw := range dump {
+		if err := enc.Encode(uw); err != nil {
+			return "", 0, fmt.Errorf("sessions: snapshot encode: %w", err)
+		}
+	}
+	hdr := snapHeader{
+		Format:     snapFormat,
+		WindowCap:  cap,
+		AppliedLSN: lsn,
+		Users:      len(dump),
+		BodyCRC:    crc32.Checksum(body.Bytes(), snapCRC),
+	}
+	path := filepath.Join(dir, snapName(lsn))
+	err := atomicio.WriteFile(path, "sessions.snapshot", func(w io.Writer) error {
+		henc := json.NewEncoder(w)
+		if err := henc.Encode(hdr); err != nil {
+			return err
+		}
+		_, err := w.Write(body.Bytes())
+		return err
+	})
+	if err != nil {
+		return "", 0, fmt.Errorf("sessions: snapshot: %w", err)
+	}
+	return path, lsn, nil
+}
+
+// LoadLatest builds a store from the newest loadable snapshot in dir.
+// Corrupt or torn snapshots are skipped (counted in SnapshotsSkipped)
+// in favor of older generations; with no usable snapshot the store
+// starts empty and recovery falls back to a full WAL replay. A window-
+// capacity mismatch is a loud error, not a skip: silently rebuilding
+// windows at a different |W| would corrupt every session.
+func LoadLatest(dir string, cfg Config) (*Store, RecoverStats, error) {
+	var stats RecoverStats
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- { // newest first
+		path := filepath.Join(dir, snaps[i].name)
+		store, hdr, err := loadSnapshot(path, cfg)
+		if err != nil {
+			var mismatch *capMismatchError
+			if errors.As(err, &mismatch) {
+				return nil, stats, err
+			}
+			stats.SnapshotsSkipped++
+			continue
+		}
+		stats.SnapshotPath = path
+		stats.SnapshotLSN = hdr.AppliedLSN
+		stats.SnapshotUsers = hdr.Users
+		return store, stats, nil
+	}
+	return NewStore(cfg), stats, nil
+}
+
+type capMismatchError struct {
+	path      string
+	got, want int
+}
+
+func (e *capMismatchError) Error() string {
+	return fmt.Sprintf("sessions: %s was taken at window capacity %d, store configured for %d — refusing to restore resized windows", e.path, e.got, e.want)
+}
+
+func loadSnapshot(path string, cfg Config) (*Store, snapHeader, error) {
+	var hdr snapHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, hdr, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	hdrLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, hdr, fmt.Errorf("sessions: %s: truncated header: %w", path, err)
+	}
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, hdr, fmt.Errorf("sessions: %s: %w", path, err)
+	}
+	if hdr.Format != snapFormat {
+		return nil, hdr, fmt.Errorf("sessions: %s: format %q, want %q", path, hdr.Format, snapFormat)
+	}
+	if hdr.WindowCap != cfg.WindowCap {
+		return nil, hdr, &capMismatchError{path: path, got: hdr.WindowCap, want: cfg.WindowCap}
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, hdr, fmt.Errorf("sessions: %s: %w", path, err)
+	}
+	if got := crc32.Checksum(body, snapCRC); got != hdr.BodyCRC {
+		return nil, hdr, fmt.Errorf("sessions: %s: body CRC %08x, header says %08x", path, got, hdr.BodyCRC)
+	}
+	s := NewStore(cfg)
+	s.appliedLSN = hdr.AppliedLSN
+	dec := json.NewDecoder(bytes.NewReader(body))
+	n := 0
+	for {
+		var uw UserWindow
+		if err := dec.Decode(&uw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, hdr, fmt.Errorf("sessions: %s: session %d: %w", path, n, err)
+		}
+		win, err := seq.RestoreWindow(cfg.WindowCap, uw.Pushed, uw.Items)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("sessions: %s: user %d: %w", path, uw.User, err)
+		}
+		// Sessions are stored least-recent-first; pushing each to the
+		// LRU front replays the recency order exactly.
+		e := &entry{user: uw.User, win: win}
+		e.elem = s.lru.PushFront(e)
+		s.users[uw.User] = e
+		n++
+	}
+	if n != hdr.Users {
+		return nil, hdr, fmt.Errorf("sessions: %s: %d sessions, header says %d", path, n, hdr.Users)
+	}
+	// If the configured bound shrank since the snapshot, evict down.
+	for len(s.users) > s.cfg.MaxUsers {
+		oldest := s.lru.Back()
+		victim := oldest.Value.(*entry)
+		s.lru.Remove(oldest)
+		delete(s.users, victim.user)
+		s.evictions++
+	}
+	return s, hdr, nil
+}
+
+// PruneSnapshots removes all but the newest KeepSnapshots generations
+// and returns the applied LSN of the oldest kept snapshot (0 when none
+// exist) — the safe WAL prune horizon.
+func PruneSnapshots(dir string) (uint64, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	for len(snaps) > KeepSnapshots {
+		if err := os.Remove(filepath.Join(dir, snaps[0].name)); err != nil {
+			return 0, fmt.Errorf("sessions: prune snapshot: %w", err)
+		}
+		snaps = snaps[1:]
+	}
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	return snaps[0].lsn, nil
+}
+
+type snapInfo struct {
+	name string
+	lsn  uint64
+}
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix)
+}
+
+// listSnapshots returns the snapshots in dir in ascending LSN order.
+func listSnapshots(dir string) ([]snapInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("sessions: %w", err)
+	}
+	var snaps []snapInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(snapPrefix)+16+len(snapSuffix) ||
+			name[:len(snapPrefix)] != snapPrefix || name[len(name)-len(snapSuffix):] != snapSuffix {
+			continue
+		}
+		var lsn uint64
+		if _, err := fmt.Sscanf(name[len(snapPrefix):len(snapPrefix)+16], "%016x", &lsn); err != nil {
+			continue
+		}
+		snaps = append(snaps, snapInfo{name: name, lsn: lsn})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn < snaps[j].lsn })
+	return snaps, nil
+}
