@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench
 
 ## check: everything CI should gate on — formatting, vet, race-enabled tests,
 ## and the fuzz targets over their seed corpora
@@ -26,6 +26,11 @@ race:
 ## (no mutation) — fast enough to gate on
 fuzz-smoke:
 	$(GO) test ./internal/core ./internal/dataset -run '^Fuzz' -count=1
+
+## bench: regenerate BENCH_PR4.json — fixed-seed scoring throughput of the
+## engine vs the pre-refactor per-call path (ns/op, allocs/op, items/sec)
+bench:
+	$(GO) run ./cmd/rrc-bench -out BENCH_PR4.json
 
 ## fuzz: short bounded fuzzing with mutation — model loader and TSV readers
 fuzz:

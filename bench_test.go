@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"tsppr/internal/core"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
@@ -105,7 +106,7 @@ func fig13Setup(b *testing.B) *fig13State {
 			fig13Err = err
 			return
 		}
-		fig13.factories = append(fs, model.Factory())
+		fig13.factories = append(fs, engine.New(model).Factory())
 
 		// Build a pool of recommendation-time contexts: each user's full
 		// training window plus history.
@@ -143,7 +144,7 @@ func BenchmarkFig13OnlineLatency(b *testing.B) {
 		f := f
 		b.Run(f.Name, func(b *testing.B) {
 			r := f.New(1)
-			var dst []seq.Item
+			var dst []rec.Scored
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ctx := st.contexts[i%len(st.contexts)]
@@ -181,7 +182,7 @@ func ablationRun(b *testing.B, rk features.RecencyKind, mapType core.MapKind, fo
 		if err != nil {
 			b.Fatal(err)
 		}
-		r, err := eval.Evaluate(pl.Train, pl.Test, model.Factory(), eval.Options{
+		r, err := eval.Evaluate(pl.Train, pl.Test, engine.New(model).Factory(), eval.Options{
 			WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed,
 		})
 		if err != nil {
@@ -228,7 +229,7 @@ func BenchmarkAblationResampling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			r, err := eval.Evaluate(pl.Train, pl.Test, m.Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed})
+			r, err := eval.Evaluate(pl.Train, pl.Test, engine.New(m).Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -262,7 +263,7 @@ func BenchmarkAblationResampling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			r, err := eval.Evaluate(pl2.Train, pl2.Test, m2.Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed})
+			r, err := eval.Evaluate(pl2.Train, pl2.Test, engine.New(m2).Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -11,6 +11,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/faultinject"
 	"tsppr/internal/features"
@@ -139,14 +140,15 @@ func TestChaosEndToEnd(t *testing.T) {
 	// --- Evaluation: reference run, then interrupt at ~50% of users and
 	// resume; metrics must be byte-identical.
 	opt := eval.Options{WindowCap: window, Omega: omega, TopNs: []int{1, 5, 10}, Seed: 13, Parallelism: 4}
-	ref, err := eval.Evaluate(train, test, model.Factory(), opt)
+	fac := engine.New(model).Factory()
+	ref, err := eval.Evaluate(train, test, fac, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.CheckpointPath = filepath.Join(dir, "eval.ckpt")
 	opt.CheckpointEvery = 1
 	faultinject.Arm("eval.user", faultinject.Plan{Mode: faultinject.Error, After: len(train) / 2, Count: 1})
-	partial, err := eval.EvaluateContext(context.Background(), train, test, model.Factory(), opt)
+	partial, err := eval.EvaluateContext(context.Background(), train, test, fac, opt)
 	faultinject.Reset()
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +159,7 @@ func TestChaosEndToEnd(t *testing.T) {
 	if partial.UsersDone == 0 || partial.UsersDone >= len(train) {
 		t.Fatalf("UsersDone = %d of %d, want a strict partial", partial.UsersDone, len(train))
 	}
-	resumed, err := eval.EvaluateContext(context.Background(), train, test, model.Factory(), opt)
+	resumed, err := eval.EvaluateContext(context.Background(), train, test, fac, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,322 @@
+// Command rrc-bench measures the scoring engine's serving throughput
+// against the pre-refactor per-call scoring path on a fixed-seed workload,
+// and writes the results as JSON (BENCH_PR4.json by default).
+//
+// Four benchmarks run, all over the same trained model and the same pool
+// of full-window recommendation contexts:
+//
+//   - single/engine       one Top-10 engine.Recommend per op
+//   - single/prerefactor  one request through the old serving path: mint a
+//     scorer, rank with a K×F matrix-vector product per candidate, then
+//     re-score every returned item (the old /recommend double-scoring)
+//   - batch/engine        a 64-request batch through the engine with the
+//     server's bounded parallel fan-out
+//   - batch/prerefactor   the same 64 requests through the old sequential
+//     batch loop
+//
+// "items/sec" is candidate-scoring throughput: the number of candidate
+// items whose preference was evaluated per wall-clock second. Seeds are
+// fixed; runs are reproducible up to scheduler noise.
+//
+//	rrc-bench -out BENCH_PR4.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/datagen"
+	"tsppr/internal/engine"
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/rec"
+	"tsppr/internal/sampling"
+	"tsppr/internal/seq"
+	"tsppr/internal/topk"
+)
+
+const (
+	benchSeed      = 7
+	benchUsers     = 48
+	benchWindowCap = 20
+	benchOmega     = 3
+	benchTopN      = 10
+	benchBatch     = 64
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "path to write the JSON report to")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+type report struct {
+	Benchmark  string `json:"benchmark"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       int    `json:"seed"`
+	Workload   struct {
+		Users             int `json:"users"`
+		Items             int `json:"items"`
+		Contexts          int `json:"contexts"`
+		TopN              int `json:"top_n"`
+		BatchSize         int `json:"batch_size"`
+		CandidatesPerOp   int `json:"candidates_per_single_op"`
+		CandidatesPerBand int `json:"candidates_per_batch_op"`
+	} `json:"workload"`
+	Results map[string]result `json:"results"`
+	Speedup struct {
+		SingleItemsPerSec float64 `json:"single_items_per_sec"`
+		BatchItemsPerSec  float64 `json:"batch_items_per_sec"`
+	} `json:"speedup"`
+}
+
+func run(outPath string) error {
+	model, contexts, err := buildWorkload()
+	if err != nil {
+		return err
+	}
+	eng := engine.New(model)
+
+	// Candidate counts are a property of the contexts, not the scorer:
+	// both paths evaluate the same candidate sets.
+	perCtx := make([]int, len(contexts))
+	totalCands := 0
+	for i, ctx := range contexts {
+		perCtx[i] = len(ctx.Window.Candidates(ctx.Omega, nil))
+		totalCands += perCtx[i]
+	}
+	batchCands := 0
+	for i := 0; i < benchBatch; i++ {
+		batchCands += perCtx[i%len(contexts)]
+	}
+	meanCands := totalCands / len(contexts)
+
+	rep := report{
+		Benchmark:  "PR4 unified scoring engine vs pre-refactor scorer",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       benchSeed,
+		Results:    map[string]result{},
+	}
+	rep.Workload.Users = model.NumUsers()
+	rep.Workload.Items = model.NumItems()
+	rep.Workload.Contexts = len(contexts)
+	rep.Workload.TopN = benchTopN
+	rep.Workload.BatchSize = benchBatch
+	rep.Workload.CandidatesPerOp = meanCands
+	rep.Workload.CandidatesPerBand = batchCands
+
+	measure := func(name string, candsPerOp int, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := result{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			ItemsPerSec: float64(candsPerOp) * 1e9 / float64(r.NsPerOp()),
+		}
+		rep.Results[name] = res
+		fmt.Printf("%-20s %12.0f ns/op %6d allocs/op %12.0f items/sec\n",
+			name, res.NsPerOp, res.AllocsPerOp, res.ItemsPerSec)
+	}
+
+	measure("single/engine", meanCands, func(b *testing.B) {
+		var dst []rec.Scored
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = eng.Recommend(contexts[i%len(contexts)], benchTopN, dst[:0])
+		}
+	})
+	measure("single/prerefactor", meanCands, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			legacyServe(model, contexts[i%len(contexts)], benchTopN)
+		}
+	})
+	measure("batch/engine", batchCands, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engineBatch(eng, contexts, benchBatch, benchTopN)
+		}
+	})
+	measure("batch/prerefactor", batchCands, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < benchBatch; j++ {
+				legacyServe(model, contexts[j%len(contexts)], benchTopN)
+			}
+		}
+	})
+
+	rep.Speedup.SingleItemsPerSec = rep.Results["single/engine"].ItemsPerSec / rep.Results["single/prerefactor"].ItemsPerSec
+	rep.Speedup.BatchItemsPerSec = rep.Results["batch/engine"].ItemsPerSec / rep.Results["batch/prerefactor"].ItemsPerSec
+	fmt.Printf("speedup: single %.2fx, batch %.2fx\n", rep.Speedup.SingleItemsPerSec, rep.Speedup.BatchItemsPerSec)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(buf, '\n'), 0o644)
+}
+
+// buildWorkload trains a small TS-PPR model on a fixed-seed synthetic
+// corpus and assembles one full-window recommendation context per user.
+func buildWorkload() (*core.Model, []*rec.Context, error) {
+	cfg := datagen.GowallaLike(benchUsers, benchSeed)
+	cfg.MinLen, cfg.MaxLen = 120, 240
+	cfg.WindowCap = benchWindowCap
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	train := ds.Seqs
+	numItems := ds.NumItems()
+	b := features.NewBuilder(numItems, benchWindowCap, benchOmega)
+	for _, s := range train {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	set, err := sampling.Build(train, ex, sampling.Config{WindowCap: benchWindowCap, Omega: benchOmega, S: 5, Seed: benchSeed})
+	if err != nil {
+		return nil, nil, err
+	}
+	model, _, err := core.Train(set, len(train), numItems, ex, core.Config{K: 12, MaxSteps: 60_000, Seed: benchSeed})
+	if err != nil {
+		return nil, nil, err
+	}
+	var contexts []*rec.Context
+	for u, s := range train {
+		w := seq.NewWindow(benchWindowCap)
+		for _, v := range s {
+			w.Push(v)
+		}
+		if !w.Full() || len(w.Candidates(benchOmega, nil)) == 0 {
+			continue
+		}
+		contexts = append(contexts, &rec.Context{User: u, Window: w, History: s, Omega: benchOmega})
+	}
+	if len(contexts) == 0 {
+		return nil, nil, fmt.Errorf("no benchmark contexts survived")
+	}
+	return model, contexts, nil
+}
+
+// engineBatch scores batchN requests through the shared engine with the
+// server's bounded fan-out (cmd/rrc-server handleBatch).
+func engineBatch(eng *engine.Engine, contexts []*rec.Context, batchN, topN int) {
+	parallelism := runtime.GOMAXPROCS(0)
+	if parallelism > 8 {
+		parallelism = 8
+	}
+	out := make([][]rec.Scored, batchN)
+	if parallelism <= 1 {
+		// One core: the server scores batch entries inline.
+		for i := 0; i < batchN; i++ {
+			out[i] = eng.Recommend(contexts[i%len(contexts)], topN, nil)
+		}
+		return
+	}
+	slots := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < batchN; i++ {
+		i := i
+		wg.Add(1)
+		slots <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			out[i] = eng.Recommend(contexts[i%len(contexts)], topN, nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// The pre-refactor scoring path, reproduced verbatim from the core.Scorer
+// this PR deleted (see git history of internal/core/model.go): a per-call
+// scorer whose dynamic term is a K×F matrix-vector product per candidate,
+// plus the old /recommend handler's re-scoring of every returned item.
+
+type legacyScorer struct {
+	m     *core.Model
+	f     linalg.Vector // F scratch: behavioural features
+	y     linalg.Vector // K scratch: A_u f
+	cands []seq.Item
+	sel   *topk.Selector
+}
+
+func newLegacyScorer(m *core.Model) *legacyScorer {
+	return &legacyScorer{m: m, f: linalg.NewVector(m.F), y: linalg.NewVector(m.K)}
+}
+
+func (s *legacyScorer) mapFor(u int) *linalg.Matrix {
+	switch s.m.MapType {
+	case core.PerUserMap:
+		return s.m.A[u]
+	case core.SharedMap:
+		return s.m.A[0]
+	default:
+		return nil
+	}
+}
+
+func (s *legacyScorer) score(u int, v seq.Item, w *seq.Window) float64 {
+	m := s.m
+	uvec := m.U.Row(u)
+	static := 0.0
+	if int(v) < m.V.Rows && v >= 0 {
+		static = linalg.Dot(uvec, m.V.Row(int(v)))
+	}
+	m.Extractor.Extract(s.f, v, w)
+	var dynamic float64
+	if a := s.mapFor(u); a != nil {
+		a.MulVec(s.y, s.f)
+		dynamic = linalg.Dot(uvec, s.y)
+	} else {
+		dynamic = linalg.Dot(uvec, s.f)
+	}
+	return static + dynamic
+}
+
+func (s *legacyScorer) recommend(ctx *rec.Context, n int) []seq.Item {
+	s.cands = ctx.Window.Candidates(ctx.Omega, s.cands[:0])
+	if len(s.cands) == 0 {
+		return nil
+	}
+	if s.sel == nil || s.sel.K() != n {
+		s.sel = topk.New(n)
+	} else {
+		s.sel.Reset()
+	}
+	for _, v := range s.cands {
+		s.sel.Push(v, s.score(ctx.User, v, ctx.Window))
+	}
+	return s.sel.Items(nil)
+}
+
+// legacyServe is one request through the old serving path: fresh scorer,
+// ranking pass, then a second scoring pass over the winners to fill the
+// response's Scores field.
+func legacyServe(m *core.Model, ctx *rec.Context, n int) ([]seq.Item, []float64) {
+	sc := newLegacyScorer(m)
+	items := sc.recommend(ctx, n)
+	scores := make([]float64, len(items))
+	for i, it := range items {
+		scores[i] = sc.score(ctx.User, it, ctx.Window)
+	}
+	return items, scores
+}

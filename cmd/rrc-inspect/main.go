@@ -32,6 +32,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
@@ -176,7 +177,7 @@ func run() error {
 	}
 
 	// Static vs dynamic magnitude on test-time candidate scores.
-	sc := m.NewScorer()
+	eng := engine.New(m)
 	var statMag, dynMag []float64
 	train, test := pl.Train, pl.Test
 	for u := 0; u < 10; u++ {
@@ -189,7 +190,7 @@ func run() error {
 			if w.Full() {
 				cands = w.Candidates(p.Omega, cands[:0])
 				for _, c := range cands {
-					full := sc.Score(u, c, w)
+					full := eng.Score(u, c, w)
 					stat := 0.0
 					if int(c) < m.V.Rows {
 						stat = linalg.Dot(m.U.Row(u), m.V.Row(int(c)))
@@ -206,7 +207,7 @@ func run() error {
 	fmt.Printf("candidate score magnitude: |static|=%.4f |dynamic|=%.4f\n", ms, md)
 
 	// Per-user win/loss vs Pop at top-1.
-	r, err := eval.Evaluate(train, test, m.Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, TopNs: []int{1}, Seed: 7})
+	r, err := eval.Evaluate(train, test, eng.Factory(), eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, TopNs: []int{1}, Seed: 7})
 	if err != nil {
 		return err
 	}

@@ -95,7 +95,7 @@ func referenceRun(t *testing.T, m *core.Model, evs []event, mutate func(*serverO
 // uninterrupted run.
 func TestCrashMidAppendRecoversIdentically(t *testing.T) {
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	evs := chaosEvents(seqs)
 	want := referenceRun(t, m, evs, nil)
 
@@ -142,7 +142,7 @@ func TestCrashMidAppendRecoversIdentically(t *testing.T) {
 // the restarted server converges to the reference state.
 func TestCrashMidSnapshotRecoversIdentically(t *testing.T) {
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	evs := chaosEvents(seqs)
 	small := func(o *serverOptions) { o.maxSessions = 2; o.snapshotEvery = 8 }
 	want := referenceRun(t, m, evs, small)
@@ -184,7 +184,7 @@ func TestCrashMidSnapshotRecoversIdentically(t *testing.T) {
 // event survives.
 func TestBitFlippedRecordIsDetectedNeverServed(t *testing.T) {
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	evs := chaosEvents(seqs)[:12]
 
 	dir := t.TempDir()
@@ -234,7 +234,7 @@ func TestBitFlippedRecordIsDetectedNeverServed(t *testing.T) {
 // event, and the state matches the reference.
 func TestTruncatedFinalRecordRecovered(t *testing.T) {
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	evs := chaosEvents(seqs)[:10]
 	want := referenceRun(t, m, evs, nil)
 
@@ -274,7 +274,7 @@ func TestTruncatedFinalRecordRecovered(t *testing.T) {
 // and still reproduces the exact state.
 func TestGracefulShutdownRecoversFromSnapshotAlone(t *testing.T) {
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	evs := chaosEvents(seqs)
 
 	dir := t.TempDir()

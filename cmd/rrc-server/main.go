@@ -11,7 +11,8 @@
 //	POST /recommend        → body {"user":0,"history":[1,2,3,...],"n":5,"omega":10}
 //	                         reply {"items":[...],"scores":[...]}
 //	POST /recommend/batch  → body {"requests":[{...},{...}]}
-//	                         reply {"responses":[{...}|{"error":...},...]}
+//	                         reply {"responses":[{...}|{"error":...},...]},
+//	                         entries scored in parallel (bounded fan-out)
 //	POST /consume          → (with -events-dir) body {"user":0,"item":42}
 //	                         append one consumption durably, advance W_ut
 //	POST /recommend/user   → (with -events-dir) body {"user":0,"n":5}
@@ -48,13 +49,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tsppr/internal/baselines"
 	"tsppr/internal/core"
+	"tsppr/internal/engine"
 	"tsppr/internal/faultinject"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
@@ -192,8 +196,12 @@ type serverOptions struct {
 }
 
 type server struct {
-	opts   serverOptions
-	model  atomic.Pointer[core.Model]
+	opts serverOptions
+	// eng is the serving scoring engine over the current model. SIGHUP
+	// hot-swaps the whole engine (model + precomputed effective feature
+	// weights + fresh scratch pool) in one atomic store, so in-flight
+	// requests finish on the engine they started with.
+	eng    atomic.Pointer[engine.Engine]
 	sem    chan struct{}
 	online *onlineState // nil unless -events-dir is configured
 
@@ -226,8 +234,17 @@ func newServer(m *core.Model, opts serverOptions) *server {
 		opts.probeEvery = 16
 	}
 	s := &server{opts: opts, sem: make(chan struct{}, opts.maxInFlight)}
-	s.model.Store(m)
+	s.eng.Store(engine.New(m))
 	return s
+}
+
+// currentModel returns the model behind the serving engine (nil before the
+// first engine is stored).
+func (s *server) currentModel() *core.Model {
+	if e := s.eng.Load(); e != nil {
+		return e.Model()
+	}
+	return nil
 }
 
 func (s *server) routes() http.Handler {
@@ -318,7 +335,7 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	m := s.model.Load()
+	m := s.currentModel()
 	st := statsResponse{
 		Requests:         s.requests.Load(),
 		Errors:           s.errors.Load(),
@@ -351,7 +368,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // scorer. Load balancers should route on this, so a degraded replica
 // keeps serving its in-flight traffic but stops attracting new traffic.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if s.model.Load() == nil {
+	if s.eng.Load() == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model"})
 		return
 	}
@@ -381,7 +398,9 @@ func (s *server) reload() error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	s.model.Store(m)
+	// Validate precomputed the effective feature weights, so the first
+	// request after the swap is already on the two-dot-product path.
+	s.eng.Store(engine.New(m))
 	s.failStreak.Store(0)
 	s.degraded.Store(false)
 	s.reloads.Add(1)
@@ -396,7 +415,7 @@ func (s *server) watchReload(sig <-chan os.Signal) {
 			log.Printf("rrc-server: reload rejected, keeping current model: %v", err)
 			continue
 		}
-		m := s.model.Load()
+		m := s.currentModel()
 		log.Printf("rrc-server: reloaded model (users=%d items=%d K=%d F=%d)",
 			m.NumUsers(), m.NumItems(), m.K, m.F)
 	}
@@ -473,6 +492,12 @@ type batchResponse struct {
 
 const maxBatch = 256
 
+// batchParallelism bounds the concurrent per-entry fan-out of one batch
+// request. The engine is safe for concurrent use (pooled scratch), so
+// entries score in parallel; the bound keeps one large batch from
+// monopolizing every core while singleton requests wait.
+var batchParallelism = min(8, runtime.GOMAXPROCS(0))
+
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req batchRequest
@@ -487,15 +512,34 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := batchResponse{Responses: make([]batchEntry, len(req.Requests))}
-	for i, one := range req.Requests {
-		resp, err := s.recommend(r.Context(), one)
+	scoreEntry := func(i int) {
+		resp, err := s.recommend(r.Context(), req.Requests[i])
 		if err != nil {
 			s.errors.Add(1)
 			out.Responses[i] = batchEntry{Error: err.Error()}
-			continue
+			return
 		}
 		s.items.Add(int64(len(resp.Items)))
 		out.Responses[i] = batchEntry{Items: resp.Items, Scores: resp.Scores, Degraded: resp.Degraded}
+	}
+	if batchParallelism <= 1 {
+		// One core: fan-out buys nothing, goroutine churn costs real time.
+		for i := range req.Requests {
+			scoreEntry(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		slots := make(chan struct{}, batchParallelism)
+		for i := range req.Requests {
+			wg.Add(1)
+			slots <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				scoreEntry(i)
+			}()
+		}
+		wg.Wait()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -534,7 +578,8 @@ func (s *server) clampNOmega(n int, omegaPtr *int) (int, int, error) {
 // /recommend and every /recommend/batch entry go through this one
 // function, so the two paths cannot drift apart.
 func (s *server) recommend(ctx context.Context, req recommendRequest) (*recommendResponse, error) {
-	m := s.model.Load()
+	eng := s.eng.Load()
+	m := eng.Model()
 	if req.User < 0 || req.User >= m.NumUsers() {
 		return nil, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers())
 	}
@@ -558,14 +603,14 @@ func (s *server) recommend(ctx context.Context, req recommendRequest) (*recommen
 		win.Push(seq.Item(it))
 	}
 	rctx := &rec.Context{User: req.User, Window: win, History: history, Omega: omega}
-	return s.score(ctx, m, rctx, n), nil
+	return s.score(ctx, eng, rctx, n), nil
 }
 
 // score runs the primary-with-fallback orchestration over an assembled
 // recommendation context. It always produces an answer.
-func (s *server) score(ctx context.Context, m *core.Model, rctx *rec.Context, n int) *recommendResponse {
+func (s *server) score(ctx context.Context, eng *engine.Engine, rctx *rec.Context, n int) *recommendResponse {
 	if s.shouldTryPrimary() {
-		resp, err := s.scorePrimary(ctx, m, rctx, n)
+		resp, err := s.scorePrimary(ctx, eng, rctx, n)
 		if err == nil {
 			s.primaryRecovered()
 			return resp
@@ -605,33 +650,28 @@ func (s *server) primaryFailed(err error) {
 	}
 }
 
-// scorePrimary runs the TS-PPR scorer in its own goroutine so a stalled
+// scorePrimary runs the scoring engine in its own goroutine so a stalled
 // scorer cannot pin the request past its deadline, and absorbs scorer
 // panics into errors. On timeout the goroutine finishes in the
-// background and its buffered result is dropped.
-func (s *server) scorePrimary(ctx context.Context, m *core.Model, rctx *rec.Context, n int) (*recommendResponse, error) {
-	type scored struct {
+// background and its buffered result is dropped. The engine returns
+// (item, score) pairs, so the response is assembled from the one ranking
+// pass — items are never re-scored.
+func (s *server) scorePrimary(ctx context.Context, eng *engine.Engine, rctx *rec.Context, n int) (*recommendResponse, error) {
+	type result struct {
 		resp *recommendResponse
 		err  error
 	}
-	ch := make(chan scored, 1)
+	ch := make(chan result, 1)
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- scored{err: fmt.Errorf("primary scorer panic: %v", p)}
+				ch <- result{err: fmt.Errorf("primary scorer panic: %v", p)}
 			}
 		}()
 		// Resilience-test hook: a Panic/Delay plan armed at this point
 		// simulates a scorer bug or stall. Disarmed in production.
 		_ = faultinject.Do("server.score")
-		sc := m.NewScorer()
-		items := sc.Recommend(rctx, n, nil)
-		resp := &recommendResponse{Items: make([]int, len(items)), Scores: make([]float64, len(items))}
-		for i, it := range items {
-			resp.Items[i] = int(it)
-			resp.Scores[i] = sc.Score(rctx.User, it, rctx.Window)
-		}
-		ch <- scored{resp: resp}
+		ch <- result{resp: toResponse(eng.Recommend(rctx, n, nil), false)}
 	}()
 	select {
 	case out := <-ch:
@@ -645,15 +685,19 @@ func (s *server) scorePrimary(ctx context.Context, m *core.Model, rctx *rec.Cont
 // scorer. It runs inline: it is allocation-light, panic-free, and fast.
 func (s *server) scoreFallback(rctx *rec.Context, n int) *recommendResponse {
 	fb := &baselines.Fallback{}
-	items := fb.Recommend(rctx, n, nil)
+	return toResponse(fb.Recommend(rctx, n, nil), true)
+}
+
+// toResponse converts a scored recommendation list into the wire shape.
+func toResponse(scored []rec.Scored, degraded bool) *recommendResponse {
 	resp := &recommendResponse{
-		Items:    make([]int, len(items)),
-		Scores:   make([]float64, len(items)),
-		Degraded: true,
+		Items:    make([]int, len(scored)),
+		Scores:   make([]float64, len(scored)),
+		Degraded: degraded,
 	}
-	for i, it := range items {
-		resp.Items[i] = int(it)
-		resp.Scores[i] = fb.Score(it, rctx.Window)
+	for i, sc := range scored {
+		resp.Items[i] = int(sc.Item)
+		resp.Scores[i] = sc.Score
 	}
 	return resp
 }

@@ -187,7 +187,7 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	m := s.model.Load()
+	m := s.currentModel()
 	if req.User < 0 || req.User >= m.NumUsers() {
 		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
@@ -225,7 +225,8 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	m := s.model.Load()
+	eng := s.eng.Load()
+	m := eng.Model()
 	if req.User < 0 || req.User >= m.NumUsers() {
 		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
@@ -245,7 +246,7 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 	}
 	items, _ := win.Snapshot()
 	rctx := &rec.Context{User: req.User, Window: win, History: items, Omega: omega}
-	resp := s.score(r.Context(), m, rctx, n)
+	resp := s.score(r.Context(), eng, rctx, n)
 	s.items.Add(int64(len(resp.Items)))
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -21,7 +21,7 @@ func onlineServer(t *testing.T, dir string, mutate func(*serverOptions)) (*serve
 	if mutate != nil {
 		mutate(&srv.opts)
 	}
-	o, err := newOnline(srv.opts, srv.model.Load())
+	o, err := newOnline(srv.opts, srv.currentModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestRecommendUserWithoutSessionIs404(t *testing.T) {
 func TestOnlineEndpointValidation(t *testing.T) {
 	srv, _ := onlineServer(t, t.TempDir(), nil)
 	h := srv.routes()
-	m := srv.model.Load()
+	m := srv.currentModel()
 	badOmega := srv.opts.windowCap
 	for i, tc := range []struct {
 		path string

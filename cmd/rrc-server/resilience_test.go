@@ -24,7 +24,7 @@ func faultServer(t *testing.T, opts serverOptions) (*server, []int) {
 	base, seqs := testServer(t)
 	opts.windowCap = 20
 	opts.defaultOmega = 3
-	srv := newServer(base.model.Load(), opts)
+	srv := newServer(base.currentModel(), opts)
 	history := make([]int, 0, 40)
 	for _, v := range seqs[0][:40] {
 		history = append(history, int(v))
@@ -276,7 +276,7 @@ func TestGracefulShutdownDrain(t *testing.T) {
 func TestHotReload(t *testing.T) {
 	faultinject.Reset()
 	base, seqs := testServer(t)
-	m := base.model.Load()
+	m := base.currentModel()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "model.tsppr")
 	if err := m.SaveFile(path); err != nil {
@@ -316,11 +316,11 @@ func TestHotReload(t *testing.T) {
 	if err := os.WriteFile(path, []byte("TSPPRv2\ngarbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	old := srv.model.Load()
+	old := srv.currentModel()
 	if err := srv.reload(); err == nil {
 		t.Fatal("reload accepted a corrupt model file")
 	}
-	if srv.model.Load() != old {
+	if srv.currentModel() != old {
 		t.Fatal("corrupt reload displaced the serving model")
 	}
 	if serve() != http.StatusOK {
@@ -366,7 +366,7 @@ func TestRequestEntityTooLarge(t *testing.T) {
 func TestHistoryIDBounds(t *testing.T) {
 	srv, history := faultServer(t, serverOptions{})
 	h := srv.routes()
-	bad := append(append([]int(nil), history...), srv.model.Load().NumItems())
+	bad := append(append([]int(nil), history...), srv.currentModel().NumItems())
 	rr := postJSON(t, h, "/recommend", recommendRequest{User: 0, History: bad})
 	if rr.Code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", rr.Code)

@@ -12,6 +12,7 @@ import (
 
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
@@ -82,7 +83,7 @@ func trainAndScore(train, test []seq.Sequence, numItems int, mask features.Mask)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := eval.Evaluate(train, test, model.Factory(), eval.Options{
+	res, err := eval.Evaluate(train, test, engine.New(model).Factory(), eval.Options{
 		WindowCap: window, Omega: omega, Seed: 6,
 	})
 	if err != nil {

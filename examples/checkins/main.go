@@ -12,6 +12,7 @@ import (
 
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
@@ -62,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	factories = append(factories, model.Factory())
+	factories = append(factories, engine.New(model).Factory())
 
 	results, err := eval.EvaluateAll(train, test, factories, eval.Options{
 		WindowCap: window, Omega: omega, Seed: 4,

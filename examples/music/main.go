@@ -13,6 +13,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/rec"
@@ -58,7 +59,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := eval.Evaluate(train, test, model.Factory(), eval.Options{
+	res, err := eval.Evaluate(train, test, engine.New(model).Factory(), eval.Options{
 		WindowCap: window, Omega: omega, Seed: 2,
 	})
 	if err != nil {
@@ -105,8 +106,9 @@ func demoUser(classifier *strec.Model, model *core.Model, train, test seq.Sequen
 	for _, v := range train {
 		w.Push(v)
 	}
-	scorer := model.NewScorer()
+	eng := engine.New(model)
 	shown := 0
+	var items []seq.Item
 	for _, v := range test {
 		if shown >= 5 {
 			break
@@ -114,14 +116,15 @@ func demoUser(classifier *strec.Model, model *core.Model, train, test seq.Sequen
 		p := classifier.Predict(w, repeats, events)
 		if p >= 0.5 {
 			ctx := &rec.Context{User: 0, Window: w, History: history, Omega: omega}
-			top := scorer.Recommend(ctx, 3, nil)
+			top := eng.Recommend(ctx, 3, nil)
+			items = rec.Items(top, items[:0])
 			hit := " miss"
-			for _, item := range top {
+			for _, item := range items {
 				if item == v {
 					hit = " HIT"
 				}
 			}
-			fmt.Printf("  P(repeat)=%.2f → recommend %v; actually played %d%s\n", p, top, v, hit)
+			fmt.Printf("  P(repeat)=%.2f → recommend %v; actually played %d%s\n", p, items, v, hit)
 			shown++
 		}
 		events++

@@ -10,6 +10,7 @@ import (
 
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
+	"tsppr/internal/engine"
 	"tsppr/internal/features"
 	"tsppr/internal/rec"
 	"tsppr/internal/sampling"
@@ -63,13 +64,12 @@ func main() {
 		w.Push(v)
 	}
 	ctx := &rec.Context{User: user, Window: w, History: ds.Seqs[user], Omega: omega}
-	scorer := model.NewScorer()
-	top := scorer.Recommend(ctx, 5, nil)
+	top := engine.New(model).Recommend(ctx, 5, nil)
 
 	fmt.Printf("user %d should reconsume next (best first):\n", user)
-	for rank, item := range top {
+	for rank, sc := range top {
 		fmt.Printf("  %d. item %-5d score=%.3f  IR=%.2f IP=%.2f\n",
-			rank+1, item, scorer.Score(user, item, w),
-			ex.ReconsumptionRatio(item), ex.Quality(item))
+			rank+1, sc.Item, sc.Score,
+			ex.ReconsumptionRatio(sc.Item), ex.Quality(sc.Item))
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/datagen"
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/mixer"
@@ -82,7 +83,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	// and beat Random.
 	opt := eval.Options{WindowCap: window, Omega: omega, Seed: 99, KeepPerUser: true}
 	rs, err := eval.EvaluateAll(train, test,
-		[]rec.Factory{model.Factory(), trained.Factory(), randomBaseline()}, opt)
+		[]rec.Factory{engine.New(model).Factory(), engine.New(trained).Factory(), randomBaseline()}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,12 +136,12 @@ func TestEndToEndPipeline(t *testing.T) {
 func randomBaseline() rec.Factory {
 	return rec.Factory{Name: "Random", New: func(seed uint64) rec.Recommender {
 		state := seed | 1
-		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			for i := 0; i < n && len(cands) > 0; i++ {
 				state = state*6364136223846793005 + 1442695040888963407
 				j := int(state>>33) % len(cands)
-				dst = append(dst, cands[j])
+				dst = append(dst, rec.Scored{Item: cands[j]})
 				cands = append(cands[:j], cands[j+1:]...)
 			}
 			return dst

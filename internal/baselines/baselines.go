@@ -25,9 +25,9 @@ import (
 )
 
 // rankTopN pushes every candidate with its score into a top-n selector and
-// appends the ranked items to dst. It is the shared tail of all
-// deterministic baselines.
-func rankTopN(cands []seq.Item, score func(seq.Item) float64, n int, dst []seq.Item) []seq.Item {
+// appends the ranked (item, score) pairs to dst. It is the shared tail of
+// all deterministic baselines.
+func rankTopN(cands []seq.Item, score func(seq.Item) float64, n int, dst []rec.Scored) []rec.Scored {
 	if n <= 0 || len(cands) == 0 {
 		return dst
 	}
@@ -35,7 +35,7 @@ func rankTopN(cands []seq.Item, score func(seq.Item) float64, n int, dst []seq.I
 	for _, v := range cands {
 		sel.Push(v, score(v))
 	}
-	return sel.Items(dst)
+	return sel.AppendSorted(dst)
 }
 
 // Random recommends a uniform random sample of the candidate set, the
@@ -51,9 +51,10 @@ func NewRandom(seed uint64) *Random {
 	return &Random{rng: rngutil.New(seed)}
 }
 
-// Recommend implements rec.Recommender.
-func (r *Random) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+// Recommend implements rec.Recommender. Random's ranking carries no
+// magnitude, so every returned score is zero.
+func (r *Random) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	if n <= 0 || len(r.cands) == 0 {
 		return dst
 	}
@@ -64,7 +65,7 @@ func (r *Random) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
 	for i := 0; i < n; i++ {
 		j := i + r.rng.Intn(len(r.cands)-i)
 		r.cands[i], r.cands[j] = r.cands[j], r.cands[i]
-		dst = append(dst, r.cands[i])
+		dst = rec.AppendItems(dst, r.cands[i])
 	}
 	return dst
 }
@@ -113,8 +114,8 @@ type popRec struct {
 	cands []seq.Item
 }
 
-func (r *popRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *popRec) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	return rankTopN(r.cands, r.p.Score, n, dst)
 }
 
@@ -135,8 +136,8 @@ type Recency struct {
 }
 
 // Recommend implements rec.Recommender.
-func (r *Recency) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *Recency) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	return rankTopN(r.cands, func(v seq.Item) float64 {
 		gap, ok := ctx.Window.Gap(v)
 		if !ok {

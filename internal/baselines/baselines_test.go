@@ -32,9 +32,9 @@ func corpus(t testing.TB) (train []seq.Sequence, numItems int, ctx *rec.Context)
 
 // checkRecommendations asserts the universal recommender contract:
 // unique candidates only, at most n of them.
-func checkRecommendations(t *testing.T, name string, got []seq.Item, ctx *rec.Context, n int) {
+func checkRecommendations(t *testing.T, name string, got []rec.Scored, ctx *rec.Context, n int) {
 	t.Helper()
-	cands := ctx.Window.Candidates(ctx.Omega, nil)
+	cands := ctx.Candidates(nil)
 	want := n
 	if len(cands) < want {
 		want = len(cands)
@@ -50,13 +50,13 @@ func checkRecommendations(t *testing.T, name string, got []seq.Item, ctx *rec.Co
 		inCands[c] = true
 	}
 	seen := map[seq.Item]bool{}
-	for _, v := range got {
-		if seen[v] {
-			t.Fatalf("%s returned duplicate %d", name, v)
+	for _, s := range got {
+		if seen[s.Item] {
+			t.Fatalf("%s returned duplicate %d", name, s.Item)
 		}
-		seen[v] = true
-		if !inCands[v] {
-			t.Fatalf("%s recommended non-candidate %d", name, v)
+		seen[s.Item] = true
+		if !inCands[s.Item] {
+			t.Fatalf("%s recommended non-candidate %d", name, s.Item)
 		}
 	}
 }
@@ -108,9 +108,12 @@ func TestPopRecommend(t *testing.T) {
 	p := NewPop(train, numItems)
 	got := p.Factory().New(0).Recommend(ctx, 10, nil)
 	checkRecommendations(t, "Pop", got, ctx, 10)
-	// Verify descending popularity.
-	for i := 1; i < len(got); i++ {
-		if p.Score(got[i]) > p.Score(got[i-1]) {
+	// Verify descending popularity, and that reported scores match.
+	for i, s := range got {
+		if p.Score(s.Item) != s.Score {
+			t.Fatalf("Pop reported score %v for item %d, want %v", s.Score, s.Item, p.Score(s.Item))
+		}
+		if i > 0 && s.Score > got[i-1].Score {
 			t.Fatal("Pop ranking not descending")
 		}
 	}
@@ -121,10 +124,10 @@ func TestRecencyPrefersSmallGap(t *testing.T) {
 	got := (&Recency{}).Recommend(ctx, 10, nil)
 	checkRecommendations(t, "Recency", got, ctx, 10)
 	prev := -1
-	for _, v := range got {
-		gap, ok := ctx.Window.Gap(v)
+	for _, s := range got {
+		gap, ok := ctx.Window.Gap(s.Item)
 		if !ok {
-			t.Fatalf("recommended absent item %d", v)
+			t.Fatalf("recommended absent item %d", s.Item)
 		}
 		if gap < prev {
 			t.Fatalf("Recency ranking not by ascending gap: %d after %d", gap, prev)
@@ -187,7 +190,7 @@ func TestDYRCLearnsAntiRecencyOnCyclicCorpus(t *testing.T) {
 	}
 	ctx := &rec.Context{User: 0, Window: w, History: s[:100], Omega: 2}
 	got := d.Factory().New(0).Recommend(ctx, 1, nil)
-	if len(got) != 1 || got[0] != s[100] {
+	if len(got) != 1 || got[0].Item != s[100] {
 		t.Fatalf("Top-1 = %v, want %d", got, s[100])
 	}
 }
@@ -355,7 +358,7 @@ func TestPPRIsTimeInsensitive(t *testing.T) {
 	// Snapshot ranking now.
 	r := m.Factory().New(0)
 	ctx := &rec.Context{User: 0, Window: w, Omega: 0}
-	before := append([]seq.Item(nil), r.Recommend(ctx, 8, nil)...)
+	before := append([]rec.Scored(nil), r.Recommend(ctx, 8, nil)...)
 	// Re-push the same items in a different order (gaps/counts change,
 	// candidate set does not).
 	for _, v := range []seq.Item{8, 7, 6, 5, 4, 3, 2, 1} {

@@ -136,8 +136,8 @@ type dyrcRec struct {
 	cands []seq.Item
 }
 
-func (r *dyrcRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *dyrcRec) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	return rankTopN(r.cands, func(v seq.Item) float64 {
 		return r.d.rawScore(v, ctx.Window)
 	}, n, dst)

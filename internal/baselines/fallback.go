@@ -39,8 +39,8 @@ func (f *Fallback) Score(v seq.Item, w *seq.Window) float64 {
 }
 
 // Recommend implements rec.Recommender.
-func (f *Fallback) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	f.cands = ctx.Window.Candidates(ctx.Omega, f.cands[:0])
+func (f *Fallback) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	f.cands = ctx.Candidates(f.cands[:0])
 	return rankTopN(f.cands, func(v seq.Item) float64 {
 		return f.Score(v, ctx.Window)
 	}, n, dst)

@@ -29,7 +29,7 @@ func TestFallbackRecencyDominates(t *testing.T) {
 	}
 	ctx := &rec.Context{User: 0, Window: w, Omega: 2}
 	got := (&Fallback{}).Recommend(ctx, 2, nil)
-	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+	if len(got) != 2 || got[0].Item != 2 || got[1].Item != 1 {
 		t.Fatalf("ranking = %v, want [2 1]", got)
 	}
 }

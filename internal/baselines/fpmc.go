@@ -165,8 +165,8 @@ type fpmcRec struct {
 	avgLI linalg.Vector
 }
 
-func (r *fpmcRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *fpmcRec) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	if len(r.cands) == 0 {
 		return dst
 	}

@@ -114,8 +114,8 @@ type pprRec struct {
 	cands []seq.Item
 }
 
-func (r *pprRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *pprRec) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	return rankTopN(r.cands, func(v seq.Item) float64 {
 		return r.m.Score(ctx.User, v)
 	}, n, dst)

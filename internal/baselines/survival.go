@@ -242,8 +242,8 @@ type survivalRec struct {
 	cands []seq.Item
 }
 
-func (r *survivalRec) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	r.cands = ctx.Window.Candidates(ctx.Omega, r.cands[:0])
+func (r *survivalRec) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
+	r.cands = ctx.Candidates(r.cands[:0])
 	if n <= 0 || len(r.cands) == 0 {
 		return dst
 	}

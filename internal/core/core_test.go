@@ -9,7 +9,6 @@ import (
 	"tsppr/internal/datagen"
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
-	"tsppr/internal/rec"
 	"tsppr/internal/rngutil"
 	"tsppr/internal/sampling"
 	"tsppr/internal/seq"
@@ -47,6 +46,19 @@ func corpus(t testing.TB, users int) ([]seq.Sequence, int, *features.Extractor, 
 
 func smallConfig() Config {
 	return Config{K: 8, MaxSteps: 20_000, CheckEvery: 5_000, Seed: 3}
+}
+
+// scoreRef evaluates r_uvt from the model's scoring operands, mirroring
+// the engine's two-dot-product path (the engine itself cannot be imported
+// here: it imports core).
+func scoreRef(m *Model, u int, v seq.Item, w *seq.Window) float64 {
+	static := 0.0
+	if v >= 0 && int(v) < m.V.Rows {
+		static = linalg.Dot(m.U.Row(u), m.V.Row(int(v)))
+	}
+	f := linalg.NewVector(m.F)
+	m.Extractor.Extract(f, v, w)
+	return static + linalg.Dot(m.EffectiveFeatureWeights(u), f)
 }
 
 func TestTrainShapes(t *testing.T) {
@@ -140,14 +152,11 @@ func TestTrainMapKinds(t *testing.T) {
 		if len(m.A) != wantMaps {
 			t.Fatalf("%v: %d maps, want %d", mk, len(m.A), wantMaps)
 		}
-		// Scoring must work for every kind.
-		sc := m.NewScorer()
-		w := seq.NewWindow(20)
-		for _, v := range train[0][:20] {
-			w.Push(v)
-		}
-		if s := sc.Score(0, train[0][0], w); math.IsNaN(s) {
-			t.Fatalf("%v: NaN score", mk)
+		// The scoring operands must be finite for every kind.
+		for _, x := range m.EffectiveFeatureWeights(0) {
+			if math.IsNaN(x) {
+				t.Fatalf("%v: NaN effective weight", mk)
+			}
 		}
 	}
 }
@@ -223,104 +232,6 @@ func TestTrainRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestScorerRecommend(t *testing.T) {
-	train, numItems, ex, set := corpus(t, 10)
-	m, _, err := Train(set, len(train), numItems, ex, smallConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc := m.NewScorer()
-	w := seq.NewWindow(20)
-	for _, v := range train[0] {
-		w.Push(v)
-	}
-	ctx := &rec.Context{User: 0, Window: w, Omega: 3}
-	got := sc.Recommend(ctx, 5, nil)
-	cands := w.Candidates(3, nil)
-	maxWant := 5
-	if len(cands) < maxWant {
-		maxWant = len(cands)
-	}
-	if len(got) != maxWant {
-		t.Fatalf("recommended %d items, want %d", len(got), maxWant)
-	}
-	// All recommendations must be candidates, unique, and ranked by score.
-	seen := map[seq.Item]bool{}
-	inCands := map[seq.Item]bool{}
-	for _, c := range cands {
-		inCands[c] = true
-	}
-	prev := math.Inf(1)
-	for _, v := range got {
-		if seen[v] {
-			t.Fatalf("duplicate recommendation %d", v)
-		}
-		seen[v] = true
-		if !inCands[v] {
-			t.Fatalf("recommended non-candidate %d", v)
-		}
-		s := sc.Score(0, v, w)
-		if s > prev {
-			t.Fatalf("ranking not descending: %v after %v", s, prev)
-		}
-		prev = s
-	}
-	// n <= 0 yields nothing.
-	if out := sc.Recommend(ctx, 0, nil); len(out) != 0 {
-		t.Fatal("n=0 returned items")
-	}
-}
-
-func TestScorerEmptyCandidates(t *testing.T) {
-	train, numItems, ex, set := corpus(t, 6)
-	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
-	sc := m.NewScorer()
-	w := seq.NewWindow(20)
-	w.Push(1) // single item with gap 1 ≤ Ω=3 → no candidates
-	ctx := &rec.Context{User: 0, Window: w, Omega: 3}
-	if got := sc.Recommend(ctx, 5, nil); len(got) != 0 {
-		t.Fatalf("expected no recommendations, got %v", got)
-	}
-}
-
-func TestScoreUnknownItem(t *testing.T) {
-	train, numItems, ex, set := corpus(t, 6)
-	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
-	sc := m.NewScorer()
-	w := seq.NewWindow(20)
-	w.Push(seq.Item(numItems + 5)) // beyond the trained universe
-	s := sc.Score(0, seq.Item(numItems+5), w)
-	if math.IsNaN(s) {
-		t.Fatal("unknown item scored NaN")
-	}
-}
-
-func TestScorePanicsOnBadUser(t *testing.T) {
-	train, numItems, ex, set := corpus(t, 6)
-	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
-	sc := m.NewScorer()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	sc.Score(len(train)+1, 0, seq.NewWindow(20))
-}
-
-func TestFactory(t *testing.T) {
-	train, numItems, ex, set := corpus(t, 6)
-	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
-	f := m.Factory()
-	if f.Name != "TS-PPR" {
-		t.Errorf("factory name %q", f.Name)
-	}
-	r1 := f.New(1)
-	r2 := f.New(2)
-	if r1 == r2 {
-		t.Fatal("factory returned shared instance")
-	}
-}
-
 func TestModelRoundTrip(t *testing.T) {
 	train, numItems, ex, set := corpus(t, 6)
 	for _, mk := range []MapKind{PerUserMap, SharedMap, IdentityMap} {
@@ -352,15 +263,15 @@ func TestModelRoundTrip(t *testing.T) {
 				t.Fatalf("%v: map %d mismatch", mk, i)
 			}
 		}
-		// The deserialized model must score identically.
-		w := seq.NewWindow(20)
-		for _, v := range train[0][:20] {
-			w.Push(v)
-		}
-		s1 := m.NewScorer().Score(0, train[0][0], w)
-		s2 := got.NewScorer().Score(0, train[0][0], w)
-		if s1 != s2 {
-			t.Fatalf("%v: scores differ after round-trip: %v vs %v", mk, s1, s2)
+		// The deserialized model must score identically: the scoring
+		// operands (precomputed effective weights included) are bit-equal.
+		for u := 0; u < m.NumUsers(); u++ {
+			w1, w2 := m.EffectiveFeatureWeights(u), got.EffectiveFeatureWeights(u)
+			for f := range w1 {
+				if w1[f] != w2[f] {
+					t.Fatalf("%v: effective weights differ after round-trip (user %d)", mk, u)
+				}
+			}
 		}
 	}
 }
@@ -434,20 +345,6 @@ func BenchmarkSGDStep(b *testing.B) {
 	}
 }
 
-func BenchmarkScore(b *testing.B) {
-	train, numItems, ex, set := corpus(b, 10)
-	m, _, _ := Train(set, len(train), numItems, ex, smallConfig())
-	sc := m.NewScorer()
-	w := seq.NewWindow(20)
-	for _, v := range train[0][:20] {
-		w.Push(v)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = sc.Score(0, train[0][i%20], w)
-	}
-}
-
 func TestEffectiveFeatureWeights(t *testing.T) {
 	train, numItems, ex, set := corpus(t, 8)
 	m, _, err := Train(set, len(train), numItems, ex, smallConfig())
@@ -458,19 +355,28 @@ func TestEffectiveFeatureWeights(t *testing.T) {
 	if len(w) != m.F {
 		t.Fatalf("weights dim %d, want %d", len(w), m.F)
 	}
-	// Consistency: the dynamic score term equals wᵀf for any feature vec.
-	sc := m.NewScorer()
+	// Consistency: the precomputed fold w·f matches the direct derivation
+	// uᵀ(A_u·f) for an actual extracted feature vector. The two fold in
+	// different summation orders, hence a tolerance, not equality.
 	win := seq.NewWindow(20)
 	for _, v := range train[0][:20] {
 		win.Push(v)
 	}
-	v := train[0][0]
-	full := sc.Score(0, v, win)
-	static := linalg.Dot(m.U.Row(0), m.V.Row(int(v)))
 	f := linalg.NewVector(m.F)
-	ex.Extract(f, v, win)
-	if diff := math.Abs((full - static) - linalg.Dot(w, f)); diff > 1e-9 {
-		t.Fatalf("w·f inconsistent with dynamic term: diff %v", diff)
+	ex.Extract(f, train[0][0], win)
+	tmp := linalg.NewVector(m.K)
+	m.mapFor(0).MulVec(tmp, f)
+	dyn := linalg.Dot(m.U.Row(0), tmp)
+	if diff := math.Abs(dyn - linalg.Dot(w, f)); diff > 1e-9 {
+		t.Fatalf("w·f inconsistent with uᵀA_uf: diff %v", diff)
+	}
+	// refreshUser after an in-place parameter change re-folds the row.
+	m.U.Row(0)[0] += 0.25
+	m.refreshUser(0)
+	m.mapFor(0).MulVec(tmp, f)
+	dyn = linalg.Dot(m.U.Row(0), tmp)
+	if diff := math.Abs(dyn - linalg.Dot(m.EffectiveFeatureWeights(0), f)); diff > 1e-9 {
+		t.Fatalf("refreshUser left stale weights: diff %v", diff)
 	}
 
 	// Identity map: weights are u itself.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tsppr/internal/core"
+	"tsppr/internal/engine"
 	"tsppr/internal/features"
 	"tsppr/internal/rec"
 	"tsppr/internal/sampling"
@@ -39,14 +40,14 @@ func Example() {
 		return
 	}
 
-	sc := model.NewScorer()
+	eng := engine.New(model)
 	for u := 0; u < 2; u++ {
 		w := seq.NewWindow(window)
 		for _, v := range train[u] {
 			w.Push(v)
 		}
-		top := sc.Recommend(&rec.Context{User: u, Window: w, Omega: omega}, 1, nil)
-		fmt.Printf("user %d would reconsume item %d\n", u, top[0])
+		top := eng.Recommend(&rec.Context{User: u, Window: w, Omega: omega}, 1, nil)
+		fmt.Printf("user %d would reconsume item %d\n", u, top[0].Item)
 	}
 	// Output:
 	// user 0 would reconsume item 0

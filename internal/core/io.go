@@ -228,6 +228,9 @@ func readBody(cr *countingReader) (*Model, error) {
 		return nil, fmt.Errorf("core: extractor dim %d != model F %d", ex.Dim(), f)
 	}
 	m.Extractor = ex
+	// Loaded models go straight to scoring; fold the effective feature
+	// weights here so load time, not first-request time, pays the cost.
+	m.Precompute()
 	return m, nil
 }
 

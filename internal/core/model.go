@@ -21,9 +21,6 @@ import (
 
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
-	"tsppr/internal/rec"
-	"tsppr/internal/seq"
-	"tsppr/internal/topk"
 )
 
 // MapKind selects how the observable→latent map A is parameterized. The
@@ -54,7 +51,8 @@ func (k MapKind) String() string {
 
 // Model holds the learned TS-PPR parameters together with the feature
 // extractor they were trained against. A Model is immutable after training
-// and safe for concurrent scoring via independent Scorers.
+// and safe for concurrent scoring through the engine package, which owns
+// the serving hot path.
 type Model struct {
 	K, F    int
 	MapType MapKind
@@ -66,6 +64,12 @@ type Model struct {
 	// IdentityMap → nil.
 
 	Extractor *features.Extractor
+
+	// effW caches the per-user effective feature weights w_u = A_uᵀu
+	// (numUsers × F), folded once by Precompute so per-item scoring is two
+	// dot products instead of a K×F matrix-vector product per call. Nil
+	// until Precompute runs; nil (not serialized) in model files.
+	effW *linalg.Matrix
 }
 
 // Validate checks that the model is fit to serve: consistent shapes and
@@ -93,6 +97,10 @@ func (m *Model) Validate() error {
 			return fmt.Errorf("core: non-finite value in A[%d]", i)
 		}
 	}
+	// A model that validates is a model about to serve: fold the
+	// effective feature weights now so the first request after a load or
+	// a SIGHUP hot-swap is already on the two-dot-product path.
+	m.Precompute()
 	return nil
 }
 
@@ -112,34 +120,78 @@ func (m *Model) NumUsers() int { return m.U.Rows }
 // NumItems returns the number of items the model was trained over.
 func (m *Model) NumItems() int { return m.V.Rows }
 
-// EffectiveFeatureWeights returns w_u = A_uᵀu, the model's personalized
-// linear weighting of the behavioural features for user u: entry f is the
-// marginal effect of feature f on user u's preference. Under IdentityMap
-// it is u itself (K = F). The result is freshly allocated.
+// Precompute folds the per-user effective feature weights w_u = A_uᵀu
+// into a dense numUsers × F table, so per-item scoring needs two dot
+// products (uᵀv + w_uᵀf) instead of re-deriving uᵀA_u per call. It runs
+// at the end of Train, after ReadModel, and inside Validate (the
+// load/hot-swap gate); calling it again rebuilds the table, which is how
+// in-place mutators (warm starts, online updates applied wholesale)
+// refresh it. Under IdentityMap no table is built: w_u is u itself.
 //
-// This is the model's main interpretability hook: comparing w_u across
-// users shows *why* each user repeats (popularity-driven vs
-// reconsumption-driven vs recency-driven), which is the behavioural
-// heterogeneity the per-user maps exist to capture.
-func (m *Model) EffectiveFeatureWeights(u int) linalg.Vector {
-	if u < 0 || u >= m.U.Rows {
-		panic(fmt.Sprintf("core: EffectiveFeatureWeights user %d out of range [0,%d)", u, m.U.Rows))
+// Precompute is not safe to call concurrently with readers; every
+// production path runs it before the model is published for serving.
+func (m *Model) Precompute() {
+	if m.MapType == IdentityMap {
+		m.effW = nil
+		return
 	}
+	eff := linalg.NewMatrix(m.U.Rows, m.F)
+	for u := 0; u < m.U.Rows; u++ {
+		m.foldUser(eff.Row(u), u)
+	}
+	m.effW = eff
+}
+
+// foldUser writes w_u = A_uᵀu into dst (length F). The summation order
+// (k innermost, ascending) is part of the model's observable behaviour:
+// scores are reproducible bit for bit across precomputed and per-call
+// derivations only if both fold in this order.
+func (m *Model) foldUser(dst linalg.Vector, u int) {
 	uvec := m.U.Row(u)
-	w := linalg.NewVector(m.F)
 	a := m.mapFor(u)
-	if a == nil { // IdentityMap: K == F
-		copy(w, uvec)
-		return w
-	}
 	for f := 0; f < m.F; f++ {
 		s := 0.0
 		for k := 0; k < m.K; k++ {
 			s += uvec[k] * a.At(k, f)
 		}
-		w[f] = s
+		dst[f] = s
 	}
-	return w
+}
+
+// refreshUser re-folds one user's effective weights after an in-place
+// parameter update (the online updater's SGD steps). A no-op before
+// Precompute has run or under IdentityMap.
+func (m *Model) refreshUser(u int) {
+	if m.effW == nil || u < 0 || u >= m.effW.Rows {
+		return
+	}
+	m.foldUser(m.effW.Row(u), u)
+}
+
+// EffectiveFeatureWeights returns w_u = A_uᵀu, the model's personalized
+// linear weighting of the behavioural features for user u: entry f is the
+// marginal effect of feature f on user u's preference. Under IdentityMap
+// it is u itself (K = F). The returned vector shares the model's storage
+// and must be treated as read-only; it is served from the table built by
+// Precompute (built on first use if needed), so steady-state calls
+// allocate nothing.
+//
+// This is both the scoring hot path's dynamic-term operand and the
+// model's main interpretability hook: comparing w_u across users shows
+// *why* each user repeats (popularity-driven vs reconsumption-driven vs
+// recency-driven), which is the behavioural heterogeneity the per-user
+// maps exist to capture.
+func (m *Model) EffectiveFeatureWeights(u int) linalg.Vector {
+	if u < 0 || u >= m.U.Rows {
+		panic(fmt.Sprintf("core: EffectiveFeatureWeights user %d out of range [0,%d)", u, m.U.Rows))
+	}
+	if m.MapType == IdentityMap {
+		return m.U.Row(u)
+	}
+	if m.effW == nil {
+		m.Precompute()
+	}
+	return m.effW.Row(u)
 }
 
 // mapFor returns the observable→latent map of user u, or nil under
@@ -155,76 +207,7 @@ func (m *Model) mapFor(u int) *linalg.Matrix {
 	}
 }
 
-// Scorer evaluates preferences and produces Top-N recommendations. It owns
-// scratch buffers, so each goroutine needs its own (obtain via NewScorer);
-// the underlying model is shared read-only.
-type Scorer struct {
-	m     *Model
-	f     linalg.Vector // F scratch: behavioural features
-	y     linalg.Vector // K scratch: A_u f
-	cands []seq.Item
-	sel   *topk.Selector
-}
-
-// NewScorer returns a scorer bound to m.
-func (m *Model) NewScorer() *Scorer {
-	return &Scorer{
-		m: m,
-		f: linalg.NewVector(m.F),
-		y: linalg.NewVector(m.K),
-	}
-}
-
-// Factory returns a rec.Factory minting per-user scorers over the shared
-// (read-only) model.
-func (m *Model) Factory() rec.Factory {
-	return rec.Factory{
-		Name: "TS-PPR",
-		New:  func(uint64) rec.Recommender { return m.NewScorer() },
-	}
-}
-
-// Score returns r_uvt for item v against the user's current window.
-func (s *Scorer) Score(u int, v seq.Item, w *seq.Window) float64 {
-	m := s.m
-	if u < 0 || u >= m.U.Rows {
-		panic(fmt.Sprintf("core: Score user %d out of range [0,%d)", u, m.U.Rows))
-	}
-	uvec := m.U.Row(u)
-	static := 0.0
-	if int(v) < m.V.Rows && v >= 0 {
-		static = linalg.Dot(uvec, m.V.Row(int(v)))
-	}
-	m.Extractor.Extract(s.f, v, w)
-	var dynamic float64
-	if a := m.mapFor(u); a != nil {
-		a.MulVec(s.y, s.f)
-		dynamic = linalg.Dot(uvec, s.y)
-	} else {
-		// IdentityMap: K == F, y = f.
-		dynamic = linalg.Dot(uvec, linalg.Vector(s.f))
-	}
-	return static + dynamic
-}
-
-// Recommend appends the Top-N RRC recommendations to dst: the
-// highest-scoring distinct window items not consumed in the last Ω steps.
-// It implements rec.Recommender.
-func (s *Scorer) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
-	if n <= 0 {
-		return dst
-	}
-	s.cands = ctx.Window.Candidates(ctx.Omega, s.cands[:0])
-	if len(s.cands) == 0 {
-		return dst
-	}
-	if s.sel == nil || s.sel.K() != n {
-		s.sel = topk.New(n)
-	} else {
-		s.sel.Reset()
-	}
-	for _, v := range s.cands {
-		s.sel.Push(v, s.Score(ctx.User, v, ctx.Window))
-	}
-	return s.sel.Items(dst)
-}
+// Scoring lives in the engine package: internal/engine owns candidate
+// enumeration, pooled scratch, and Top-N selection over this model's
+// tables. The model exposes exactly what the engine consumes — U/V rows,
+// the extractor, and the precomputed EffectiveFeatureWeights.

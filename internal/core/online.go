@@ -139,5 +139,9 @@ func (ou *OnlineUpdater) Observe(user int, w *seq.Window, pos seq.Item, omega in
 			NegFeat: ou.negFeat,
 		})
 	}
+	// The steps mutated u and A_u in place; re-fold this user's cached
+	// effective feature weights so scoring stays consistent with the
+	// updated parameters.
+	ou.m.refreshUser(user)
 	return steps
 }

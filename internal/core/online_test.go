@@ -78,8 +78,7 @@ func TestOnlineObserveMovesScoreUp(t *testing.T) {
 	}
 	pos := cands[0]
 
-	sc := m.NewScorer()
-	before := sc.Score(0, pos, w)
+	before := scoreRef(m, 0, pos, w)
 	total := 0
 	for i := 0; i < 10; i++ {
 		total += ou.Observe(0, w, pos, 3)
@@ -87,7 +86,9 @@ func TestOnlineObserveMovesScoreUp(t *testing.T) {
 	if total == 0 {
 		t.Fatal("no online steps applied")
 	}
-	after := m.NewScorer().Score(0, pos, w)
+	// scoreRef reads the cached effective weights, so this also verifies
+	// Observe re-folds the updated user's row.
+	after := scoreRef(m, 0, pos, w)
 	if after <= before {
 		t.Fatalf("score did not increase after positive observations: %v → %v", before, after)
 	}

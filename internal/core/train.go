@@ -222,6 +222,10 @@ func train(ctx context.Context, set *sampling.Set, numUsers, numItems int, ex *f
 	}
 
 	m := initModel(numUsers, numItems, ex, cfg)
+	// Every exit below hands m to scoring consumers; fold the effective
+	// feature weights so it leaves train ready for the engine's
+	// two-dot-product hot path.
+	defer m.Precompute()
 	stats := &TrainStats{}
 	if set.NumPairs() == 0 {
 		// Nothing to learn from; return the initialized model so callers

@@ -1,0 +1,9 @@
+//go:build !race
+
+package engine_test
+
+// raceEnabled reports whether the race detector is active. The
+// zero-allocation pin is skipped under -race: instrumented sync.Pool
+// deliberately drops values to widen race coverage, which re-allocates
+// scratch and makes allocation counts meaningless.
+const raceEnabled = false

@@ -358,7 +358,7 @@ func replayUser(u int, train, test seq.Sequence, f rec.Factory, opt Options, max
 		w.Push(v)
 	}
 	ctx := rec.Context{User: u, Window: w, Omega: opt.Omega}
-	var list []seq.Item
+	var list []rec.Scored
 	for _, v := range test {
 		if w.Full() {
 			gap, ok := w.Gap(v)
@@ -377,8 +377,8 @@ func replayUser(u int, train, test seq.Sequence, f rec.Factory, opt Options, max
 					st.recs++
 				}
 				idx := -1
-				for i, item := range list {
-					if item == v {
+				for i, s := range list {
+					if s.Item == v {
 						idx = i
 						break
 					}

@@ -12,11 +12,11 @@ import (
 // set up by the test); used to pin the metric math.
 type fixed struct{ items []seq.Item }
 
-func (f fixed) Recommend(_ *rec.Context, n int, dst []seq.Item) []seq.Item {
+func (f fixed) Recommend(_ *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 	if n > len(f.items) {
 		n = len(f.items)
 	}
-	return append(dst, f.items[:n]...)
+	return rec.AppendItems(dst, f.items[:n]...)
 }
 
 func fixedFactory(items ...seq.Item) rec.Factory {
@@ -29,12 +29,12 @@ func fixedFactory(items ...seq.Item) rec.Factory {
 // cycle this is a perfect Top-1 recommender.
 func oldestCandidate() rec.Factory {
 	return rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
-		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			if n > len(cands) {
 				n = len(cands)
 			}
-			return append(dst, cands[:n]...)
+			return rec.AppendItems(dst, cands[:n]...)
 		})
 	}}
 }
@@ -153,13 +153,13 @@ func TestEvaluateParallelDeterminism(t *testing.T) {
 	// identical at any parallelism.
 	noisy := rec.Factory{Name: "noisy", New: func(seed uint64) rec.Recommender {
 		state := seed
-		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			if len(cands) == 0 {
 				return dst
 			}
 			state = state*6364136223846793005 + 1
-			return append(dst, cands[int(state>>33)%len(cands)])
+			return rec.AppendItems(dst, cands[int(state>>33)%len(cands)])
 		})
 	}}
 	var train, test []seq.Sequence
@@ -305,7 +305,7 @@ func TestMRRRankTwo(t *testing.T) {
 	// The truth is always the second-oldest candidate: swap head of the
 	// oldest-first list so truth lands at rank 2.
 	rankTwo := rec.Factory{Name: "rank2", New: func(uint64) rec.Recommender {
-		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			if len(cands) >= 2 {
 				cands[0], cands[1] = cands[1], cands[0]
@@ -313,7 +313,7 @@ func TestMRRRankTwo(t *testing.T) {
 			if n > len(cands) {
 				n = len(cands)
 			}
-			return append(dst, cands[:n]...)
+			return rec.AppendItems(dst, cands[:n]...)
 		})
 	}}
 	train := []seq.Sequence{cycle(5, 40)}

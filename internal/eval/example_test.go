@@ -12,12 +12,12 @@ import (
 // user, where that policy happens to be a perfect oracle.
 func Example() {
 	oldest := rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
-		return rec.Func(func(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			if n > len(cands) {
 				n = len(cands)
 			}
-			return append(dst, cands[:n]...)
+			return rec.AppendItems(dst, cands[:n]...)
 		})
 	}}
 

@@ -31,12 +31,12 @@ func resumeWorkload(users int) (train, test []seq.Sequence) {
 // deterministic, moderately accurate recommender.
 func oldestFirst() rec.Factory {
 	return rec.Factory{Name: "oldest", New: func(uint64) rec.Recommender {
-		return rec.Func(func(ctx *rec.Context, n int, out []seq.Item) []seq.Item {
+		return rec.Func(func(ctx *rec.Context, n int, out []rec.Scored) []rec.Scored {
 			cands := ctx.Window.Candidates(ctx.Omega, nil)
 			if len(cands) > n {
 				cands = cands[:n]
 			}
-			return append(out, cands...)
+			return rec.AppendItems(out, cands...)
 		})
 	}}
 }

@@ -7,6 +7,7 @@ import (
 	"tsppr/internal/baselines"
 	"tsppr/internal/core"
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 )
@@ -108,5 +109,5 @@ func trainEvalMap(ds *dataset.Dataset, p Params, mapType core.MapKind) (eval.Res
 	if stats.Interrupted {
 		return eval.Result{}, interruptedErr(p, "training")
 	}
-	return evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+	return evaluate(p, pl.Train, pl.Test, engine.New(model).Factory(), evalOptions(p, false))
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/rec"
@@ -77,7 +78,7 @@ func accuracyResults(p Params) (map[string][]eval.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs = append(fs, model.Factory())
+		fs = append(fs, engine.New(model).Factory())
 		rs, err := eval.EvaluateAllContext(p.ctx(), pl.Train, pl.Test, fs, evalOptions(p, false))
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/features"
 	"tsppr/internal/plot"
 	"tsppr/internal/strec"
@@ -82,7 +83,7 @@ func RunFig13(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		fs = append(fs, model.Factory())
+		fs = append(fs, engine.New(model).Factory())
 		opt := evalOptions(p, true)
 		opt.Parallelism = 1 // serial replay for clean timing
 		fmt.Fprintf(w, "\n%s\n", ds.Name)
@@ -134,7 +135,7 @@ func RunTable5(w io.Writer, p Params) error {
 		// it on the repeats STREC classifies correctly; conditioning on
 		// all true eligible repeats is the same population up to STREC's
 		// recall, which its accuracy already captures in the product).
-		r, err := evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+		r, err := evaluate(p, pl.Train, pl.Test, engine.New(model).Factory(), evalOptions(p, false))
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 )
@@ -36,7 +37,7 @@ func RunSignificance(w io.Writer, p Params) error {
 		}
 		opt := evalOptions(p, false)
 		opt.KeepPerUser = true
-		ours, err := evaluate(p, pl.Train, pl.Test, model.Factory(), opt)
+		ours, err := evaluate(p, pl.Train, pl.Test, engine.New(model).Factory(), opt)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tsppr/internal/dataset"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/plot"
@@ -22,7 +23,7 @@ func trainEval(ds *dataset.Dataset, p Params, mask features.Mask, rk features.Re
 	if err != nil {
 		return eval.Result{}, err
 	}
-	return evaluate(p, pl.Train, pl.Test, model.Factory(), evalOptions(p, false))
+	return evaluate(p, pl.Train, pl.Test, engine.New(model).Factory(), evalOptions(p, false))
 }
 
 // RunFig7 reports the feature-importance ablation (paper Fig. 7): drop

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"tsppr/internal/core"
+	"tsppr/internal/engine"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/strec"
@@ -30,10 +31,10 @@ import (
 )
 
 // NovelRecommender ranks items the user has not consumed yet with the
-// TS-PPR preference function. It is safe for concurrent use via per-call
-// scorers obtained from the shared model.
+// TS-PPR preference function, evaluated through the shared scoring engine.
+// It is safe for concurrent use: the engine pools its own scratch.
 type NovelRecommender struct {
-	model *core.Model
+	eng *engine.Engine
 	// pool is the popularity-ordered candidate pool (most popular first).
 	pool []seq.Item
 }
@@ -70,16 +71,16 @@ func NewNovelRecommender(model *core.Model, train []seq.Sequence, poolSize int) 
 	if len(pool) > poolSize {
 		pool = pool[:poolSize]
 	}
-	return &NovelRecommender{model: model, pool: pool}, nil
+	return &NovelRecommender{eng: engine.New(model), pool: pool}, nil
 }
 
 // PoolSize returns the number of candidate items considered.
 func (nr *NovelRecommender) PoolSize() int { return len(nr.pool) }
 
-// Recommend appends up to n items the user has never consumed (w.r.t.
-// ctx.History), ranked by the TS-PPR preference, and returns the extended
-// slice. It implements rec.Recommender.
-func (nr *NovelRecommender) Recommend(ctx *rec.Context, n int, dst []seq.Item) []seq.Item {
+// Recommend appends up to n scored items the user has never consumed
+// (w.r.t. ctx.History), ranked by the TS-PPR preference, and returns the
+// extended slice. It implements rec.Recommender.
+func (nr *NovelRecommender) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scored {
 	if n <= 0 {
 		return dst
 	}
@@ -87,15 +88,14 @@ func (nr *NovelRecommender) Recommend(ctx *rec.Context, n int, dst []seq.Item) [
 	for _, v := range ctx.History {
 		consumed[v] = struct{}{}
 	}
-	sc := nr.model.NewScorer()
 	sel := topk.New(n)
 	for _, v := range nr.pool {
 		if _, ok := consumed[v]; ok {
 			continue
 		}
-		sel.Push(v, sc.Score(ctx.User, v, ctx.Window))
+		sel.Push(v, nr.eng.Score(ctx.User, v, ctx.Window))
 	}
-	return sel.Items(dst)
+	return sel.AppendSorted(dst)
 }
 
 // Factory returns a rec.Factory for the novel-item mode.
@@ -103,12 +103,14 @@ func (nr *NovelRecommender) Factory() rec.Factory {
 	return rec.Factory{Name: "TS-PPR-novel", New: func(uint64) rec.Recommender { return nr }}
 }
 
-// Interleave merges a repeat slate and a novel slate into one list of at
-// most n items. pRepeat ∈ [0,1] weighs the repeat slate; items are drawn
-// greedily from whichever slate has the higher remaining probability-
-// weighted rank score (1/rank weighting), preserving within-slate order
-// and dropping duplicates.
-func Interleave(pRepeat float64, repeat, novel []seq.Item, n int) []seq.Item {
+// Interleave merges a scored repeat slate and a scored novel slate into
+// one list of at most n items. pRepeat ∈ [0,1] weighs the repeat slate;
+// items are drawn greedily from whichever slate has the higher remaining
+// probability-weighted rank score (1/rank weighting), preserving
+// within-slate order and dropping duplicates. Within-slate scores are not
+// comparable across methods, so mixing uses rank positions, not raw
+// scores.
+func Interleave(pRepeat float64, repeat, novel []rec.Scored, n int) []seq.Item {
 	if pRepeat < 0 {
 		pRepeat = 0
 	}
@@ -129,10 +131,10 @@ func Interleave(pRepeat float64, repeat, novel []seq.Item, n int) []seq.Item {
 		}
 		var pick seq.Item
 		if rw >= nw {
-			pick = repeat[ri]
+			pick = repeat[ri].Item
 			ri++
 		} else {
-			pick = novel[ni]
+			pick = novel[ni].Item
 			ni++
 		}
 		if _, dup := seen[pick]; dup {
@@ -149,7 +151,7 @@ func Interleave(pRepeat float64, repeat, novel []seq.Item, n int) []seq.Item {
 // recommender ranks unseen items, and the two slates are interleaved.
 type Pipeline struct {
 	Classifier *strec.Model
-	Repeat     *core.Scorer
+	Repeat     *engine.Engine
 	Novel      *NovelRecommender
 
 	// repeat-statistics state per user, needed by STREC's running features.
@@ -164,7 +166,7 @@ func NewPipeline(classifier *strec.Model, model *core.Model, novel *NovelRecomme
 	}
 	p := &Pipeline{
 		Classifier: classifier,
-		Repeat:     model.NewScorer(),
+		Repeat:     engine.New(model),
 		Novel:      novel,
 		repeats:    make(map[int]int, len(train)),
 		events:     make(map[int]int, len(train)),
@@ -184,10 +186,12 @@ func NewPipeline(classifier *strec.Model, model *core.Model, novel *NovelRecomme
 }
 
 // Decision is one pipeline recommendation with its routing diagnostics.
+// Repeat and Novel carry the scored slates as the recommenders returned
+// them; Mixed is the interleaved final list.
 type Decision struct {
 	PRepeat float64
-	Repeat  []seq.Item
-	Novel   []seq.Item
+	Repeat  []rec.Scored
+	Novel   []rec.Scored
 	Mixed   []seq.Item
 }
 

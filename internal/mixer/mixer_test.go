@@ -66,18 +66,18 @@ func TestNovelRecommenderExcludesHistory(t *testing.T) {
 	for _, v := range train[0] {
 		consumed[v] = struct{}{}
 	}
-	for _, v := range got {
-		if _, ok := consumed[v]; ok {
-			t.Fatalf("recommended already-consumed item %d", v)
+	for _, s := range got {
+		if _, ok := consumed[s.Item]; ok {
+			t.Fatalf("recommended already-consumed item %d", s.Item)
 		}
 	}
 	// Uniqueness.
 	seen := map[seq.Item]struct{}{}
-	for _, v := range got {
-		if _, dup := seen[v]; dup {
-			t.Fatalf("duplicate %d", v)
+	for _, s := range got {
+		if _, dup := seen[s.Item]; dup {
+			t.Fatalf("duplicate %d", s.Item)
 		}
-		seen[v] = struct{}{}
+		seen[s.Item] = struct{}{}
 	}
 }
 
@@ -109,9 +109,19 @@ func TestNovelRecommenderValidation(t *testing.T) {
 	}
 }
 
+// slate wraps bare items as a zero-scored slate for Interleave tests,
+// which only exercise ordering and deduplication.
+func slate(items ...seq.Item) []rec.Scored {
+	s := make([]rec.Scored, len(items))
+	for i, v := range items {
+		s[i] = rec.Scored{Item: v}
+	}
+	return s
+}
+
 func TestInterleaveExtremes(t *testing.T) {
-	repeat := []seq.Item{1, 2, 3}
-	novel := []seq.Item{10, 20, 30}
+	repeat := slate(1, 2, 3)
+	novel := slate(10, 20, 30)
 	// p=1: repeat items dominate the head.
 	got := Interleave(1, repeat, novel, 3)
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
@@ -132,8 +142,8 @@ func TestInterleaveExtremes(t *testing.T) {
 }
 
 func TestInterleaveMixes(t *testing.T) {
-	repeat := []seq.Item{1, 2, 3, 4}
-	novel := []seq.Item{10, 20, 30, 40}
+	repeat := slate(1, 2, 3, 4)
+	novel := slate(10, 20, 30, 40)
 	got := Interleave(0.5, repeat, novel, 4)
 	if len(got) != 4 {
 		t.Fatalf("len = %d", len(got))
@@ -154,7 +164,7 @@ func TestInterleaveMixes(t *testing.T) {
 }
 
 func TestInterleaveDeduplicates(t *testing.T) {
-	got := Interleave(0.5, []seq.Item{1, 2}, []seq.Item{1, 3}, 4)
+	got := Interleave(0.5, slate(1, 2), slate(1, 3), 4)
 	seen := map[seq.Item]int{}
 	for _, v := range got {
 		seen[v]++
@@ -168,10 +178,10 @@ func TestInterleaveDeduplicates(t *testing.T) {
 }
 
 func TestInterleaveShortInputs(t *testing.T) {
-	if got := Interleave(0.9, nil, []seq.Item{5}, 3); len(got) != 1 || got[0] != 5 {
+	if got := Interleave(0.9, nil, slate(5), 3); len(got) != 1 || got[0] != 5 {
 		t.Fatalf("empty repeat slate: %v", got)
 	}
-	if got := Interleave(0.1, []seq.Item{5}, nil, 3); len(got) != 1 || got[0] != 5 {
+	if got := Interleave(0.1, slate(5), nil, 3); len(got) != 1 || got[0] != 5 {
 		t.Fatalf("empty novel slate: %v", got)
 	}
 	if got := Interleave(0.5, nil, nil, 3); len(got) != 0 {
@@ -199,8 +209,11 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 	// Mixed must be drawn from the two slates.
 	source := map[seq.Item]bool{}
-	for _, v := range append(append([]seq.Item{}, d.Repeat...), d.Novel...) {
-		source[v] = true
+	for _, s := range d.Repeat {
+		source[s.Item] = true
+	}
+	for _, s := range d.Novel {
+		source[s.Item] = true
 	}
 	for _, v := range d.Mixed {
 		if !source[v] {

@@ -1,8 +1,9 @@
 // Package rec defines the recommender contract shared by TS-PPR and every
 // baseline: given a user's time window (and full history, for methods that
-// need it), produce a ranked Top-N list of reconsumable items.
+// need it), produce a ranked Top-N list of reconsumable items together
+// with their scores.
 //
-// It contains types only, so both the core model and the baselines can
+// It contains types only, so both the scoring engine and the baselines can
 // implement the interface without an import cycle through the evaluation
 // harness.
 package rec
@@ -25,15 +26,53 @@ type Context struct {
 	Omega   int // minimum gap Ω: items consumed within the last Ω steps are not recommendable
 }
 
+// Candidates appends the context's candidate set — the distinct window
+// items with gap > Ω, oldest-first — to dst and returns the extended
+// slice. Every recommender enumerates candidates through this one method
+// (or through the engine, which shares the same window enumeration), so
+// the candidate-set definition cannot drift between methods.
+func (ctx *Context) Candidates(dst []seq.Item) []seq.Item {
+	return ctx.Window.Candidates(ctx.Omega, dst)
+}
+
+// Scored is one ranked recommendation: an item together with the score
+// that ranked it. Recommenders return scored pairs so callers (serving
+// handlers, the mixer, the evaluation harness) never re-score returned
+// items. Methods whose ranking carries no meaningful magnitude (e.g. the
+// Random baseline) report Score 0.
+type Scored struct {
+	Item  seq.Item
+	Score float64
+}
+
+// Items appends just the item IDs of a scored list to dst, in order, and
+// returns the extended slice.
+func Items(scored []Scored, dst []seq.Item) []seq.Item {
+	for _, s := range scored {
+		dst = append(dst, s.Item)
+	}
+	return dst
+}
+
+// AppendItems appends bare items to a scored list with zero scores, in
+// order. It is the adapter for rank-only methods.
+func AppendItems(dst []Scored, items ...seq.Item) []Scored {
+	for _, v := range items {
+		dst = append(dst, Scored{Item: v})
+	}
+	return dst
+}
+
 // Recommender produces Top-N repeat-consumption recommendations.
 // Implementations may keep internal scratch and are NOT required to be
 // safe for concurrent use; the harness gives each user its own instance
-// via a Factory.
+// via a Factory. (The scoring engine is the exception: it is safe for
+// concurrent use and its factory hands out the shared instance.)
 type Recommender interface {
-	// Recommend appends at most n items to dst, best first, drawn from the
-	// context's candidate set (distinct window items with gap > Ω), and
-	// returns the extended slice.
-	Recommend(ctx *Context, n int, dst []seq.Item) []seq.Item
+	// Recommend appends at most n scored items to dst, best first, drawn
+	// from the context's candidate set (distinct window items with
+	// gap > Ω), and returns the extended slice.
+	Recommend(ctx *Context, n int, dst []Scored) []Scored
 }
 
 // Factory names a method and mints per-user Recommender instances. New
@@ -46,9 +85,9 @@ type Factory struct {
 }
 
 // Func adapts a plain function to the Recommender interface.
-type Func func(ctx *Context, n int, dst []seq.Item) []seq.Item
+type Func func(ctx *Context, n int, dst []Scored) []Scored
 
 // Recommend implements Recommender.
-func (f Func) Recommend(ctx *Context, n int, dst []seq.Item) []seq.Item {
+func (f Func) Recommend(ctx *Context, n int, dst []Scored) []Scored {
 	return f(ctx, n, dst)
 }

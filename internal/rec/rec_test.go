@@ -8,15 +8,15 @@ import (
 
 func TestFuncAdapter(t *testing.T) {
 	called := false
-	var f Recommender = Func(func(ctx *Context, n int, dst []seq.Item) []seq.Item {
+	var f Recommender = Func(func(ctx *Context, n int, dst []Scored) []Scored {
 		called = true
 		if ctx.User != 3 || n != 2 {
 			t.Errorf("ctx/n not forwarded: %d/%d", ctx.User, n)
 		}
-		return append(dst, 7)
+		return append(dst, Scored{Item: 7, Score: 0.5})
 	})
 	got := f.Recommend(&Context{User: 3}, 2, nil)
-	if !called || len(got) != 1 || got[0] != 7 {
+	if !called || len(got) != 1 || got[0].Item != 7 {
 		t.Fatalf("adapter broken: %v", got)
 	}
 }
@@ -25,11 +25,28 @@ func TestFactoryMintsIndependentInstances(t *testing.T) {
 	n := 0
 	f := Factory{Name: "counter", New: func(seed uint64) Recommender {
 		n++
-		return Func(func(*Context, int, []seq.Item) []seq.Item { return nil })
+		return Func(func(*Context, int, []Scored) []Scored { return nil })
 	}}
 	f.New(1)
 	f.New(2)
 	if n != 2 {
 		t.Fatalf("New called %d times", n)
+	}
+}
+
+func TestItemsAndAppendItems(t *testing.T) {
+	scored := []Scored{{Item: 4, Score: 2}, {Item: 1, Score: 1}}
+	items := Items(scored, nil)
+	if len(items) != 2 || items[0] != 4 || items[1] != 1 {
+		t.Fatalf("Items = %v", items)
+	}
+	// Reuses dst capacity.
+	items = Items(scored, items[:0])
+	if len(items) != 2 {
+		t.Fatalf("Items reuse = %v", items)
+	}
+	got := AppendItems(nil, seq.Item(9), seq.Item(8))
+	if len(got) != 2 || got[0].Item != 9 || got[0].Score != 0 || got[1].Item != 8 {
+		t.Fatalf("AppendItems = %v", got)
 	}
 }

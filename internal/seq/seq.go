@@ -203,6 +203,27 @@ func (w *Window) Candidates(omega int, dst []Item) []Item {
 	return dst
 }
 
+// CandidatesUnordered appends the same candidate set as Candidates to dst
+// in UNSPECIFIED order and returns the extended slice. Unlike Candidates
+// it allocates nothing (it walks the per-item last-seen index instead of
+// deduplicating the ring buffer), which makes it the enumeration of
+// choice for rankers whose selection is order-independent — any ranker
+// with a strict total order on (score, item), such as the topk selector.
+// Order-sensitive consumers (the Random baseline, samplers) must keep
+// using Candidates.
+func (w *Window) CandidatesUnordered(omega int, dst []Item) []Item {
+	for v, last := range w.lastSeen {
+		if w.pushed-last > omega {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// NumDistinct returns the number of distinct items in the window, an
+// upper bound on the candidate-set size for any Ω.
+func (w *Window) NumDistinct() int { return len(w.count) }
+
 // Snapshot returns the window's contents oldest-first together with the
 // total number of events ever pushed. It is the canonical serializable
 // form of a window: RestoreWindow(w.Cap(), pushed, items) rebuilds a

@@ -8,13 +8,14 @@
 // occur (e.g. the Pop baseline over items with equal frequency).
 package topk
 
-import "tsppr/internal/seq"
+import (
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
 
-// Entry is a scored item.
-type Entry struct {
-	Item  seq.Item
-	Score float64
-}
+// Entry is a scored item. It aliases rec.Scored so selectors drain
+// directly into recommendation result slices without a conversion copy.
+type Entry = rec.Scored
 
 // worse reports whether a ranks strictly below b in the final list.
 func worse(a, b Entry) bool {

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"tsppr/internal/core"
+	"tsppr/internal/engine"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
 	"tsppr/internal/sampling"
@@ -284,7 +285,7 @@ func runPoint(ctx context.Context, task Task, pt Point) Outcome {
 	if stats.Interrupted {
 		return Outcome{Point: pt, Err: ErrInterrupted}
 	}
-	res, err := eval.EvaluateContext(ctx, task.Train, task.Test, model.Factory(), task.Eval)
+	res, err := eval.EvaluateContext(ctx, task.Train, task.Test, engine.New(model).Factory(), task.Eval)
 	if err != nil {
 		return Outcome{Point: pt, Err: err}
 	}
