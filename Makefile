@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke
 
-## check: everything CI should gate on — formatting, vet, race-enabled tests,
+## check: everything CI should gate on — formatting, vet, race-enabled tests
+## (obs-race first: the metric hot paths are the newest concurrency surface),
 ## and the fuzz targets over their seed corpora
-check: fmt vet race fuzz-smoke
+check: fmt vet obs-race race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,16 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+## obs-race: the observability layer's concurrency tests, unconditionally
+## re-run (-count=1) — lock-free Record paths racing the exporter
+obs-race:
+	$(GO) test -race -count=1 ./internal/obs
+
+## metrics-smoke: end-to-end /metrics check — train with -metrics-out,
+## serve, scrape, and validate the exposition with rrc-inspect -expfmt
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 ## fuzz-smoke: run every fuzz target over its checked-in seed corpus only
 ## (no mutation) — fast enough to gate on

@@ -24,6 +24,7 @@ import (
 
 	"tsppr/internal/cli"
 	"tsppr/internal/experiments"
+	"tsppr/internal/obs"
 )
 
 func main() {
@@ -43,14 +44,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rrc-eval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		quick   = fs.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
-		gowalla = fs.Int("gowalla-users", 0, "override gowalla-sim user count")
-		lastfm  = fs.Int("lastfm-users", 0, "override lastfm-sim user count")
-		seed    = fs.Uint64("seed", 0, "override suite seed")
-		steps   = fs.Int("steps", 0, "override TS-PPR max SGD steps")
-		timeout = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		exp        = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		quick      = fs.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
+		gowalla    = fs.Int("gowalla-users", 0, "override gowalla-sim user count")
+		lastfm     = fs.Int("lastfm-users", 0, "override lastfm-sim user count")
+		seed       = fs.Uint64("seed", 0, "override suite seed")
+		steps      = fs.Int("steps", 0, "override TS-PPR max SGD steps")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		metricsOut = fs.String("metrics-out", "", "write per-user eval latency metrics (Prometheus text format) to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -70,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	p := experiments.Params{
 		GowallaUsers: *gowalla,
 		LastfmUsers:  *lastfm,
@@ -77,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxSteps:     *steps,
 		Quick:        *quick,
 		Context:      ctx,
+		Metrics:      reg,
 	}
 	if *quick {
 		if p.GowallaUsers == 0 {
@@ -112,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintf(stdout, "<== %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			return fmt.Errorf("metrics write: %w", err)
+		}
+		fmt.Fprintf(stderr, "metrics written to %s\n", *metricsOut)
 	}
 	return nil
 }

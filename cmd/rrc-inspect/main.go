@@ -16,9 +16,15 @@
 // The exit code is nonzero when any segment has CRC failures or a torn
 // tail.
 //
+// With -expfmt, it validates a Prometheus text exposition — a saved
+// GET /metrics body or a CLI -metrics-out file — and exits nonzero on
+// the first format violation. "-" reads stdin, which is how the CI
+// metrics smoke test pipes a live scrape through it.
+//
 //	rrc-inspect                       # model diagnostics
 //	rrc-inspect -validate a.tsv b.tsv # dataset health check
 //	rrc-inspect -wal events/          # event-log health check
+//	curl -s :8080/metrics | rrc-inspect -expfmt -
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/wal"
@@ -45,6 +52,7 @@ import (
 func main() {
 	validate := flag.Bool("validate", false, "validate TSV event logs given as arguments instead of inspecting a model")
 	walDir := flag.String("wal", "", "verify the write-ahead event log in this directory instead of inspecting a model")
+	expfmt := flag.String("expfmt", "", "validate a Prometheus text exposition file ('-' reads stdin) instead of inspecting a model")
 	flag.Parse()
 	var err error
 	switch {
@@ -52,6 +60,8 @@ func main() {
 		err = runValidate(flag.Args(), os.Stdout)
 	case *walDir != "":
 		err = runWALVerify(*walDir, os.Stdout)
+	case *expfmt != "":
+		err = runExpfmt(*expfmt, os.Stdout)
 	default:
 		err = run()
 	}
@@ -91,6 +101,27 @@ func runWALVerify(dir string, stdout io.Writer) error {
 	if !rep.Clean() {
 		return fmt.Errorf("%s: %d CRC failure(s), %d torn segment(s)", dir, rep.CorruptRecords, rep.TornSegments)
 	}
+	return nil
+}
+
+// runExpfmt checks that path (or stdin, for "-") parses as Prometheus
+// text format 0.0.4 with complete histograms; the CI smoke test pipes a
+// live /metrics scrape through this.
+func runExpfmt(path string, stdout io.Writer) error {
+	var rd io.Reader = os.Stdin
+	name := "<stdin>"
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd, name = f, path
+	}
+	if err := obs.ValidateExposition(rd); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Fprintf(stdout, "%s: valid Prometheus text exposition\n", name)
 	return nil
 }
 

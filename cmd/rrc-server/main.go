@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +61,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/engine"
 	"tsppr/internal/faultinject"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/sessions"
@@ -75,6 +77,8 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 64, "concurrent recommend requests before load-shedding with 429")
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request scoring deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
 		eventsDir     = flag.String("events-dir", "", "enable durable online sessions: write-ahead event log + snapshots live here")
 		fsyncPolicy   = flag.String("fsync", "always", "event-log durability: always (lose nothing), interval (batched), never (page cache)")
@@ -132,6 +136,9 @@ func main() {
 			online.store.Len(), online.recover.SnapshotLSN, online.recover.Replayed,
 			ws.TruncatedTails, ws.SkippedCorrupt, *eventsDir)
 	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 	log.Printf("serving model (users=%d items=%d K=%d F=%d) on %s",
 		model.NumUsers(), model.NumItems(), model.K, model.F, *addr)
 	httpSrv := &http.Server{
@@ -174,6 +181,22 @@ func main() {
 	<-idle
 }
 
+// servePprof serves the net/http/pprof handlers on their own mux and
+// listener, kept off the public API address so profiling endpoints are
+// never reachable through the serving port.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("pprof server: %v", err)
+	}
+}
+
 // serverOptions configures a server. Zero resilience fields pick the
 // defaults applied by newServer.
 type serverOptions struct {
@@ -193,6 +216,10 @@ type serverOptions struct {
 	snapshotEvery int
 	maxSessions   int
 	corrupt       wal.CorruptPolicy
+
+	// metrics is set by newServer to the server's registry so newOnline
+	// can instrument the WAL and register session gauges.
+	metrics *obs.Registry
 }
 
 type server struct {
@@ -205,15 +232,17 @@ type server struct {
 	sem    chan struct{}
 	online *onlineState // nil unless -events-dir is configured
 
-	requests atomic.Int64
-	errors   atomic.Int64
-	items    atomic.Int64
-
-	panics    atomic.Int64 // primary-scorer panics absorbed
-	timeouts  atomic.Int64 // primary-scorer deadline misses
-	shed      atomic.Int64 // requests rejected with 429
-	fallbacks atomic.Int64 // requests answered by the fallback scorer
-	reloads   atomic.Int64 // successful SIGHUP model swaps
+	// reg is the process metric registry (GET /metrics); the counter
+	// handles below are series registered on it by initMetrics.
+	// Per-endpoint request/error/latency series live behind instrument.
+	reg            *obs.Registry
+	items          *obs.Counter // items returned across recommend endpoints
+	panics         *obs.Counter // panics absorbed (scorer and handler)
+	timeouts       *obs.Counter // primary-scorer deadline misses
+	shed           *obs.Counter // requests rejected with 429
+	fallbacks      *obs.Counter // requests answered by the fallback scorer
+	reloads        *obs.Counter // successful SIGHUP model swaps
+	batchEntryErrs *obs.Counter // failed /recommend/batch entries
 
 	failStreak atomic.Int64 // consecutive primary-scorer failures
 	degraded   atomic.Bool  // fallback-only mode
@@ -234,7 +263,11 @@ func newServer(m *core.Model, opts serverOptions) *server {
 		opts.probeEvery = 16
 	}
 	s := &server{opts: opts, sem: make(chan struct{}, opts.maxInFlight)}
-	s.eng.Store(engine.New(m))
+	s.initMetrics()
+	s.opts.metrics = s.reg // newOnline wires the WAL and session gauges from here
+	eng := engine.New(m)
+	eng.Instrument(s.reg)
+	s.eng.Store(eng)
 	return s
 }
 
@@ -252,14 +285,19 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.Handle("POST /recommend", s.harden(http.HandlerFunc(s.handleRecommend)))
-	mux.Handle("POST /recommend/batch", s.harden(http.HandlerFunc(s.handleBatch)))
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("POST /recommend",
+		s.harden(s.instrument("/recommend", http.HandlerFunc(s.handleRecommend))))
+	mux.Handle("POST /recommend/batch",
+		s.harden(s.instrument("/recommend/batch", http.HandlerFunc(s.handleBatch))))
 	if s.online != nil {
-		mux.Handle("POST /consume", s.harden(http.HandlerFunc(s.handleConsume)))
-		mux.Handle("POST /recommend/user", s.harden(http.HandlerFunc(s.handleRecommendUser)))
+		mux.Handle("POST /consume",
+			s.harden(s.instrument("/consume", http.HandlerFunc(s.handleConsume))))
+		mux.Handle("POST /recommend/user",
+			s.harden(s.instrument("/recommend/user", http.HandlerFunc(s.handleRecommendUser))))
 	} else {
-		mux.HandleFunc("POST /consume", s.errOnlineDisabled)
-		mux.HandleFunc("POST /recommend/user", s.errOnlineDisabled)
+		mux.Handle("POST /consume", s.instrument("/consume", http.HandlerFunc(s.errOnlineDisabled)))
+		mux.Handle("POST /recommend/user", s.instrument("/recommend/user", http.HandlerFunc(s.errOnlineDisabled)))
 	}
 	return s.recovered(mux)
 }
@@ -270,8 +308,9 @@ func (s *server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.panics.Add(1)
-				s.errors.Add(1)
+				// The instrument middleware already counted the error;
+				// this layer owns the panic counter and the 500.
+				s.panics.Inc()
 				log.Printf("rrc-server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
 				// Best effort: if the handler already wrote a status this
 				// is a no-op superfluous-header log, not a second panic.
@@ -291,7 +330,7 @@ func (s *server) harden(next http.Handler) http.Handler {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			s.shed.Add(1)
+			s.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
 			return
@@ -335,16 +374,20 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	m := s.currentModel()
+	// Load the engine exactly once and derive every model-shape field
+	// from that one snapshot: a SIGHUP hot-swap mid-handler must never
+	// produce a reply mixing two models' shapes.
+	eng := s.eng.Load()
+	m := eng.Model()
 	st := statsResponse{
-		Requests:         s.requests.Load(),
-		Errors:           s.errors.Load(),
-		ItemsRecommended: s.items.Load(),
-		Panics:           s.panics.Load(),
-		Timeouts:         s.timeouts.Load(),
-		Shed:             s.shed.Load(),
-		Fallbacks:        s.fallbacks.Load(),
-		Reloads:          s.reloads.Load(),
+		Requests:         s.reg.SumCounters(metricRequests),
+		Errors:           s.reg.SumCounters(metricErrors),
+		ItemsRecommended: s.items.Value(),
+		Panics:           s.panics.Value(),
+		Timeouts:         s.timeouts.Value(),
+		Shed:             s.shed.Value(),
+		Fallbacks:        s.fallbacks.Value(),
+		Reloads:          s.reloads.Value(),
 		Degraded:         s.degraded.Load(),
 		Users:            m.NumUsers(),
 		Items:            m.NumItems(),
@@ -400,10 +443,13 @@ func (s *server) reload() error {
 	}
 	// Validate precomputed the effective feature weights, so the first
 	// request after the swap is already on the two-dot-product path.
-	s.eng.Store(engine.New(m))
+	// The new engine records into the same registry series as the old.
+	eng := engine.New(m)
+	eng.Instrument(s.reg)
+	s.eng.Store(eng)
 	s.failStreak.Store(0)
 	s.degraded.Store(false)
-	s.reloads.Add(1)
+	s.reloads.Inc()
 	return nil
 }
 
@@ -453,16 +499,13 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) (int
 }
 
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	var req recommendRequest
 	if code, err := decodeJSON(w, r, 1<<22, &req); err != nil {
-		s.errors.Add(1)
 		writeError(w, code, err)
 		return
 	}
 	resp, err := s.recommend(r.Context(), req)
 	if err != nil {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -499,15 +542,17 @@ const maxBatch = 256
 var batchParallelism = min(8, runtime.GOMAXPROCS(0))
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	// Error accounting discipline: whole-request failures (bad JSON,
+	// bad batch size) are written as 4xx and counted ONCE by the
+	// instrument middleware's status check. Per-entry failures leave the
+	// status 200 — invisible to the middleware — so each is counted
+	// here, exactly once, on the same series the middleware uses.
 	var req batchRequest
 	if code, err := decodeJSON(w, r, 1<<24, &req); err != nil {
-		s.errors.Add(1)
 		writeError(w, code, err)
 		return
 	}
 	if len(req.Requests) == 0 || len(req.Requests) > maxBatch {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch size %d out of [1,%d]", len(req.Requests), maxBatch))
 		return
 	}
@@ -515,7 +560,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	scoreEntry := func(i int) {
 		resp, err := s.recommend(r.Context(), req.Requests[i])
 		if err != nil {
-			s.errors.Add(1)
+			s.batchEntryErrs.Inc()
 			out.Responses[i] = batchEntry{Error: err.Error()}
 			return
 		}
@@ -617,7 +662,7 @@ func (s *server) score(ctx context.Context, eng *engine.Engine, rctx *rec.Contex
 		}
 		s.primaryFailed(err)
 	}
-	s.fallbacks.Add(1)
+	s.fallbacks.Inc()
 	return s.scoreFallback(rctx, n)
 }
 
@@ -640,9 +685,9 @@ func (s *server) primaryRecovered() {
 
 func (s *server) primaryFailed(err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 	} else {
-		s.panics.Add(1)
+		s.panics.Inc()
 	}
 	streak := s.failStreak.Add(1)
 	if streak >= int64(s.opts.failThreshold) && s.degraded.CompareAndSwap(false, true) {

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"tsppr/internal/core"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/sessions"
@@ -56,6 +57,7 @@ func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
 		Sync:      opts.fsync,
 		SyncEvery: opts.fsyncInterval,
 		Corrupt:   opts.corrupt,
+		Metrics:   opts.metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -78,7 +80,43 @@ func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
 		recovered:     true,
 		recover:       rstats,
 	}
+	o.registerGauges(opts.metrics)
 	return o, nil
+}
+
+// registerGauges exposes the session store's and the event log's state
+// on GET /metrics via pull gauges — read at scrape time, so the online
+// subsystem's hot paths carry no extra instrumentation.
+func (o *onlineState) registerGauges(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("rrc_online_sessions", "Per-user session windows held in memory.")
+	reg.GaugeFunc("rrc_online_sessions", func() float64 { return float64(o.store.Len()) })
+	reg.Help("rrc_online_applied_lsn", "Highest WAL LSN applied to the session store.")
+	reg.GaugeFunc("rrc_online_applied_lsn", func() float64 { return float64(o.store.AppliedLSN()) })
+	reg.Help("rrc_online_evictions", "Session windows evicted by the LRU bound, cumulative.")
+	reg.GaugeFunc("rrc_online_evictions", func() float64 { return float64(o.store.Evictions()) })
+	reg.Help("rrc_online_dropped_events", "Events dropped against evicted sessions, cumulative.")
+	reg.GaugeFunc("rrc_online_dropped_events", func() float64 { return float64(o.store.Dropped()) })
+	reg.Help("rrc_online_snapshots", "Session snapshots flushed, cumulative.")
+	reg.GaugeFunc("rrc_online_snapshots", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return float64(o.snapshots)
+	})
+	reg.Help("rrc_online_snapshot_errors", "Failed session snapshot flushes, cumulative.")
+	reg.GaugeFunc("rrc_online_snapshot_errors", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return float64(o.snapshotErrs)
+	})
+	reg.Help("rrc_wal_recovered_records", "WAL records replayed into the store at startup.")
+	reg.GaugeFunc("rrc_wal_recovered_records", func() float64 { return float64(o.log.Stats().RecoveredRecords) })
+	reg.Help("rrc_wal_truncated_tails", "Torn WAL tails truncated at open.")
+	reg.GaugeFunc("rrc_wal_truncated_tails", func() float64 { return float64(o.log.Stats().TruncatedTails) })
+	reg.Help("rrc_wal_skipped_corrupt", "Corrupt WAL records quarantined under -wal-skip-corrupt.")
+	reg.GaugeFunc("rrc_wal_skipped_corrupt", func() float64 { return float64(o.log.Stats().SkippedCorrupt) })
 }
 
 // ready reports whether startup recovery has completed.
@@ -180,21 +218,17 @@ type consumeResponse struct {
 }
 
 func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	var req consumeRequest
 	if code, err := decodeJSON(w, r, 1<<16, &req); err != nil {
-		s.errors.Add(1)
 		writeError(w, code, err)
 		return
 	}
 	m := s.currentModel()
 	if req.User < 0 || req.User >= m.NumUsers() {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
 		return
 	}
 	if req.Item < 0 || req.Item >= m.NumItems() {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0,%d)", req.Item, m.NumItems()))
 		return
 	}
@@ -202,7 +236,6 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The event is NOT durable; the caller must retry. 503 rather
 		// than 500: this is a storage-state problem, not a bug.
-		s.errors.Add(1)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event not durable: %w", err))
 		return
 	}
@@ -218,29 +251,24 @@ type recommendUserRequest struct {
 }
 
 func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	var req recommendUserRequest
 	if code, err := decodeJSON(w, r, 1<<16, &req); err != nil {
-		s.errors.Add(1)
 		writeError(w, code, err)
 		return
 	}
 	eng := s.eng.Load()
 	m := eng.Model()
 	if req.User < 0 || req.User >= m.NumUsers() {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("user %d out of range [0,%d)", req.User, m.NumUsers()))
 		return
 	}
 	n, omega, err := s.clampNOmega(req.N, req.Omega)
 	if err != nil {
-		s.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	win, ok := s.online.store.WindowClone(req.User)
 	if !ok {
-		s.errors.Add(1)
 		writeError(w, http.StatusNotFound, fmt.Errorf("no session for user %d (POST /consume first)", req.User))
 		return
 	}
@@ -254,6 +282,5 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 // errOnlineDisabled answers the online endpoints when -events-dir is
 // not configured.
 func (s *server) errOnlineDisabled(w http.ResponseWriter, _ *http.Request) {
-	s.errors.Add(1)
 	writeError(w, http.StatusNotFound, errors.New("online sessions disabled: start rrc-server with -events-dir"))
 }

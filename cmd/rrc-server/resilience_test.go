@@ -138,7 +138,7 @@ func TestFallbackUnderScorerTimeout(t *testing.T) {
 	if !resp.Degraded || len(resp.Items) == 0 {
 		t.Fatalf("resp = %+v, want degraded fallback items", resp)
 	}
-	if srv.timeouts.Load() == 0 {
+	if srv.timeouts.Value() == 0 {
 		t.Fatal("timeout not counted")
 	}
 }
@@ -211,8 +211,8 @@ func TestLoadShedding(t *testing.T) {
 	if oks == 0 || sheds == 0 {
 		t.Fatalf("oks=%d sheds=%d, want both under saturation", oks, sheds)
 	}
-	if srv.shed.Load() != int64(sheds) {
-		t.Fatalf("shed counter %d != %d observed", srv.shed.Load(), sheds)
+	if srv.shed.Value() != int64(sheds) {
+		t.Fatalf("shed counter %d != %d observed", srv.shed.Value(), sheds)
 	}
 
 	// Load gone: the same server serves normally again.
@@ -300,11 +300,11 @@ func TestHotReload(t *testing.T) {
 	go srv.watchReload(sig)
 	sig <- syscall.SIGHUP
 	deadline := time.Now().Add(2 * time.Second)
-	for srv.reloads.Load() == 0 && time.Now().Before(deadline) {
+	for srv.reloads.Value() == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	close(sig)
-	if srv.reloads.Load() != 1 {
+	if srv.reloads.Value() != 1 {
 		t.Fatal("SIGHUP did not trigger a reload")
 	}
 	if serve() != http.StatusOK {
@@ -326,7 +326,7 @@ func TestHotReload(t *testing.T) {
 	if serve() != http.StatusOK {
 		t.Fatal("serving broken after rejected reload")
 	}
-	if srv.reloads.Load() != 1 {
+	if srv.reloads.Value() != 1 {
 		t.Fatal("rejected reload bumped the success counter")
 	}
 }
@@ -343,7 +343,7 @@ func TestRecoveredMiddleware(t *testing.T) {
 	if rr.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d", rr.Code)
 	}
-	if srv.panics.Load() != 1 {
+	if srv.panics.Value() != 1 {
 		t.Fatal("panic not counted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"tsppr/internal/dataset"
 	"tsppr/internal/faultinject"
 	"tsppr/internal/features"
+	"tsppr/internal/obs"
 	"tsppr/internal/sampling"
 )
 
@@ -54,6 +56,8 @@ type options struct {
 
 	lenient     bool // tolerate malformed input lines (seq format)
 	maxBadLines int  // lenient error budget; 0 = unlimited
+
+	metricsOut string // Prometheus exposition file; "" disables
 }
 
 func main() {
@@ -76,6 +80,7 @@ func main() {
 	flag.BoolVar(&opts.resume, "resume", false, "warm-start from the checkpoint file if present")
 	flag.BoolVar(&opts.lenient, "lenient", false, "tolerate malformed input lines (seq format): quarantine them to <data>.quarantine and keep going")
 	flag.IntVar(&opts.maxBadLines, "max-bad-lines", 0, "abort a lenient read after this many bad lines (0 = unlimited)")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write training metrics (Prometheus text format) to this file at exit")
 	timeout := flag.Duration("timeout", 0, "abort training after this long, saving the last checkpoint (0 = no limit)")
 	flag.Parse()
 
@@ -196,13 +201,48 @@ func run(ctx context.Context, opts options) error {
 			return fmt.Errorf("resume: %w", err)
 		}
 	}
+	// Training metrics (-metrics-out). A nil registry makes every handle a
+	// no-op, so the checkpoint callback needs no gating.
+	var reg *obs.Registry
+	if opts.metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	reg.Help("rrc_train_rbar", "Average rank percentile r~ at the last checkpoint (lower is better).")
+	mRBar := reg.Gauge("rrc_train_rbar")
+	reg.Help("rrc_train_delta_rbar", "Change in r~ since the previous checkpoint (the convergence signal).")
+	mDelta := reg.Gauge("rrc_train_delta_rbar")
+	reg.Help("rrc_train_delta_rbar_abs", "Convergence trace: |delta r~| observed at each checkpoint.")
+	mTrace := reg.Histogram("rrc_train_delta_rbar_abs", obs.ExpBuckets(1e-7, 10, 8))
+	reg.Help("rrc_train_quadruples_per_second", "SGD throughput over the last checkpoint interval (one step = one (u,t,i,j) quadruple).")
+	mQPS := reg.Gauge("rrc_train_quadruples_per_second")
+	reg.Help("rrc_train_checkpoints_total", "Convergence checkpoints reached.")
+	mCkpts := reg.Counter("rrc_train_checkpoints_total")
+	reg.Help("rrc_train_divergences_total", "Divergence rollbacks (NaN/Inf caught at a checkpoint boundary).")
+	mDivs := reg.Counter("rrc_train_divergences_total")
+	lastRBar := math.NaN()
+	lastStep := 0
+	lastTime := time.Now()
+
 	ckptCount := 0
 	cfg.OnCheckpoint = func(cp core.Checkpoint) {
 		if cp.Diverged {
+			mDivs.Inc()
 			fmt.Fprintf(os.Stderr, "step %d: divergence detected (r~=%v), rolled back, learning rate halved to %g\n",
 				cp.Step, cp.RBar, cp.LR)
 			return
 		}
+		mCkpts.Inc()
+		mRBar.Set(cp.RBar)
+		if !math.IsNaN(lastRBar) {
+			d := cp.RBar - lastRBar
+			mDelta.Set(d)
+			mTrace.Observe(math.Abs(d))
+		}
+		now := time.Now()
+		if dt := now.Sub(lastTime).Seconds(); cp.Step > lastStep && dt > 0 {
+			mQPS.Set(float64(cp.Step-lastStep) / dt)
+		}
+		lastRBar, lastStep, lastTime = cp.RBar, cp.Step, now
 		ckptCount++
 		if opts.checkpointEvery > 0 && ckptCount%opts.checkpointEvery == 0 {
 			if err := cp.Model.SaveFile(ckptPath); err != nil {
@@ -219,7 +259,26 @@ func run(ctx context.Context, opts options) error {
 	if err != nil {
 		return err
 	}
+	flushMetrics := func() {
+		if opts.metricsOut == "" {
+			return
+		}
+		reg.Help("rrc_train_steps", "SGD steps executed by the run.")
+		reg.Gauge("rrc_train_steps").Set(float64(stats.Steps))
+		reg.Help("rrc_train_converged", "1 when the delta-r~ stopping rule fired, 0 otherwise.")
+		converged := 0.0
+		if stats.Converged {
+			converged = 1
+		}
+		reg.Gauge("rrc_train_converged").Set(converged)
+		if werr := reg.WriteFile(opts.metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "metrics write failed: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", opts.metricsOut)
+		}
+	}
 	if stats.Interrupted {
+		flushMetrics()
 		// Flush the partial model where -resume will find it, then report
 		// the interruption through the exit code (130/124).
 		if serr := model.SaveFile(ckptPath); serr != nil {
@@ -241,6 +300,7 @@ func run(ctx context.Context, opts options) error {
 	if stats.Diverged {
 		fmt.Fprintln(os.Stderr, "warning: training kept diverging; the output model is the last healthy checkpoint")
 	}
+	flushMetrics()
 
 	if err := model.SaveFile(opts.out); err != nil {
 		return err

@@ -26,6 +26,7 @@ import (
 	"tsppr/internal/eval"
 	"tsppr/internal/experiments"
 	"tsppr/internal/features"
+	"tsppr/internal/obs"
 	"tsppr/internal/tuning"
 )
 
@@ -43,6 +44,9 @@ type options struct {
 	topN         int
 	checkpoint   string
 	steps        int
+	metricsOut   string
+
+	metrics *obs.Registry // non-nil when metricsOut is set
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -54,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&opts.topN, "objective", 1, "TopN that ranks configurations")
 	fs.StringVar(&opts.checkpoint, "checkpoint", "", "checkpoint file prefix for resumable sweeps (per-dataset suffix added)")
 	fs.IntVar(&opts.steps, "steps", 0, "override TS-PPR max SGD steps per cell")
+	fs.StringVar(&opts.metricsOut, "metrics-out", "", "write per-user eval latency metrics (Prometheus text format) to this file at exit")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -65,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
 
+	if opts.metricsOut != "" {
+		opts.metrics = obs.NewRegistry()
+	}
 	p := experiments.Params{GowallaUsers: opts.gowallaUsers, LastfmUsers: opts.lastfmUsers, MaxSteps: opts.steps, Quick: true}.Defaults()
 	gow, lfm, err := experiments.Workloads(p)
 	if err != nil {
@@ -88,6 +96,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		interrupted = interrupted || partial
 	}
+	if opts.metricsOut != "" {
+		if err := opts.metrics.WriteFile(opts.metricsOut); err != nil {
+			return fmt.Errorf("metrics write: %w", err)
+		}
+		fmt.Fprintf(stderr, "metrics written to %s\n", opts.metricsOut)
+	}
 	if interrupted {
 		fmt.Fprintln(stderr, "rrc-tune: interrupted — finished cells are checkpointed; re-run the same command to resume")
 		if err := ctx.Err(); err != nil {
@@ -108,7 +122,7 @@ func tuneDataset(ctx context.Context, ds *dataset.Dataset, p experiments.Params,
 	task := tuning.Task{
 		Train: pl.Train, Test: pl.Test, NumItems: pl.NumItems,
 		Extractor: pl.Ex, Set: pl.Set,
-		Eval:          eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed},
+		Eval:          eval.Options{WindowCap: p.WindowCap, Omega: p.Omega, Seed: p.Seed, Metrics: opts.metrics},
 		ObjectiveTopN: opts.topN,
 		Seed:          p.Seed,
 	}

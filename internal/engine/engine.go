@@ -26,9 +26,11 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tsppr/internal/core"
 	"tsppr/internal/linalg"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/topk"
@@ -41,7 +43,20 @@ import (
 type Engine struct {
 	m    *core.Model
 	pool sync.Pool // *scratch
+
+	// Optional instrumentation, set by Instrument. Nil handles record
+	// nothing; the only hot-path cost when instrumented is two
+	// time.Now() calls and two atomic histogram observes.
+	recSec *obs.Histogram // Recommend wall latency
+	cands  *obs.Histogram // candidate-set size per Recommend
 }
+
+// maxPooledCands bounds the candidate-buffer capacity a scratch block may
+// carry back into the pool. One pathological request (a huge window with a
+// tiny Ω) would otherwise pin its oversized buffer in the pool for the
+// life of the engine, charging every future caller for one bad input.
+// Variable, not const, so the regression test can lower it.
+var maxPooledCands = 1 << 15
 
 // scratch is one goroutine's worth of reusable scoring state.
 type scratch struct {
@@ -72,6 +87,33 @@ func New(m *core.Model) *Engine {
 // Model returns the engine's underlying model.
 func (e *Engine) Model() *core.Model { return e.m }
 
+// Instrument registers the engine's hot-path metrics on reg and starts
+// recording into them. A nil registry leaves the engine uninstrumented
+// (recording stays a no-op). Metric names are stable across engine
+// hot-swaps: a replacement engine instrumented on the same registry
+// accumulates into the same series.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("rrc_engine_recommend_seconds", "Engine Recommend wall latency.")
+	e.recSec = reg.Histogram("rrc_engine_recommend_seconds", obs.LatencyBuckets)
+	reg.Help("rrc_engine_candidates", "Candidate-set size per Recommend call.")
+	e.cands = reg.Histogram("rrc_engine_candidates", obs.SizeBuckets)
+}
+
+// putScratch returns a scratch block to the pool unless its candidate
+// buffer has grown past maxPooledCands, in which case the block is
+// dropped for the GC so one oversized request cannot pin its buffer in
+// the pool forever. Reports whether the block was pooled.
+func (e *Engine) putScratch(s *scratch) bool {
+	if cap(s.cands) > maxPooledCands {
+		return false
+	}
+	e.pool.Put(s)
+	return true
+}
+
 // Score returns r_uvt for item v against the user's current window. It is
 // safe for concurrent use. For ranking whole candidate sets use Recommend,
 // which amortizes the scratch checkout across all items.
@@ -81,7 +123,7 @@ func (e *Engine) Score(u int, v seq.Item, w *seq.Window) float64 {
 	}
 	s := e.pool.Get().(*scratch)
 	r := e.scoreOne(s.f, e.m.U.Row(u), e.m.EffectiveFeatureWeights(u), v, w)
-	e.pool.Put(s)
+	e.putScratch(s)
 	return r
 }
 
@@ -112,10 +154,18 @@ func (e *Engine) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scor
 	if u < 0 || u >= m.U.Rows {
 		panic(fmt.Sprintf("engine: Recommend user %d out of range [0,%d)", u, m.U.Rows))
 	}
+	var start time.Time
+	if e.recSec != nil {
+		start = time.Now()
+	}
 	s := e.pool.Get().(*scratch)
 	s.cands = ctx.Window.CandidatesUnordered(ctx.Omega, s.cands[:0])
+	e.cands.Observe(float64(len(s.cands)))
 	if len(s.cands) == 0 {
-		e.pool.Put(s)
+		e.putScratch(s)
+		if e.recSec != nil {
+			e.recSec.ObserveDuration(time.Since(start))
+		}
 		return dst
 	}
 	if s.sel == nil || s.sel.K() != n {
@@ -129,7 +179,10 @@ func (e *Engine) Recommend(ctx *rec.Context, n int, dst []rec.Scored) []rec.Scor
 		s.sel.Push(v, e.scoreOne(s.f, uvec, wu, v, ctx.Window))
 	}
 	dst = s.sel.AppendSorted(dst)
-	e.pool.Put(s)
+	e.putScratch(s)
+	if e.recSec != nil {
+		e.recSec.ObserveDuration(time.Since(start))
+	}
 	return dst
 }
 

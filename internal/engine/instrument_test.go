@@ -1,0 +1,68 @@
+package engine_test
+
+import (
+	"testing"
+
+	"tsppr/internal/obs"
+	"tsppr/internal/rec"
+)
+
+// TestInstrumentRecords checks that an instrumented engine feeds the
+// latency and candidate-size histograms once per Recommend — including
+// the empty-candidate early return — and that Instrument(nil) leaves the
+// engine safely uninstrumented.
+func TestInstrumentRecords(t *testing.T) {
+	_, seqs, eng := defaultFixture(t)
+	eng.Instrument(nil) // must be a no-op, not a panic
+	ctx := &rec.Context{User: 0, Window: windowFor(seqs[0]), Omega: fixtureOmega}
+	eng.Recommend(ctx, 5, nil)
+
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	eng.Recommend(ctx, 5, nil)
+	eng.Recommend(ctx, 5, nil)
+	lat := reg.Histogram("rrc_engine_recommend_seconds", obs.LatencyBuckets)
+	cands := reg.Histogram("rrc_engine_candidates", obs.SizeBuckets)
+	if lat.Count() != 2 {
+		t.Fatalf("latency observations = %d, want 2", lat.Count())
+	}
+	if cands.Count() != 2 || cands.Sum() == 0 {
+		t.Fatalf("candidate observations = %d (sum %v), want 2 with non-zero sum", cands.Count(), cands.Sum())
+	}
+}
+
+// TestRecommendZeroAllocsInstrumented pins the acceptance criterion that
+// instrumentation does not reintroduce allocations on the hot path.
+func TestRecommendZeroAllocsInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented sync.Pool drops values by design; allocation counts are meaningless")
+	}
+	_, seqs, eng := defaultFixture(t)
+	eng.Instrument(obs.NewRegistry())
+	ctx := &rec.Context{User: 2, Window: windowFor(seqs[2]), Omega: fixtureOmega}
+	var dst []rec.Scored
+	dst = eng.Recommend(ctx, 10, dst[:0]) // warm pool scratch and dst
+	if len(dst) == 0 {
+		t.Fatal("no recommendations to measure")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = eng.Recommend(ctx, 10, dst[:0])
+	}); avg != 0 {
+		t.Fatalf("instrumented Recommend allocates %.1f/op, want 0", avg)
+	}
+}
+
+// BenchmarkRecommendInstrumented reports the instrumented hot path's
+// cost; -benchmem must show 0 allocs/op.
+func BenchmarkRecommendInstrumented(b *testing.B) {
+	_, seqs, eng := defaultFixture(b)
+	eng.Instrument(obs.NewRegistry())
+	ctx := &rec.Context{User: 2, Window: windowFor(seqs[2]), Omega: fixtureOmega}
+	var dst []rec.Scored
+	dst = eng.Recommend(ctx, 10, dst[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = eng.Recommend(ctx, 10, dst[:0])
+	}
+}

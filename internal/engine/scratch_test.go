@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// smallModel builds the smallest valid model over items distinct items:
+// zero-valued parameters (scores all tie at 0; ties break on item id),
+// which is all the pool-retention tests need.
+func smallModel(t *testing.T, items, windowCap, omega int) *core.Model {
+	t.Helper()
+	b := features.NewBuilder(items, windowCap, omega)
+	s := make(seq.Sequence, items)
+	for i := range s {
+		s[i] = seq.Item(i)
+	}
+	b.Add(s)
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	k := 4
+	m := &core.Model{
+		K: k, F: ex.Dim(), MapType: core.SharedMap,
+		U: linalg.NewMatrix(1, k), V: linalg.NewMatrix(items, k),
+		A:         []*linalg.Matrix{linalg.NewMatrix(k, ex.Dim())},
+		Extractor: ex,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPutScratchShedsOversized pins the helper's contract directly: a
+// scratch whose candidate buffer is within maxPooledCands is pooled, one
+// past the bound is dropped.
+func TestPutScratchShedsOversized(t *testing.T) {
+	e := New(smallModel(t, 4, 8, 1))
+	small := &scratch{cands: make([]seq.Item, 0, maxPooledCands)}
+	if !e.putScratch(small) {
+		t.Fatal("scratch within the capacity bound was dropped")
+	}
+	big := &scratch{cands: make([]seq.Item, 0, maxPooledCands+1)}
+	if e.putScratch(big) {
+		t.Fatal("oversized scratch was returned to the pool")
+	}
+}
+
+// TestRecommendShedsOversizedScratch is the end-to-end regression for the
+// pool-retention bug: one request whose candidate set exceeds the pooling
+// bound must not leave its oversized buffer in the pool. Pre-fix,
+// Recommend unconditionally Put the scratch back and the same goroutine's
+// next Get observed the pathological capacity forever after.
+func TestRecommendShedsOversizedScratch(t *testing.T) {
+	old := maxPooledCands
+	maxPooledCands = 8
+	defer func() { maxPooledCands = old }()
+
+	const items, windowCap = 64, 64
+	e := New(smallModel(t, items, windowCap, 1))
+	w := seq.NewWindow(windowCap)
+	for i := 0; i < items; i++ {
+		w.Push(seq.Item(i))
+	}
+	dst := e.Recommend(&rec.Context{User: 0, Window: w, Omega: 1}, 5, nil)
+	if len(dst) == 0 {
+		t.Fatal("fixture produced no recommendations; candidate set is empty")
+	}
+	s := e.pool.Get().(*scratch)
+	if cap(s.cands) > maxPooledCands {
+		t.Fatalf("oversized scratch retained in pool: cap(cands) = %d > bound %d", cap(s.cands), maxPooledCands)
+	}
+}

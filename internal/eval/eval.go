@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tsppr/internal/faultinject"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 )
@@ -53,6 +54,11 @@ type Options struct {
 	// (default 64). Lower values lose less work to a kill; higher values
 	// write less often.
 	CheckpointEvery int
+
+	// Metrics, when non-nil, receives a per-user replay latency
+	// histogram rrc_eval_user_seconds{method="<factory name>"}. Nil
+	// records nothing.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -214,6 +220,12 @@ func EvaluateContext(ctx context.Context, train, test []seq.Sequence, f rec.Fact
 	if workers > len(pending) {
 		workers = len(pending)
 	}
+	var userSec *obs.Histogram
+	if opt.Metrics != nil {
+		opt.Metrics.Help("rrc_eval_user_seconds", "Per-user evaluation replay latency by method.")
+		userSec = opt.Metrics.Histogram(
+			fmt.Sprintf("rrc_eval_user_seconds{method=%q}", f.Name), obs.LatencyBuckets)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -226,7 +238,14 @@ func EvaluateContext(ctx context.Context, train, test []seq.Sequence, f rec.Fact
 					cancel()
 					continue
 				}
+				var began time.Time
+				if userSec != nil {
+					began = time.Now()
+				}
 				st := replayUser(u, train[u], test[u], f, opt, maxN)
+				if userSec != nil {
+					userSec.ObserveDuration(time.Since(began))
+				}
 				mu.Lock()
 				stats[u] = st
 				done[u] = true

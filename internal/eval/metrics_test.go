@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"testing"
+
+	"tsppr/internal/obs"
+	"tsppr/internal/seq"
+)
+
+// TestEvalRecordsPerUserLatency checks that an instrumented evaluation
+// observes exactly one rrc_eval_user_seconds sample per evaluated user,
+// labeled with the factory's method name.
+func TestEvalRecordsPerUserLatency(t *testing.T) {
+	const users = 5
+	train := make([]seq.Sequence, users)
+	test := make([]seq.Sequence, users)
+	for u := range train {
+		train[u] = cycle(5, 40)
+		test[u] = cycle(5, 20)
+	}
+	reg := obs.NewRegistry()
+	opt := Options{WindowCap: 10, Omega: 2, TopNs: []int{1}, Metrics: reg}
+	if _, err := Evaluate(train, test, oldestCandidate(), opt); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram(`rrc_eval_user_seconds{method="oldest"}`, obs.LatencyBuckets)
+	if got := h.Count(); got != users {
+		t.Fatalf("latency observations = %d, want %d", got, users)
+	}
+	// Uninstrumented runs must not require a registry.
+	opt.Metrics = nil
+	if _, err := Evaluate(train, test, oldestCandidate(), opt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"tsppr/internal/dataset"
 	"tsppr/internal/eval"
 	"tsppr/internal/features"
+	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/sampling"
 	"tsppr/internal/seq"
@@ -57,6 +58,11 @@ type Params struct {
 	// cancelled driver returns the context's error rather than printing a
 	// partial table.
 	Context context.Context
+
+	// Metrics, when non-nil, is threaded into every evaluation this
+	// suite runs (per-user replay latency by method). Nil records
+	// nothing.
+	Metrics *obs.Registry
 }
 
 // ctx resolves the driver context.
@@ -287,6 +293,7 @@ func evalOptions(p Params, measureLatency bool) eval.Options {
 		TopNs:          []int{1, 5, 10},
 		MeasureLatency: measureLatency,
 		Seed:           p.Seed + 0xe7a1,
+		Metrics:        p.Metrics,
 	}
 }
 

@@ -1,0 +1,370 @@
+// Prometheus text exposition: the writer (WritePrometheus, Handler) and
+// a validating parser (ValidateExposition) used by the exporter's golden
+// tests, `rrc-inspect -expfmt`, and the CI /metrics smoke check.
+//
+// The writer emits text format version 0.0.4: per family a # HELP line
+// (when set), a # TYPE line, then one sample line per series, with
+// histogram series expanded into cumulative `le` buckets plus _sum and
+// _count. Families are sorted by name and series by label block, so the
+// output is deterministic for golden comparisons.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered family to w in Prometheus
+// text format. Registration is briefly blocked for the duration (metric
+// recording is not — the record path never takes the registry lock).
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.familiesSorted() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.seriesSorted() {
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, braced(s.labels), s.c.Value())
+			case gaugeKind:
+				v := s.g.Value()
+				if s.gf != nil {
+					v = s.gf()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(s.labels), formatFloat(v))
+			case histogramKind:
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram series into cumulative buckets,
+// _sum, and _count.
+func writeHistogram(w io.Writer, name string, s *series) {
+	buckets, sum, count := s.h.Snapshot(make([]uint64, 0, len(s.h.bounds)+1))
+	var cum uint64
+	for i, b := range s.h.bounds {
+		cum += buckets[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(withLE(s.labels, formatFloat(b))), cum)
+	}
+	cum += buckets[len(buckets)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(withLE(s.labels, "+Inf")), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(s.labels), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(s.labels), count)
+}
+
+// braced wraps a non-empty label block in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the le label to an existing label block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteFile writes the exposition to path via a temp-file rename, so a
+// scraper or a crashed writer never observes a half-written file. The
+// CLI tools (-metrics-out) use this in place of an HTTP endpoint. A nil
+// registry writes an empty (but valid) exposition.
+func (r *Registry) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.WritePrometheus(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Handler returns an http.Handler serving the exposition — wire it at
+// GET /metrics. Works (serving an empty body) on a nil registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// ValidateExposition parses r as Prometheus text format version 0.0.4
+// and returns the first violation found (nil when the input is
+// well-formed). Checks: comment lines are # HELP/# TYPE with valid
+// names and known types, at most one TYPE per family, sample lines have
+// a valid metric name, a balanced label block, and a parseable float
+// value (optionally followed by an integer timestamp), and every family
+// declared as a histogram that emits samples has a +Inf bucket, a _sum,
+// and a _count whose value equals the +Inf bucket's.
+func ValidateExposition(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	types := map[string]string{}
+	type histState struct {
+		inf     map[string]uint64 // label block (sans le) → +Inf bucket value
+		count   map[string]uint64
+		hasSum  map[string]bool
+		anySeen bool
+	}
+	hists := map[string]*histState{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, suffix := histBase(name, types)
+		if base != "" {
+			hs := hists[base]
+			if hs == nil {
+				hs = &histState{inf: map[string]uint64{}, count: map[string]uint64{}, hasSum: map[string]bool{}}
+				hists[base] = hs
+			}
+			hs.anySeen = true
+			key, le := stripLE(labels)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				if le == "+Inf" {
+					hs.inf[key] = uint64(value)
+				}
+			case "_sum":
+				hs.hasSum[key] = true
+			case "_count":
+				hs.count[key] = uint64(value)
+			default:
+				return fmt.Errorf("line %d: %s conflicts with histogram family %s", lineNo, name, base)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, hs := range hists {
+		if !hs.anySeen {
+			continue
+		}
+		for key, cnt := range hs.count {
+			inf, ok := hs.inf[key]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: no +Inf bucket", fam, key)
+			}
+			if !hs.hasSum[key] {
+				return fmt.Errorf("histogram %s{%s}: no _sum sample", fam, key)
+			}
+			if inf != cnt {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %d != _count %d", fam, key, inf, cnt)
+			}
+		}
+		if len(hs.count) == 0 {
+			return fmt.Errorf("histogram %s: no _count sample", fam)
+		}
+	}
+	return nil
+}
+
+// validateComment checks a # line; only HELP and TYPE carry structure,
+// other comments are ignored per the format.
+func validateComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("HELP without a metric name")
+		}
+		return checkFamilyName(fields[2])
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE needs a metric name and a type")
+		}
+		name, typ := fields[2], fields[3]
+		if err := checkFamilyName(name); err != nil {
+			return err
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := types[name]; ok {
+			return fmt.Errorf("duplicate TYPE for %s (already %s)", name, prev)
+		}
+		types[name] = typ
+		return nil
+	default:
+		return nil // bare comment
+	}
+}
+
+// parseSample splits `name{labels} value [timestamp]`.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j, err := scanLabelBlock(rest[i:])
+		if err != nil {
+			return "", "", 0, err
+		}
+		labels = rest[i+1 : i+j-1]
+		rest = strings.TrimLeft(rest[i+j:], " ")
+	} else {
+		k := strings.IndexByte(rest, ' ')
+		if k < 0 {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:k]
+		rest = strings.TrimLeft(rest[k:], " ")
+	}
+	if err := checkFamilyName(name); err != nil {
+		return "", "", 0, err
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		return "", "", 0, fmt.Errorf("sample %q: want value [timestamp], got %q", name, rest)
+	}
+	value, err = strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %s: bad value %q", name, parts[0])
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("sample %s: bad timestamp %q", name, parts[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// scanLabelBlock returns the length of the {...} block at the start of
+// s, honoring escaped quotes inside label values.
+func scanLabelBlock(s string) (int, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return 0, fmt.Errorf("not a label block")
+	}
+	inString, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inString && c == '\\':
+			escaped = true
+		case c == '"':
+			inString = !inString
+		case !inString && c == '}':
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block in %q", s)
+}
+
+// histBase maps a sample name to its histogram family, if the TYPE
+// table declares one: `x_bucket` → ("x", "_bucket") when x is a
+// histogram. A plain sample of a histogram family returns suffix "".
+func histBase(name string, types map[string]string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+			return b, suf
+		}
+	}
+	if types[name] == "histogram" {
+		return name, ""
+	}
+	return "", ""
+}
+
+// stripLE removes the le="..." pair from a label block, returning the
+// remaining block (series key) and the le value ("" when absent).
+func stripLE(labels string) (key, le string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok && strings.HasSuffix(v, `"`) {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ","), le
+}
+
+// splitLabelPairs splits a label block on commas outside quoted values.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	start, inString, escaped := 0, false, false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inString && c == '\\':
+			escaped = true
+		case c == '"':
+			inString = !inString
+		case !inString && c == ',':
+			out = append(out, labels[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, labels[start:])
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of everything, deterministic
+// values, exercising labels, helps, and histogram expansion.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Help("rrc_http_requests_total", "Requests by endpoint.")
+	r.Counter(`rrc_http_requests_total{endpoint="/recommend"}`).Add(3)
+	r.Counter(`rrc_http_requests_total{endpoint="/recommend/batch"}`).Add(1)
+	r.Help("rrc_degraded", "1 while the primary scorer is bypassed.")
+	r.Gauge("rrc_degraded").Set(0)
+	r.GaugeFunc("rrc_sessions", func() float64 { return 2 })
+	r.Help("rrc_engine_recommend_seconds", "Engine Recommend latency.")
+	h := r.Histogram("rrc_engine_recommend_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	lab := r.Histogram(`rrc_http_request_seconds{endpoint="/recommend"}`, []float64{0.01, 0.1})
+	lab.Observe(0.02)
+	return r
+}
+
+// TestExpositionGolden compares the exporter's byte-exact output to the
+// checked-in golden file, and requires it to pass the validator.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("golden exposition fails validation: %v", err)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	rr := httptest.NewRecorder()
+	goldenRegistry().Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "rrc_http_requests_total") {
+		t.Fatalf("body missing counters:\n%s", rr.Body.String())
+	}
+	// A nil registry's handler serves an empty 200, not a panic.
+	var nilReg *Registry
+	rr = httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || rr.Body.Len() != 0 {
+		t.Fatalf("nil registry handler: code %d body %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP x_total help text
+# TYPE x_total counter
+x_total{a="b",c="d \"quoted\", comma"} 3
+x_total 4 1700000000
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.3
+lat_seconds_count 2
+some_untyped NaN
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad value":          "x_total notafloat\n",
+		"bad name":           "1bad_total 3\n",
+		"no value":           "x_total\n",
+		"unterminated block": `x_total{a="b" 3` + "\n",
+		"unknown type":       "# TYPE x wat\n",
+		"duplicate type":     "# TYPE x counter\n# TYPE x counter\n",
+		"bad timestamp":      "x_total 3 12.5\n",
+		"missing inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"missing sum":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the le (upper-bound-inclusive)
+// semantics: a value equal to a bound lands in that bound's bucket,
+// values below the first bound land in the first bucket (there is no
+// separate underflow bucket, per Prometheus), and values above the last
+// bound land in the +Inf overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("boundaries", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 7} {
+		h.Observe(v)
+	}
+	buckets, sum, count := h.Snapshot(nil)
+	want := []uint64{2, 2, 1, 1} // (-inf,1], (1,2], (2,5], (5,+inf)
+	if len(buckets) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(buckets), len(want))
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, buckets[i], want[i], buckets)
+		}
+	}
+	if count != 6 {
+		t.Fatalf("count %d, want 6", count)
+	}
+	if sum != 17 {
+		t.Fatalf("sum %v, want 17", sum)
+	}
+	if h.Count() != 6 || h.Sum() != 17 {
+		t.Fatalf("Count/Sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", []float64{0.5, 1})
+	h.ObserveDuration(250 * time.Millisecond)
+	buckets, _, _ := h.Snapshot(nil)
+	if buckets[0] != 1 {
+		t.Fatalf("250ms not in the 0.5s bucket: %v", buckets)
+	}
+}
+
+// TestConcurrentRecord hammers one counter, gauge, and histogram from
+// many goroutines; run under -race (make check) this is the lock-free
+// record-path safety proof, and the totals prove no update is lost.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total")
+	g := r.Gauge("conc_gauge")
+	h := r.Histogram("conc_hist", []float64{0.5, 1, 2})
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 2) // 0, .5, 1, 1.5
+			}
+		}(w)
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var dst []uint64
+		for i := 0; i < 100; i++ {
+			dst, _, _ = h.Snapshot(dst[:0])
+			_ = c.Value()
+			_ = r.WritePrometheus(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Fatalf("counter %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestNilRegistryIsNoOp pins the optional-dependency contract: every
+// operation on a nil registry (and the nil handles it returns) must be
+// a safe no-op, because library packages take *Registry as an optional
+// dependency.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter(`nil_total{x="y"}`)
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("nil_gauge")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	r.GaugeFunc("nil_fn", func() float64 { return 42 })
+	h := r.Histogram("nil_hist", []float64{1})
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil {
+		t.Fatal("nil histogram holds state")
+	}
+	if buckets, sum, count := h.Snapshot(nil); buckets != nil || sum != 0 || count != 0 {
+		t.Fatal("nil histogram snapshot non-empty")
+	}
+	r.Help("nil_total", "help text")
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+	if r.SumCounters("nil_total") != 0 {
+		t.Fatal("nil registry sums counters")
+	}
+	_ = r.Handler() // must not panic when later served; covered in expfmt test
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`dup_total{endpoint="/x"}`)
+	b := r.Counter(`dup_total{endpoint="/x"}`)
+	if a != b {
+		t.Fatal("same name minted two counters")
+	}
+	a.Add(3)
+	other := r.Counter(`dup_total{endpoint="/y"}`)
+	other.Add(4)
+	if got := r.SumCounters("dup_total"); got != 7 {
+		t.Fatalf("SumCounters = %d, want 7", got)
+	}
+	h1 := r.Histogram("dup_hist", []float64{1, 2})
+	h2 := r.Histogram("dup_hist", []float64{9, 99}) // bounds of the first registration win
+	if h1 != h2 {
+		t.Fatal("same name minted two histograms")
+	}
+	if b := h2.Bounds(); len(b) != 2 || b[0] != 1 {
+		t.Fatalf("bounds %v, want the first registration's", b)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mismatch")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("mismatch")
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("fn_gauge", func() float64 { return v })
+	var sb stringWriter
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "# TYPE fn_gauge gauge\nfn_gauge 1.5\n" {
+		t.Fatalf("exposition %q", got)
+	}
+}
+
+// TestRecordPathAllocs pins the hot-path contract: recording allocates
+// nothing, and a histogram snapshot into a pre-sized buffer allocates
+// nothing.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total")
+	g := r.Gauge("alloc_gauge")
+	h := r.Histogram("alloc_hist", LatencyBuckets)
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(0.001)
+	}); avg != 0 {
+		t.Fatalf("record path allocates %.1f/op, want 0", avg)
+	}
+	dst := make([]uint64, 0, len(LatencyBuckets)+1)
+	if avg := testing.AllocsPerRun(200, func() {
+		dst, _, _ = h.Snapshot(dst[:0])
+	}); avg != 0 {
+		t.Fatalf("snapshot allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatal("LatencyBuckets not ascending")
+		}
+	}
+}
+
+func TestGaugeAddCAS(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cas_gauge")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatal("gauge lost +Inf")
+	}
+}
+
+// stringWriter is a minimal strings.Builder stand-in that keeps the
+// test's io.Writer explicit.
+type stringWriter struct{ b []byte }
+
+func (w *stringWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *stringWriter) String() string              { return string(w.b) }

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"tsppr/internal/obs"
+)
+
+// TestMetricsMatchStats checks the instrumented log's metric series agree
+// with its Stats counters: one append observation per Append, fsync
+// observations for policy-driven syncs, and the rotation counter tracking
+// Stats.Rotations.
+func TestMetricsMatchStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, err := Open(t.TempDir(), Options{
+		Sync:         SyncAlways,
+		SegmentBytes: 64, // rotate every few records
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("payload-0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	app := reg.Histogram("rrc_wal_append_seconds", obs.LatencyBuckets)
+	if int64(app.Count()) != st.Appends {
+		t.Fatalf("append observations %d != Stats.Appends %d", app.Count(), st.Appends)
+	}
+	fs := reg.Histogram("rrc_wal_fsync_seconds", obs.LatencyBuckets)
+	if fs.Count() == 0 {
+		t.Fatal("no fsync observations under SyncAlways")
+	}
+	if st.Rotations == 0 {
+		t.Fatal("fixture never rotated; lower SegmentBytes")
+	}
+	if got := reg.Counter("rrc_wal_rotations_total").Value(); got != st.Rotations {
+		t.Fatalf("rotation counter %d != Stats.Rotations %d", got, st.Rotations)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(&buf); err != nil {
+		t.Fatalf("wal exposition invalid: %v", err)
+	}
+}
+
+// TestUninstrumentedLogRecordsNothing pins nil-safety: a log opened
+// without Options.Metrics appends normally and touches no registry.
+func TestUninstrumentedLogRecordsNothing(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if l.mAppend != nil || l.mFsync != nil || l.mRotations != nil {
+		t.Fatal("uninstrumented log holds metric handles")
+	}
+}

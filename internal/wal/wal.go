@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"tsppr/internal/faultinject"
+	"tsppr/internal/obs"
 )
 
 // ErrCorrupt marks a CRC failure or framing loss detected under the
@@ -133,6 +134,10 @@ type Options struct {
 	Sync           SyncPolicy
 	SyncEvery      time.Duration // SyncInterval batching period; 0 → DefaultSyncEvery
 	Corrupt        CorruptPolicy
+
+	// Metrics, when non-nil, receives append/fsync latency histograms
+	// and a rotation counter (rrc_wal_*). Nil records nothing.
+	Metrics *obs.Registry
 }
 
 // Stats are the log's durability counters, all cumulative since Open.
@@ -165,6 +170,13 @@ type Log struct {
 	lastSync time.Time
 	failed   error // sticky: set when a torn append could not be healed
 	stats    Stats
+
+	// Optional instrumentation, wired by Open from Options.Metrics.
+	// The handles are nil when uninstrumented; Counter methods are
+	// nil-safe, and the time.Now calls are gated on the histograms.
+	mAppend    *obs.Histogram
+	mFsync     *obs.Histogram
+	mRotations *obs.Counter
 }
 
 // Open opens (or creates) the log in dir, recovering it to a consistent
@@ -188,6 +200,14 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, opts: opts, lastSync: time.Now()}
+	if reg := opts.Metrics; reg != nil {
+		reg.Help("rrc_wal_append_seconds", "WAL record append latency (including policy-driven fsync).")
+		l.mAppend = reg.Histogram("rrc_wal_append_seconds", obs.LatencyBuckets)
+		reg.Help("rrc_wal_fsync_seconds", "WAL fsync latency.")
+		l.mFsync = reg.Histogram("rrc_wal_fsync_seconds", obs.LatencyBuckets)
+		reg.Help("rrc_wal_rotations_total", "WAL segment rotations.")
+		l.mRotations = reg.Counter("rrc_wal_rotations_total")
+	}
 	if len(segs) == 0 {
 		l.nextLSN = 1
 		if err := l.createSegmentLocked(1); err != nil {
@@ -262,6 +282,10 @@ func Open(dir string, opts Options) (*Log, error) {
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.mAppend != nil {
+		start := time.Now()
+		defer func() { l.mAppend.ObserveDuration(time.Since(start)) }()
+	}
 	if l.failed != nil {
 		return 0, l.failed
 	}
@@ -338,8 +362,15 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	var start time.Time
+	if l.mFsync != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if l.mFsync != nil {
+		l.mFsync.ObserveDuration(time.Since(start))
 	}
 	l.stats.Fsyncs++
 	l.lastSync = time.Now()
@@ -359,6 +390,7 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	l.stats.Rotations++
+	l.mRotations.Inc()
 	return nil
 }
 

@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end /metrics smoke test (make metrics-smoke; non-gating in CI):
+# synthesize a tiny workload, train with -metrics-out, start rrc-server,
+# drive one recommend request, and validate both the training metrics
+# file and a live /metrics scrape with rrc-inspect -expfmt.
+set -eu
+
+ADDR=${METRICS_SMOKE_ADDR:-127.0.0.1:18395}
+tmp=$(mktemp -d)
+server_pid=
+cleanup() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/bin/" ./cmd/rrc-datagen ./cmd/rrc-train ./cmd/rrc-server ./cmd/rrc-inspect
+
+"$tmp/bin/rrc-datagen" -preset gowalla -users 40 -out "$tmp/data.tsv"
+"$tmp/bin/rrc-train" -data "$tmp/data.tsv" -out "$tmp/model.tsppr" \
+	-window 20 -omega 3 -steps 5000 -metrics-out "$tmp/train.prom"
+"$tmp/bin/rrc-inspect" -expfmt "$tmp/train.prom"
+grep -q '^rrc_train_checkpoints_total' "$tmp/train.prom" || {
+	echo "train.prom lacks rrc_train_checkpoints_total" >&2
+	exit 1
+}
+
+"$tmp/bin/rrc-server" -model "$tmp/model.tsppr" -addr "$ADDR" -window 20 -omega 3 &
+server_pid=$!
+ok=
+for _ in $(seq 1 50); do
+	if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.2
+done
+[ -n "$ok" ] || { echo "server never became healthy" >&2; exit 1; }
+
+# History with repeats beyond the Ω=3 gap so the candidate set is
+# non-empty and the engine families appear in the exposition.
+curl -sf -X POST "http://$ADDR/recommend" \
+	-d '{"user":0,"history":[0,1,2,3,4,5,6,7,8,9,0,1,2,3,4,5,6,7,8,9,0,1,2,3,4,5,6,7,8,9],"n":5}' \
+	>/dev/null
+
+curl -sf "http://$ADDR/metrics" >"$tmp/scrape.prom"
+"$tmp/bin/rrc-inspect" -expfmt - <"$tmp/scrape.prom"
+for fam in rrc_http_requests_total rrc_http_request_seconds_count \
+	rrc_engine_recommend_seconds_count rrc_items_recommended_total; do
+	grep -q "^$fam" "$tmp/scrape.prom" || {
+		echo "/metrics lacks $fam" >&2
+		exit 1
+	}
+done
+echo "metrics smoke: OK"
