@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos
 
 ## check: everything CI should gate on — formatting, vet, race-enabled tests
-## (obs-race first: the metric hot paths are the newest concurrency surface),
+## (obs-race first: the metric hot paths are the newest concurrency surface,
+## shard-chaos next: panic/fault injection into live sharded traffic),
 ## and the fuzz targets over their seed corpora
-check: fmt vet obs-race race fuzz-smoke
+check: fmt vet obs-race shard-chaos race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +29,15 @@ race:
 obs-race:
 	$(GO) test -race -count=1 ./internal/obs
 
+## shard-chaos: the shard-kill chaos suite, unconditionally re-run under
+## the race detector — panics and sticky WAL failures injected into live
+## mixed traffic must stay contained to their shard
+shard-chaos:
+	$(GO) test -race -count=1 -run Shard ./cmd/rrc-server ./internal/shard
+
 ## metrics-smoke: end-to-end /metrics check — train with -metrics-out,
-## serve, scrape, and validate the exposition with rrc-inspect -expfmt
+## serve sharded (-shards=4), scrape, and validate the exposition with
+## rrc-inspect -expfmt, including the per-shard rrc_shard_* families
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
 
@@ -38,10 +46,10 @@ metrics-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/core ./internal/dataset -run '^Fuzz' -count=1
 
-## bench: regenerate BENCH_PR4.json — fixed-seed scoring throughput of the
+## bench: regenerate BENCH_PR6.json — fixed-seed scoring throughput of the
 ## engine vs the pre-refactor per-call path (ns/op, allocs/op, items/sec)
 bench:
-	$(GO) run ./cmd/rrc-bench -out BENCH_PR4.json
+	$(GO) run ./cmd/rrc-bench -out BENCH_PR6.json
 
 ## fuzz: short bounded fuzzing with mutation — model loader and TSV readers
 fuzz:

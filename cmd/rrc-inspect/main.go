@@ -13,8 +13,10 @@
 // With -wal, it stream-verifies an rrc-server write-ahead event log
 // directory: per-segment record counts, CRC failures, and torn tails,
 // without mutating anything (unlike server startup, it never truncates).
-// The exit code is nonzero when any segment has CRC failures or a torn
-// tail.
+// A sharded events root (-shards > 1: shard-*/ subdirectories) is
+// detected automatically and every shard's WAL is verified with
+// per-shard LSN/corruption summaries. The exit code is nonzero when any
+// segment of any shard has CRC failures or a torn tail.
 //
 // With -expfmt, it validates a Prometheus text exposition — a saved
 // GET /metrics body or a CLI -metrics-out file — and exits nonzero on
@@ -33,6 +35,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"tsppr/internal/cli"
 	"tsppr/internal/core"
@@ -74,8 +77,51 @@ func main() {
 // runWALVerify streams every segment of the event log once, read-only,
 // and prints its health report, mirroring the -validate dataset mode.
 // It fails when any record fails its CRC or any segment has a torn
-// tail.
+// tail. A sharded events root (rrc-server -shards > 1: shard-*/
+// subdirectories) is detected automatically; every shard's WAL is
+// verified with per-shard LSN/corruption summaries, and the exit code
+// reflects the aggregate.
 func runWALVerify(dir string, stdout io.Writer) error {
+	shardDirs, err := shardWALDirs(dir)
+	if err != nil {
+		return err
+	}
+	if shardDirs == nil {
+		return verifyWALDir(dir, "", stdout)
+	}
+	unhealthy := 0
+	for _, sd := range shardDirs {
+		if err := verifyWALDir(sd, filepath.Base(sd)+"/", stdout); err != nil {
+			fmt.Fprintf(stdout, "%s: UNHEALTHY: %v\n", filepath.Base(sd), err)
+			unhealthy++
+		}
+	}
+	fmt.Fprintf(stdout, "sharded root: shards=%d unhealthy=%d\n", len(shardDirs), unhealthy)
+	if unhealthy > 0 {
+		return fmt.Errorf("%s: %d of %d shard(s) unhealthy", dir, unhealthy, len(shardDirs))
+	}
+	return nil
+}
+
+// shardWALDirs returns the shard-NNN subdirectories of a sharded events
+// root in shard order, or nil when dir is a flat (single-shard) log.
+func shardWALDirs(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string // Glob returns lexical order = shard order (zero-padded)
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+			dirs = append(dirs, m)
+		}
+	}
+	return dirs, nil
+}
+
+// verifyWALDir verifies one WAL directory, prefixing each segment line
+// with the shard directory name when part of a sharded root.
+func verifyWALDir(dir, prefix string, stdout io.Writer) error {
 	rep, err := wal.Verify(dir, 0)
 	if err != nil {
 		return err
@@ -84,8 +130,8 @@ func runWALVerify(dir string, stdout io.Writer) error {
 		return fmt.Errorf("%s: no wal segments found", dir)
 	}
 	for _, sg := range rep.Segments {
-		fmt.Fprintf(stdout, "%s: firstLSN=%d bytes=%d records=%d good=%d crcFailures=%d tornTailBytes=%d\n",
-			sg.Name, sg.FirstLSN, sg.Bytes, sg.Records, sg.Good, len(sg.Corrupt), sg.TornTail)
+		fmt.Fprintf(stdout, "%s%s: firstLSN=%d bytes=%d records=%d good=%d crcFailures=%d tornTailBytes=%d\n",
+			prefix, sg.Name, sg.FirstLSN, sg.Bytes, sg.Records, sg.Good, len(sg.Corrupt), sg.TornTail)
 		for _, idx := range sg.Corrupt {
 			fmt.Fprintf(stdout, "  violation: record %d (lsn %d) failed CRC32-C\n", idx, sg.FirstLSN+uint64(idx))
 		}
@@ -96,8 +142,10 @@ func runWALVerify(dir string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, "  ok")
 		}
 	}
-	fmt.Fprintf(stdout, "total: segments=%d records=%d good=%d crcFailures=%d tornSegments=%d\n",
-		len(rep.Segments), rep.Records, rep.Good, rep.CorruptRecords, rep.TornSegments)
+	last := rep.Segments[len(rep.Segments)-1]
+	fmt.Fprintf(stdout, "%stotal: segments=%d records=%d good=%d crcFailures=%d tornSegments=%d nextLSN=%d\n",
+		prefix, len(rep.Segments), rep.Records, rep.Good, rep.CorruptRecords, rep.TornSegments,
+		last.FirstLSN+uint64(last.Records))
 	if !rep.Clean() {
 		return fmt.Errorf("%s: %d CRC failure(s), %d torn segment(s)", dir, rep.CorruptRecords, rep.TornSegments)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -124,6 +125,93 @@ func TestWALVerifyCorruptAndTornLog(t *testing.T) {
 	var again bytes.Buffer
 	if err := runWALVerify(dir, &again); err == nil {
 		t.Fatal("verification mutated the log")
+	}
+}
+
+// shardedWALRoot builds an events root the way rrc-server -shards=3
+// would: shard-NNN subdirectories each holding their own log, plus the
+// shard-count marker.
+func shardedWALRoot(t *testing.T, vandalizeShard int, vandalize func(t *testing.T, seg string)) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "shards"), []byte("3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("shard-%03d", i))
+		l, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 2+i; r++ { // distinct record counts per shard
+			if _, err := l.Append([]byte{byte(i), byte(r), 2, 3, 4, 5, 6, 7}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if i == vandalizeShard && vandalize != nil {
+			segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments = %v (%v)", segs, err)
+			}
+			vandalize(t, segs[0])
+		}
+	}
+	return root
+}
+
+func TestWALVerifyShardedRootClean(t *testing.T) {
+	root := shardedWALRoot(t, -1, nil)
+	var out bytes.Buffer
+	if err := runWALVerify(root, &out); err != nil {
+		t.Fatalf("clean sharded root failed verification: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "sharded root: shards=3 unhealthy=0") {
+		t.Fatalf("missing aggregate summary:\n%s", s)
+	}
+	// Per-shard summaries carry the shard prefix and that shard's LSN
+	// horizon (2, 3, and 4 records → nextLSN 3, 4, 5).
+	for i, next := range []int{3, 4, 5} {
+		want := fmt.Sprintf("shard-%03d/total: segments=1 records=%d good=%d crcFailures=0 tornSegments=0 nextLSN=%d",
+			i, next-1, next-1, next)
+		if !strings.Contains(s, want) {
+			t.Errorf("missing per-shard summary %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWALVerifyShardedRootOneBadShard(t *testing.T) {
+	root := shardedWALRoot(t, 1, func(t *testing.T, seg string) {
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[16+8+2] ^= 1 // flip a payload bit of shard 1's record 1
+		if err := os.WriteFile(seg, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var out bytes.Buffer
+	err := runWALVerify(root, &out)
+	if err == nil {
+		t.Fatalf("corrupt shard passed verification:\n%s", out.String())
+	}
+	if cli.ExitCode(err) == 0 {
+		t.Fatal("verification failure must exit nonzero")
+	}
+	if !strings.Contains(err.Error(), "1 of 3 shard(s) unhealthy") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "shard-001: UNHEALTHY") || !strings.Contains(s, "sharded root: shards=3 unhealthy=1") {
+		t.Fatalf("missing unhealthy-shard diagnostics:\n%s", s)
+	}
+	// The other shards still report healthy — failure is per-shard.
+	if !strings.Contains(s, "shard-000/total") || !strings.Contains(s, "shard-002/total") {
+		t.Fatalf("healthy shards not reported:\n%s", s)
 	}
 }
 

@@ -60,7 +60,7 @@ func bootOnline(t *testing.T, m *core.Model, dir string, mutate func(*serverOpti
 
 func storeFingerprint(t *testing.T, srv *server) string {
 	t.Helper()
-	b, err := json.Marshal(srv.online.store.Dump())
+	b, err := json.Marshal(srv.online.pool.Dump())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func mustConsume(t *testing.T, h http.Handler, ev event) {
 func referenceRun(t *testing.T, m *core.Model, evs []event, mutate func(*serverOptions)) string {
 	t.Helper()
 	srv := bootOnline(t, m, t.TempDir(), mutate)
-	defer srv.online.log.Close()
+	defer srv.online.close()
 	h := srv.routes()
 	for _, ev := range evs {
 		mustConsume(t, h, ev)
@@ -117,7 +117,7 @@ func TestCrashMidAppendRecoversIdentically(t *testing.T) {
 		}
 		// Abandon srv without closing: simulated SIGKILL. Restart:
 		srv2 := bootOnline(t, m, dir, nil)
-		ws := srv2.online.log.Stats()
+		ws := srv2.online.pool.WALStats()
 		if ws.TruncatedTails != 1 {
 			t.Fatalf("p=%d: truncated tails = %d, want 1", p, ws.TruncatedTails)
 		}
@@ -132,7 +132,7 @@ func TestCrashMidAppendRecoversIdentically(t *testing.T) {
 		if got := storeFingerprint(t, srv2); got != want {
 			t.Fatalf("p=%d: recovered state diverged\n got %s\nwant %s", p, got, want)
 		}
-		srv2.online.log.Close()
+		srv2.online.close()
 	}
 }
 
@@ -156,10 +156,7 @@ func TestCrashMidSnapshotRecoversIdentically(t *testing.T) {
 		mustConsume(t, h, ev) // snapshot failure is non-fatal: appends keep working
 	}
 	faultinject.Reset()
-	srv.online.mu.Lock()
-	serrs := srv.online.snapshotErrs
-	srv.online.mu.Unlock()
-	if serrs == 0 {
+	if serrs := srv.online.pool.Shard(0).Status().SnapshotErrs; serrs == 0 {
 		t.Fatal("snapshot fault never fired")
 	}
 	if snaps, _ := filepath.Glob(filepath.Join(dir, "sessions-*.snap")); len(snaps) == 0 {
@@ -175,7 +172,7 @@ func TestCrashMidSnapshotRecoversIdentically(t *testing.T) {
 	if got := storeFingerprint(t, srv2); got != want {
 		t.Fatalf("post-snapshot-crash state diverged\n got %s\nwant %s", got, want)
 	}
-	srv2.online.log.Close()
+	srv2.online.close()
 }
 
 // TestBitFlippedRecordIsDetectedNeverServed flips one bit of a committed
@@ -193,7 +190,9 @@ func TestBitFlippedRecordIsDetectedNeverServed(t *testing.T) {
 	for _, ev := range evs {
 		mustConsume(t, h, ev)
 	}
-	srv.online.log.Close()
+	// Abandon srv open (SIGKILL): close() would flush a snapshot and
+	// prune the segment this test is about to corrupt. Under -fsync
+	// always every acknowledged record is already on disk.
 
 	// Flip a payload bit of record 5 (records are 8B header + 8B event).
 	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
@@ -218,8 +217,8 @@ func TestBitFlippedRecordIsDetectedNeverServed(t *testing.T) {
 
 	// Opt-in skip: starts, quarantines exactly one record, serves the rest.
 	srv2 := bootOnline(t, m, dir, func(o *serverOptions) { o.corrupt = wal.CorruptSkip })
-	defer srv2.online.log.Close()
-	ws := srv2.online.log.Stats()
+	defer srv2.online.close()
+	ws := srv2.online.pool.WALStats()
 	if ws.SkippedCorrupt != 1 {
 		t.Fatalf("skipped corrupt = %d, want 1", ws.SkippedCorrupt)
 	}
@@ -244,7 +243,8 @@ func TestTruncatedFinalRecordRecovered(t *testing.T) {
 	for _, ev := range evs {
 		mustConsume(t, h, ev)
 	}
-	srv.online.log.Close()
+	// Abandoned open: SIGKILL semantics, same rationale as the bit-flip
+	// test (close() would snapshot and prune the segment under test).
 
 	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	fi, err := os.Stat(segs[0])
@@ -256,8 +256,8 @@ func TestTruncatedFinalRecordRecovered(t *testing.T) {
 	}
 
 	srv2 := bootOnline(t, m, dir, nil)
-	defer srv2.online.log.Close()
-	ws := srv2.online.log.Stats()
+	defer srv2.online.close()
+	ws := srv2.online.pool.WALStats()
 	if ws.TruncatedTails != 1 || ws.RecoveredRecords != int64(len(evs)-1) {
 		t.Fatalf("stats after torn tail: %+v", ws)
 	}
@@ -289,9 +289,9 @@ func TestGracefulShutdownRecoversFromSnapshotAlone(t *testing.T) {
 	}
 
 	srv2 := bootOnline(t, m, dir, nil)
-	defer srv2.online.log.Close()
-	if srv2.online.recover.Replayed != 0 {
-		t.Fatalf("replayed %d records after graceful shutdown, want 0", srv2.online.recover.Replayed)
+	defer srv2.online.close()
+	if replayed := srv2.online.pool.Shard(0).RecoverStats().Replayed; replayed != 0 {
+		t.Fatalf("replayed %d records after graceful shutdown, want 0", replayed)
 	}
 	if got := storeFingerprint(t, srv2); got != want {
 		t.Fatalf("graceful restart diverged\n got %s\nwant %s", got, want)

@@ -65,6 +65,7 @@ import (
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
 	"tsppr/internal/sessions"
+	"tsppr/internal/shard"
 	"tsppr/internal/wal"
 )
 
@@ -81,6 +82,7 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
 		eventsDir     = flag.String("events-dir", "", "enable durable online sessions: write-ahead event log + snapshots live here")
+		shards        = flag.Int("shards", 1, "online failure domains: users are hash-partitioned over this many independent WAL+session shards (fixed per events dir)")
 		fsyncPolicy   = flag.String("fsync", "always", "event-log durability: always (lose nothing), interval (batched), never (page cache)")
 		fsyncInterval = flag.Duration("fsync-interval", wal.DefaultSyncEvery, "batching period for -fsync interval")
 		snapshotEvery = flag.Int("snapshot-every", 4096, "session snapshot every N appended events (0 = only at shutdown)")
@@ -118,6 +120,7 @@ func main() {
 		reqTimeout:   *reqTimeout,
 
 		eventsDir:     *eventsDir,
+		shards:        *shards,
 		fsync:         fsync,
 		fsyncInterval: *fsyncInterval,
 		snapshotEvery: *snapshotEvery,
@@ -131,10 +134,14 @@ func main() {
 			os.Exit(1)
 		}
 		srv.online = online
-		ws := online.log.Stats()
-		log.Printf("recovered %d sessions (snapshot lsn=%d + %d replayed records, %d torn tail(s) truncated, %d corrupt skipped) from %s",
-			online.store.Len(), online.recover.SnapshotLSN, online.recover.Replayed,
-			ws.TruncatedTails, ws.SkippedCorrupt, *eventsDir)
+		ws := online.pool.WALStats()
+		var sessionsTotal, replayed int
+		for i := 0; i < online.pool.N(); i++ {
+			sessionsTotal += online.pool.Shard(i).Status().Sessions
+			replayed += online.pool.Shard(i).RecoverStats().Replayed
+		}
+		log.Printf("recovered %d sessions across %d shard(s) (%d replayed records, %d torn tail(s) truncated, %d corrupt skipped) from %s",
+			sessionsTotal, online.pool.N(), replayed, ws.TruncatedTails, ws.SkippedCorrupt, *eventsDir)
 	}
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
@@ -211,11 +218,19 @@ type serverOptions struct {
 
 	// Online-session fields; zero values defer to wal/sessions defaults.
 	eventsDir     string // "" disables /consume and /recommend/user
+	shards        int    // online failure domains; 0 → 1
 	fsync         wal.SyncPolicy
 	fsyncInterval time.Duration
 	snapshotEvery int
-	maxSessions   int
+	maxSessions   int // pool-wide bound, split evenly across shards
 	corrupt       wal.CorruptPolicy
+
+	// Shard supervisor tuning; zero values defer to shard.Config
+	// defaults. Tests shrink the backoffs to keep chaos runs fast.
+	shardFailThreshold int
+	shardRestartBudget int
+	shardBackoffBase   time.Duration
+	shardBackoffMax    time.Duration
 
 	// metrics is set by newServer to the server's registry so newOnline
 	// can instrument the WAL and register session gauges.
@@ -295,6 +310,9 @@ func (s *server) routes() http.Handler {
 			s.harden(s.instrument("/consume", http.HandlerFunc(s.handleConsume))))
 		mux.Handle("POST /recommend/user",
 			s.harden(s.instrument("/recommend/user", http.HandlerFunc(s.handleRecommendUser))))
+		// Admin plane: not hardened (a drain must not be shed under load)
+		// and not instrumented (it is not traffic).
+		mux.HandleFunc("POST /admin/drain", s.handleDrain)
 	} else {
 		mux.Handle("POST /consume", s.instrument("/consume", http.HandlerFunc(s.errOnlineDisabled)))
 		mux.Handle("POST /recommend/user", s.instrument("/recommend/user", http.HandlerFunc(s.errOnlineDisabled)))
@@ -371,6 +389,9 @@ type statsResponse struct {
 	DroppedEvents    int64  `json:"dropped_events,omitempty"`
 	Snapshots        int64  `json:"snapshots,omitempty"`
 	SnapshotErrors   int64  `json:"snapshot_errors,omitempty"`
+
+	// Per-shard health, indexed by shard; nil when -events-dir is off.
+	Shards []shard.Status `json:"shards,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -407,23 +428,36 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReady reports readiness: a loaded model and a healthy primary
-// scorer. Load balancers should route on this, so a degraded replica
-// keeps serving its in-flight traffic but stops attracting new traffic.
+// readyResponse is the GET /readyz reply. Shards lists every shard's
+// lifecycle state (indexed by shard) when online sessions are enabled,
+// so an orchestrator can tell "one shard restarting" from "down".
+type readyResponse struct {
+	Status string   `json:"status"`
+	Shards []string `json:"shards,omitempty"`
+}
+
+// handleReady reports readiness: a loaded model, a healthy primary
+// scorer, and (online) every shard serving. Load balancers should route
+// on this, so a replica with a degraded scorer or a recovering shard
+// keeps serving what it can but stops attracting new traffic.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if s.eng.Load() == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model"})
-		return
+	resp := readyResponse{Status: "ready"}
+	code := http.StatusOK
+	if s.online != nil {
+		for _, st := range s.online.pool.States() {
+			resp.Shards = append(resp.Shards, st.String())
+		}
+		if !s.online.ready() {
+			resp.Status, code = "recovering", http.StatusServiceUnavailable
+		}
 	}
 	if s.degraded.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
-		return
+		resp.Status, code = "degraded", http.StatusServiceUnavailable
 	}
-	if s.online != nil && !s.online.ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
-		return
+	if s.eng.Load() == nil {
+		resp.Status, code = "no model", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, code, resp)
 }
 
 // reload re-reads the model file and swaps it in atomically, but only

@@ -6,202 +6,165 @@
 //	                        reply {"lsn":17,"window":33}
 //	POST /recommend/user  → body {"user":0,"n":5,"omega":10}
 //	                        reply {"items":[...],"scores":[...]}
+//	POST /admin/drain     → ?shard=i: flush shard i's final snapshot and
+//	                        fence its appends (its users get 503 after)
 //
-// Every consumption is appended to the write-ahead log (internal/wal)
-// *before* it touches the in-memory window, so an acknowledged event
-// survives a crash (always, under -fsync always; up to the unsynced
-// suffix otherwise). Startup recovery = newest loadable snapshot +
-// WAL tail replay; /readyz stays 503 until it completes. Periodic
-// snapshots (-snapshot-every) bound replay time and let old WAL
-// segments be pruned; graceful shutdown flushes a final snapshot.
+// The layer is a shard pool (internal/shard): users are partitioned by
+// hash over -shards independent failure domains, each with its own
+// write-ahead log, session LRU, and snapshot generations. Every
+// consumption is appended to the owning shard's WAL *before* it touches
+// the in-memory window, so an acknowledged event survives a crash
+// (always, under -fsync always; up to the unsynced suffix otherwise).
+// Startup recovery = per-shard newest loadable snapshot + WAL tail
+// replay, in parallel; /readyz stays 503 until every shard serves. A
+// shard that panics or exhausts its append-failure streak trips its
+// breaker and is restarted by a supervisor while the other shards keep
+// serving; its users see 503 + Retry-After, never a hung or failed
+// process.
 package main
 
 import (
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
-	"sync"
+	"strconv"
 
 	"tsppr/internal/core"
 	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/seq"
-	"tsppr/internal/sessions"
-	"tsppr/internal/wal"
+	"tsppr/internal/shard"
 )
 
-// onlineState bundles the durable event log with the session store it
-// feeds. mu serializes the append→apply pair so LSNs reach the store in
-// order (the store ignores stale LSNs, so ordering is what makes every
-// acknowledged event land).
+// onlineState is the server's handle on the shard pool plus the
+// pool-aggregate gauges kept for dashboard continuity with the
+// single-domain layout.
 type onlineState struct {
-	mu            sync.Mutex
-	dir           string
-	log           *wal.Log
-	store         *sessions.Store
-	snapshotEvery int
-	sinceSnapshot int
-
-	recovered    bool // set once startup recovery finished (under mu)
-	snapshots    int64
-	snapshotErrs int64
-	recover      sessions.RecoverStats
+	pool *shard.Pool
 }
 
-// newOnline opens the event log in opts.eventsDir and recovers the
-// session store from snapshot + WAL tail. It is called before the
-// listener starts; until it returns, /readyz reports 503.
+// newOnline opens the shard pool under opts.eventsDir and recovers
+// every shard (snapshot + WAL tail) before returning. It is called
+// before the listener starts; until it returns, /readyz reports 503.
 func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
-	l, err := wal.Open(opts.eventsDir, wal.Options{
-		Sync:      opts.fsync,
-		SyncEvery: opts.fsyncInterval,
-		Corrupt:   opts.corrupt,
-		Metrics:   opts.metrics,
+	n := opts.shards
+	if n <= 0 {
+		n = 1
+	}
+	// The -max-sessions bound is pool-wide; each shard gets an even
+	// split. Zero defers to the shard/sessions default.
+	perShard := 0
+	if opts.maxSessions > 0 {
+		perShard = opts.maxSessions / n
+		if perShard <= 0 {
+			perShard = 1
+		}
+	}
+	pool, err := shard.Open(opts.eventsDir, shard.Config{
+		Shards:              n,
+		WindowCap:           opts.windowCap,
+		MaxSessionsPerShard: perShard,
+		NumUsers:            m.NumUsers(),
+		NumItems:            m.NumItems(),
+		Fsync:               opts.fsync,
+		FsyncInterval:       opts.fsyncInterval,
+		SnapshotEvery:       opts.snapshotEvery,
+		Corrupt:             opts.corrupt,
+		Metrics:             opts.metrics,
+		FailThreshold:       opts.shardFailThreshold,
+		RestartBudget:       opts.shardRestartBudget,
+		BackoffBase:         opts.shardBackoffBase,
+		BackoffMax:          opts.shardBackoffMax,
 	})
 	if err != nil {
 		return nil, err
 	}
-	store, rstats, err := sessions.Recover(opts.eventsDir, l, sessions.Config{
-		WindowCap: opts.windowCap,
-		MaxUsers:  opts.maxSessions,
-		NumUsers:  m.NumUsers(),
-		NumItems:  m.NumItems(),
-	})
-	if err != nil {
-		l.Close()
-		return nil, err
-	}
-	o := &onlineState{
-		dir:           opts.eventsDir,
-		log:           l,
-		store:         store,
-		snapshotEvery: opts.snapshotEvery,
-		recovered:     true,
-		recover:       rstats,
-	}
+	o := &onlineState{pool: pool}
 	o.registerGauges(opts.metrics)
 	return o, nil
 }
 
-// registerGauges exposes the session store's and the event log's state
-// on GET /metrics via pull gauges — read at scrape time, so the online
-// subsystem's hot paths carry no extra instrumentation.
+// registerGauges exposes the pool's aggregate state on GET /metrics via
+// pull gauges — read at scrape time, so the online hot paths carry no
+// extra instrumentation. These are the pre-sharding families, now
+// summed across shards so existing dashboards keep working; per-shard
+// detail lives in the rrc_shard_* families the pool registers itself.
 func (o *onlineState) registerGauges(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Help("rrc_online_sessions", "Per-user session windows held in memory.")
-	reg.GaugeFunc("rrc_online_sessions", func() float64 { return float64(o.store.Len()) })
-	reg.Help("rrc_online_applied_lsn", "Highest WAL LSN applied to the session store.")
-	reg.GaugeFunc("rrc_online_applied_lsn", func() float64 { return float64(o.store.AppliedLSN()) })
-	reg.Help("rrc_online_evictions", "Session windows evicted by the LRU bound, cumulative.")
-	reg.GaugeFunc("rrc_online_evictions", func() float64 { return float64(o.store.Evictions()) })
-	reg.Help("rrc_online_dropped_events", "Events dropped against evicted sessions, cumulative.")
-	reg.GaugeFunc("rrc_online_dropped_events", func() float64 { return float64(o.store.Dropped()) })
-	reg.Help("rrc_online_snapshots", "Session snapshots flushed, cumulative.")
-	reg.GaugeFunc("rrc_online_snapshots", func() float64 {
-		o.mu.Lock()
-		defer o.mu.Unlock()
-		return float64(o.snapshots)
-	})
-	reg.Help("rrc_online_snapshot_errors", "Failed session snapshot flushes, cumulative.")
-	reg.GaugeFunc("rrc_online_snapshot_errors", func() float64 {
-		o.mu.Lock()
-		defer o.mu.Unlock()
-		return float64(o.snapshotErrs)
-	})
-	reg.Help("rrc_wal_recovered_records", "WAL records replayed into the store at startup.")
-	reg.GaugeFunc("rrc_wal_recovered_records", func() float64 { return float64(o.log.Stats().RecoveredRecords) })
-	reg.Help("rrc_wal_truncated_tails", "Torn WAL tails truncated at open.")
-	reg.GaugeFunc("rrc_wal_truncated_tails", func() float64 { return float64(o.log.Stats().TruncatedTails) })
-	reg.Help("rrc_wal_skipped_corrupt", "Corrupt WAL records quarantined under -wal-skip-corrupt.")
-	reg.GaugeFunc("rrc_wal_skipped_corrupt", func() float64 { return float64(o.log.Stats().SkippedCorrupt) })
-}
-
-// ready reports whether startup recovery has completed.
-func (o *onlineState) ready() bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.recovered
-}
-
-// ingest makes one consumption durable and applies it to the user's
-// window, returning the event's LSN and the window's new length. When
-// the append crosses the snapshot threshold it also flushes a snapshot
-// and prunes covered WAL segments; a failed snapshot is counted, not
-// fatal — the WAL alone still guarantees recovery.
-func (o *onlineState) ingest(user int, item seq.Item) (lsn uint64, winLen int, err error) {
-	o.mu.Lock()
-	lsn, err = o.log.Append(sessions.EncodeEvent(user, item))
-	if err != nil {
-		o.mu.Unlock()
-		return 0, 0, err
-	}
-	o.store.Apply(lsn, user, item)
-	winLen = o.store.WindowLen(user)
-	snap := false
-	if o.snapshotEvery > 0 {
-		o.sinceSnapshot++
-		if o.sinceSnapshot >= o.snapshotEvery {
-			o.sinceSnapshot = 0
-			snap = true
+	sumStatus := func(f func(shard.Status) float64) func() float64 {
+		return func() float64 {
+			var total float64
+			for _, st := range o.pool.Statuses() {
+				total += f(st)
+			}
+			return total
 		}
 	}
-	o.mu.Unlock()
-	if snap {
-		o.snapshot()
-	}
-	return lsn, winLen, nil
+	reg.Help("rrc_online_sessions", "Per-user session windows held in memory, all shards.")
+	reg.GaugeFunc("rrc_online_sessions", sumStatus(func(st shard.Status) float64 { return float64(st.Sessions) }))
+	reg.Help("rrc_online_applied_lsn", "Sum across shards of the highest WAL LSN applied to each session store.")
+	reg.GaugeFunc("rrc_online_applied_lsn", sumStatus(func(st shard.Status) float64 { return float64(st.AppliedLSN) }))
+	reg.Help("rrc_online_evictions", "Session windows evicted by the LRU bounds, all shards, cumulative.")
+	reg.GaugeFunc("rrc_online_evictions", sumStatus(func(st shard.Status) float64 { return float64(st.Evictions) }))
+	reg.Help("rrc_online_dropped_events", "Events dropped against evicted sessions, all shards, cumulative.")
+	reg.GaugeFunc("rrc_online_dropped_events", sumStatus(func(st shard.Status) float64 { return float64(st.Dropped) }))
+	reg.Help("rrc_online_snapshots", "Session snapshots flushed, all shards, cumulative.")
+	reg.GaugeFunc("rrc_online_snapshots", sumStatus(func(st shard.Status) float64 { return float64(st.Snapshots) }))
+	reg.Help("rrc_online_snapshot_errors", "Failed session snapshot flushes, all shards, cumulative.")
+	reg.GaugeFunc("rrc_online_snapshot_errors", sumStatus(func(st shard.Status) float64 { return float64(st.SnapshotErrs) }))
+	reg.Help("rrc_wal_recovered_records", "WAL records replayed into the stores at startup, all shards.")
+	reg.GaugeFunc("rrc_wal_recovered_records", func() float64 { return float64(o.pool.WALStats().RecoveredRecords) })
+	reg.Help("rrc_wal_truncated_tails", "Torn WAL tails truncated at open, all shards.")
+	reg.GaugeFunc("rrc_wal_truncated_tails", func() float64 { return float64(o.pool.WALStats().TruncatedTails) })
+	reg.Help("rrc_wal_skipped_corrupt", "Corrupt WAL records quarantined under -wal-skip-corrupt, all shards.")
+	reg.GaugeFunc("rrc_wal_skipped_corrupt", func() float64 { return float64(o.pool.WALStats().SkippedCorrupt) })
 }
 
-// snapshot flushes the store and prunes WAL segments covered by the
-// oldest *kept* snapshot generation (the older fallback must stay
-// replayable in case the newest snapshot is lost).
-func (o *onlineState) snapshot() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if _, _, err := o.store.Save(o.dir); err != nil {
-		o.snapshotErrs++
-		log.Printf("rrc-server: snapshot failed (WAL still authoritative): %v", err)
-		return
-	}
-	o.snapshots++
-	horizon, err := sessions.PruneSnapshots(o.dir)
-	if err != nil {
-		log.Printf("rrc-server: snapshot prune: %v", err)
-		return
-	}
-	if err := o.log.Prune(horizon); err != nil {
-		log.Printf("rrc-server: wal prune: %v", err)
-	}
-}
+// ready reports whether every shard is serving.
+func (o *onlineState) ready() bool { return o.pool.Ready() }
 
-// close flushes a final snapshot and closes the log; part of graceful
-// shutdown, after the listener has drained.
-func (o *onlineState) close() error {
-	o.snapshot()
-	return o.log.Close()
-}
+// close drains the pool: every serving shard flushes a final snapshot
+// and closes its log; part of graceful shutdown, after the listener has
+// drained.
+func (o *onlineState) close() error { return o.pool.Close() }
 
-// statsInto copies the online counters into a /stats reply.
+// statsInto copies the pool's aggregate counters — and the per-shard
+// status list — into a /stats reply.
 func (o *onlineState) statsInto(st *statsResponse) {
-	o.mu.Lock()
-	snaps, serrs := o.snapshots, o.snapshotErrs
-	o.mu.Unlock()
-	ws := o.log.Stats()
+	ws := o.pool.WALStats()
 	st.Online = true
-	st.Sessions = o.store.Len()
-	st.AppliedLSN = o.store.AppliedLSN()
 	st.Appends = ws.Appends
 	st.Fsyncs = ws.Fsyncs
 	st.RecoveredRecords = ws.RecoveredRecords
 	st.TruncatedTails = ws.TruncatedTails
 	st.SkippedCorrupt = ws.SkippedCorrupt
-	st.Evictions = o.store.Evictions()
-	st.DroppedEvents = o.store.Dropped()
-	st.Snapshots = snaps
-	st.SnapshotErrors = serrs
+	st.Shards = o.pool.Statuses()
+	for _, sh := range st.Shards {
+		st.Sessions += sh.Sessions
+		st.AppliedLSN += sh.AppliedLSN
+		st.Evictions += sh.Evictions
+		st.DroppedEvents += sh.Dropped
+		st.Snapshots += sh.Snapshots
+		st.SnapshotErrors += sh.SnapshotErrs
+	}
+}
+
+// writeOnlineErr maps an online-layer failure to its HTTP shape. A
+// shard's UnavailableError carries its own Retry-After hint; any other
+// append failure is a storage-state problem the caller should retry
+// shortly — 503 either way, never 500 (not a bug) and never 404 (the
+// endpoint exists).
+func writeOnlineErr(w http.ResponseWriter, err error) {
+	var ue *shard.UnavailableError
+	if errors.As(err, &ue) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(ue.RetryAfter.Seconds())))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event not durable: %w", err))
 }
 
 // consumeRequest is the POST /consume body.
@@ -211,7 +174,8 @@ type consumeRequest struct {
 }
 
 // consumeResponse acknowledges a durable event. LSN is its position in
-// the write-ahead log; Window is the user's window length afterwards.
+// the owning shard's write-ahead log; Window is the user's window
+// length afterwards.
 type consumeResponse struct {
 	LSN    uint64 `json:"lsn"`
 	Window int    `json:"window"`
@@ -232,11 +196,10 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0,%d)", req.Item, m.NumItems()))
 		return
 	}
-	lsn, winLen, err := s.online.ingest(req.User, seq.Item(req.Item))
+	lsn, winLen, err := s.online.pool.Ingest(req.User, seq.Item(req.Item))
 	if err != nil {
-		// The event is NOT durable; the caller must retry. 503 rather
-		// than 500: this is a storage-state problem, not a bug.
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event not durable: %w", err))
+		// The event is NOT durable; the caller must retry.
+		writeOnlineErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, consumeResponse{LSN: lsn, Window: winLen})
@@ -267,7 +230,11 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	win, ok := s.online.store.WindowClone(req.User)
+	win, ok, err := s.online.pool.WindowClone(req.User)
+	if err != nil {
+		writeOnlineErr(w, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no session for user %d (POST /consume first)", req.User))
 		return
@@ -279,8 +246,39 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// drainResponse is the POST /admin/drain reply.
+type drainResponse struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"`
+}
+
+// handleDrain gracefully stops one shard: final snapshot, appends
+// fenced, its users answered 503 + Retry-After from then on. Used to
+// quiesce a shard before copying its directory off the box.
+func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shard query parameter: %w", err))
+		return
+	}
+	if idx < 0 || idx >= s.online.pool.N() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shard %d out of [0,%d)", idx, s.online.pool.N()))
+		return
+	}
+	if err := s.online.pool.Drain(idx); err != nil {
+		// Not currently drainable (tripped, recovering, failed): the
+		// state conflict is the caller's to resolve, not a server fault.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, drainResponse{Shard: idx, State: s.online.pool.Shard(idx).State().String()})
+}
+
 // errOnlineDisabled answers the online endpoints when -events-dir is
-// not configured.
+// not configured. 503 + Retry-After, not 404: the endpoints exist, this
+// replica just cannot serve them, and a retrying client behind a mixed
+// fleet should try again elsewhere rather than conclude the API is gone.
 func (s *server) errOnlineDisabled(w http.ResponseWriter, _ *http.Request) {
-	writeError(w, http.StatusNotFound, errors.New("online sessions disabled: start rrc-server with -events-dir"))
+	w.Header().Set("Retry-After", "60")
+	writeError(w, http.StatusServiceUnavailable, errors.New("online sessions unavailable: this replica runs without -events-dir"))
 }

@@ -25,7 +25,7 @@ func onlineServer(t *testing.T, dir string, mutate func(*serverOptions)) (*serve
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { o.log.Close() })
+	t.Cleanup(func() { o.close() })
 	srv.online = o
 	return srv, seqs
 }
@@ -100,13 +100,19 @@ func TestOnlineEndpointValidation(t *testing.T) {
 	}
 }
 
+// A replica without -events-dir answers the online endpoints 503 +
+// Retry-After, not 404: the endpoints exist, and a retrying client in a
+// mixed fleet must not conclude the API is gone.
 func TestOnlineEndpointsDisabledWithoutEventsDir(t *testing.T) {
 	srv, _ := testServer(t)
 	h := srv.routes()
 	for _, path := range []string{"/consume", "/recommend/user"} {
 		rr := postJSON(t, h, path, map[string]int{"user": 0})
-		if rr.Code != http.StatusNotFound {
-			t.Fatalf("%s: status %d", path, rr.Code)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503", path, rr.Code)
+		}
+		if rr.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s: no Retry-After header", path)
 		}
 		var body map[string]string
 		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
@@ -124,7 +130,7 @@ func TestStatsReportsOnlineCounters(t *testing.T) {
 	for _, v := range seqs[1][:7] {
 		postJSON(t, h, "/consume", consumeRequest{User: 1, Item: int(v)})
 	}
-	srv.online.snapshot()
+	srv.online.pool.SnapshotAll()
 
 	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
 	rr := httptest.NewRecorder()
@@ -138,6 +144,9 @@ func TestStatsReportsOnlineCounters(t *testing.T) {
 	}
 	if st.Fsyncs < 7 || st.Snapshots != 1 {
 		t.Fatalf("durability stats %+v", st)
+	}
+	if len(st.Shards) != 1 || st.Shards[0].State != "serving" || st.Shards[0].Sessions != 1 {
+		t.Fatalf("per-shard stats %+v", st.Shards)
 	}
 
 	// Without -events-dir the online block stays zeroed.
@@ -153,24 +162,40 @@ func TestStatsReportsOnlineCounters(t *testing.T) {
 	}
 }
 
-func TestReadyzGatesOnRecovery(t *testing.T) {
+// /readyz reflects shard health: every shard serving → ready; any shard
+// out of serving (here: drained through the admin plane) → 503 with the
+// per-shard state list naming the culprit.
+func TestReadyzGatesOnShardHealth(t *testing.T) {
 	srv, _ := onlineServer(t, t.TempDir(), nil)
 	h := srv.routes()
-	get := func() (int, string) {
+	get := func() (int, readyResponse) {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
-		var body map[string]string
-		json.Unmarshal(rr.Body.Bytes(), &body)
-		return rr.Code, body["status"]
+		var body readyResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		return rr.Code, body
 	}
-	if code, status := get(); code != http.StatusOK || status != "ready" {
-		t.Fatalf("recovered server: %d %q", code, status)
+	code, body := get()
+	if code != http.StatusOK || body.Status != "ready" {
+		t.Fatalf("recovered server: %d %+v", code, body)
 	}
-	srv.online.mu.Lock()
-	srv.online.recovered = false
-	srv.online.mu.Unlock()
-	if code, status := get(); code != http.StatusServiceUnavailable || status != "recovering" {
-		t.Fatalf("recovering server: %d %q", code, status)
+	if len(body.Shards) != 1 || body.Shards[0] != "serving" {
+		t.Fatalf("per-shard readiness: %+v", body.Shards)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/admin/drain?shard=0", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("drain: %d %s", rr.Code, rr.Body.String())
+	}
+	code, body = get()
+	if code != http.StatusServiceUnavailable || body.Status != "recovering" {
+		t.Fatalf("drained server: %d %+v", code, body)
+	}
+	if len(body.Shards) != 1 || body.Shards[0] != "stopped" {
+		t.Fatalf("per-shard readiness after drain: %+v", body.Shards)
 	}
 }
 

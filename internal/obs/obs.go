@@ -127,11 +127,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.seriesFor(name, counterKind, nil)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.seriesFor(name, counterKind, nil).c
 }
 
 // Gauge returns the gauge for name, registering it on first use. Returns
@@ -141,6 +137,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 		return nil
 	}
 	s := r.seriesFor(name, gaugeKind, nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if s.gf != nil {
 		panic(fmt.Sprintf("obs: %s already registered as a gauge func", name))
 	}
@@ -160,6 +158,8 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 		return
 	}
 	s := r.seriesFor(name, gaugeKind, nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if s.g != nil {
 		panic(fmt.Sprintf("obs: %s already registered as a plain gauge", name))
 	}
@@ -179,7 +179,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // seriesFor finds or creates the series for name, enforcing family/type
-// coherence.
+// coherence. Counter and histogram handles are minted under the lock so
+// concurrent registrations of the same series (e.g. parallel shard
+// recovery opening WALs over one registry) hand out one shared handle.
 func (r *Registry) seriesFor(name string, kind metricKind, bounds []float64) *series {
 	fam, labels := splitName(name)
 	if err := checkFamilyName(fam); err != nil {
@@ -209,6 +211,9 @@ func (r *Registry) seriesFor(name string, kind metricKind, bounds []float64) *se
 			s.h = newHistogram(f.bounds)
 		}
 		f.series[labels] = s
+	}
+	if kind == counterKind && s.c == nil {
+		s.c = &Counter{}
 	}
 	return s
 }

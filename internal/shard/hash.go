@@ -1,0 +1,23 @@
+// User → shard routing. The mapping must be a pure function of the
+// user id and the shard count: every layer (handler routing, WAL
+// placement, recovery, the chaos suite) derives it independently, and a
+// shard's WAL directory is only replayable into the same shard, so the
+// mapping is part of the on-disk contract. It is pinned by a golden
+// test and must never change for a fixed (user, shards) pair.
+package shard
+
+// UserShard maps a user id to a shard index in [0, shards). It applies
+// a SplitMix64 finalizer to the id before reducing mod shards, so
+// dense, sequential user ids (the common case: ids are matrix rows)
+// spread evenly instead of striping, and the mapping stays stable
+// across processes, platforms, and releases.
+func UserShard(user, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := uint64(user) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}

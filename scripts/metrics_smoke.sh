@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end /metrics smoke test (make metrics-smoke; non-gating in CI):
-# synthesize a tiny workload, train with -metrics-out, start rrc-server,
-# drive one recommend request, and validate both the training metrics
-# file and a live /metrics scrape with rrc-inspect -expfmt.
+# synthesize a tiny workload, train with -metrics-out, start rrc-server
+# with a 4-shard online layer, drive recommend + consume traffic, and
+# validate both the training metrics file and a live /metrics scrape
+# with rrc-inspect -expfmt — including the per-shard rrc_shard_*
+# families and a sharded-root rrc-inspect -wal pass over the event log.
 set -eu
 
 ADDR=${METRICS_SMOKE_ADDR:-127.0.0.1:18395}
@@ -25,7 +27,8 @@ grep -q '^rrc_train_checkpoints_total' "$tmp/train.prom" || {
 	exit 1
 }
 
-"$tmp/bin/rrc-server" -model "$tmp/model.tsppr" -addr "$ADDR" -window 20 -omega 3 &
+"$tmp/bin/rrc-server" -model "$tmp/model.tsppr" -addr "$ADDR" -window 20 -omega 3 \
+	-events-dir "$tmp/events" -shards 4 &
 server_pid=$!
 ok=
 for _ in $(seq 1 50); do
@@ -43,6 +46,11 @@ curl -sf -X POST "http://$ADDR/recommend" \
 	-d '{"user":0,"history":[0,1,2,3,4,5,6,7,8,9,0,1,2,3,4,5,6,7,8,9,0,1,2,3,4,5,6,7,8,9],"n":5}' \
 	>/dev/null
 
+# Online traffic across several users so more than one shard owns state.
+for u in 0 1 2 3 4 5 6 7; do
+	curl -sf -X POST "http://$ADDR/consume" -d "{\"user\":$u,\"item\":3}" >/dev/null
+done
+
 curl -sf "http://$ADDR/metrics" >"$tmp/scrape.prom"
 "$tmp/bin/rrc-inspect" -expfmt - <"$tmp/scrape.prom"
 for fam in rrc_http_requests_total rrc_http_request_seconds_count \
@@ -52,4 +60,34 @@ for fam in rrc_http_requests_total rrc_http_request_seconds_count \
 		exit 1
 	}
 done
+
+# Every shard exports its lifecycle families; all four must be serving
+# (state 2) with zero restarts and breaker trips after clean traffic.
+for i in 0 1 2 3; do
+	grep -q "^rrc_shard_state{shard=\"$i\"} 2$" "$tmp/scrape.prom" || {
+		echo "/metrics lacks rrc_shard_state{shard=\"$i\"} 2" >&2
+		exit 1
+	}
+	grep -q "^rrc_shard_restarts_total{shard=\"$i\"} 0$" "$tmp/scrape.prom" || {
+		echo "/metrics lacks rrc_shard_restarts_total{shard=\"$i\"} 0" >&2
+		exit 1
+	}
+	grep -q "^rrc_shard_breaker_trips_total{shard=\"$i\"} 0$" "$tmp/scrape.prom" || {
+		echo "/metrics lacks rrc_shard_breaker_trips_total{shard=\"$i\"} 0" >&2
+		exit 1
+	}
+done
+grep -q '^rrc_online_sessions 8$' "$tmp/scrape.prom" || {
+	echo "/metrics lacks rrc_online_sessions 8" >&2
+	exit 1
+}
+
+# Shut the server down cleanly and verify the sharded WAL root.
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=
+"$tmp/bin/rrc-inspect" -wal "$tmp/events" | grep -q 'sharded root: shards=4 unhealthy=0' || {
+	echo "rrc-inspect -wal did not report a healthy 4-shard root" >&2
+	exit 1
+}
 echo "metrics smoke: OK"
