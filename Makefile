@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos replica-chaos replica-smoke
 
 ## check: everything CI should gate on — formatting, vet, race-enabled tests
 ## (obs-race first: the metric hot paths are the newest concurrency surface,
-## shard-chaos next: panic/fault injection into live sharded traffic),
+## shard-chaos next: panic/fault injection into live sharded traffic,
+## replica-chaos after: failover/fencing/rejoin over a live pair),
 ## and the fuzz targets over their seed corpora
-check: fmt vet obs-race shard-chaos race fuzz-smoke
+check: fmt vet obs-race shard-chaos replica-chaos race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,20 @@ obs-race:
 shard-chaos:
 	$(GO) test -race -count=1 -run Shard ./cmd/rrc-server ./internal/shard
 
+## replica-chaos: the replication chaos suite, unconditionally re-run
+## under the race detector — primary kill + auto-promote must preserve
+## every acked shipped write, a deposed primary must start fenced, and a
+## rejoining node must truncate its divergent tail and drain lag to 0
+replica-chaos:
+	$(GO) test -race -count=1 -run Replica ./cmd/rrc-server ./internal/replica
+
+## replica-smoke: end-to-end primary+standby soak over real sockets —
+## traffic against the primary, standby tails the WAL stream, both
+## /metrics scraped, replication lag asserted back to 0, then promote
+## and verify the standby owns writes
+replica-smoke:
+	sh scripts/replica_smoke.sh
+
 ## metrics-smoke: end-to-end /metrics check — train with -metrics-out,
 ## serve sharded (-shards=4), scrape, and validate the exposition with
 ## rrc-inspect -expfmt, including the per-shard rrc_shard_* families
@@ -44,7 +59,7 @@ metrics-smoke:
 ## fuzz-smoke: run every fuzz target over its checked-in seed corpus only
 ## (no mutation) — fast enough to gate on
 fuzz-smoke:
-	$(GO) test ./internal/core ./internal/dataset -run '^Fuzz' -count=1
+	$(GO) test ./internal/core ./internal/dataset ./internal/wal -run '^Fuzz' -count=1
 
 ## bench: regenerate BENCH_PR6.json — fixed-seed scoring throughput of the
 ## engine vs the pre-refactor per-call path (ns/op, allocs/op, items/sec)

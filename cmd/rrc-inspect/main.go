@@ -23,9 +23,17 @@
 // the first format violation. "-" reads stdin, which is how the CI
 // metrics smoke test pipes a live scrape through it.
 //
+// With -epoch, it prints the replication epoch and promotion history
+// persisted under an events root; with -diverge, it compares two
+// events roots record-by-record and reports, per shard, where their
+// WAL timelines fork (nonzero exit on any fork) — the post-failover
+// "what did we lose" question answered from the directories alone.
+//
 //	rrc-inspect                       # model diagnostics
 //	rrc-inspect -validate a.tsv b.tsv # dataset health check
 //	rrc-inspect -wal events/          # event-log health check
+//	rrc-inspect -epoch events/        # replication epoch + history
+//	rrc-inspect -diverge old/ new/    # where did two nodes fork?
 //	curl -s :8080/metrics | rrc-inspect -expfmt -
 package main
 
@@ -56,6 +64,8 @@ func main() {
 	validate := flag.Bool("validate", false, "validate TSV event logs given as arguments instead of inspecting a model")
 	walDir := flag.String("wal", "", "verify the write-ahead event log in this directory instead of inspecting a model")
 	expfmt := flag.String("expfmt", "", "validate a Prometheus text exposition file ('-' reads stdin) instead of inspecting a model")
+	epochRoot := flag.String("epoch", "", "print the replication epoch and promotion history persisted under this events root")
+	diverge := flag.Bool("diverge", false, "compare the two events roots given as arguments record-by-record and report where their WAL timelines fork")
 	flag.Parse()
 	var err error
 	switch {
@@ -65,6 +75,14 @@ func main() {
 		err = runWALVerify(*walDir, os.Stdout)
 	case *expfmt != "":
 		err = runExpfmt(*expfmt, os.Stdout)
+	case *epochRoot != "":
+		err = runEpoch(*epochRoot, os.Stdout)
+	case *diverge:
+		if len(flag.Args()) != 2 {
+			err = fmt.Errorf("-diverge needs exactly two events-root arguments: %w", cli.ErrUsage)
+		} else {
+			err = runDiverge(flag.Arg(0), flag.Arg(1), os.Stdout)
+		}
 	default:
 		err = run()
 	}

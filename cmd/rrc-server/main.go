@@ -52,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -88,6 +89,11 @@ func main() {
 		snapshotEvery = flag.Int("snapshot-every", 4096, "session snapshot every N appended events (0 = only at shutdown)")
 		maxSessions   = flag.Int("max-sessions", sessions.DefaultMaxUsers, "in-memory session bound; least-recently-used windows are evicted past it")
 		corruptSkip   = flag.Bool("wal-skip-corrupt", false, "quarantine CRC-failed log records instead of refusing to start")
+
+		followURL       = flag.String("follow", "", "run as a warm standby tailing this primary's WAL stream (read-only until promoted)")
+		autoPromote     = flag.Bool("auto-promote", false, "with -follow: promote automatically after repeated primary health-probe failures")
+		peersCSV        = flag.String("peers", "", "comma-separated peer base URLs; a restarting primary checks their epochs and starts fenced if deposed")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "bound on the graceful shard drain (final snapshots) at shutdown; 0 = unbounded")
 	)
 	flag.Parse()
 
@@ -126,6 +132,11 @@ func main() {
 		snapshotEvery: *snapshotEvery,
 		maxSessions:   *maxSessions,
 		corrupt:       corrupt,
+
+		followURL:       *followURL,
+		autoPromote:     *autoPromote,
+		peers:           splitPeers(*peersCSV),
+		shutdownTimeout: *shutdownTimeout,
 	})
 	if *eventsDir != "" {
 		online, err := newOnline(srv.opts, model)
@@ -142,6 +153,10 @@ func main() {
 		}
 		log.Printf("recovered %d sessions across %d shard(s) (%d replayed records, %d torn tail(s) truncated, %d corrupt skipped) from %s",
 			sessionsTotal, online.pool.N(), replayed, ws.TruncatedTails, ws.SkippedCorrupt, *eventsDir)
+	}
+	if err := srv.setupReplication(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-server:", err)
+		os.Exit(1)
 	}
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
@@ -173,10 +188,21 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		// The listener has drained: flush a final snapshot and close the
-		// event log so the next start recovers without a WAL replay.
+		// The listener has drained: stop replication first (nothing may
+		// apply into the pool while it drains), then flush a final
+		// snapshot per shard and close the event logs — under the
+		// -shutdown-timeout bound, so one wedged shard cannot hold the
+		// process hostage. A shard that misses the deadline loses only its
+		// final snapshot; its WAL remains authoritative for recovery.
+		if srv.repl != nil {
+			srv.repl.stop()
+		}
 		if srv.online != nil {
-			if err := srv.online.close(); err != nil {
+			missed, err := srv.online.closeTimeout(srv.opts.shutdownTimeout)
+			for _, i := range missed {
+				log.Printf("shard %d missed the %s shutdown deadline; its WAL remains authoritative", i, srv.opts.shutdownTimeout)
+			}
+			if err != nil {
 				log.Printf("event log close: %v", err)
 			}
 		}
@@ -186,6 +212,18 @@ func main() {
 		log.Fatal(err)
 	}
 	<-idle
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(csv string) []string {
+	var peers []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // servePprof serves the net/http/pprof handlers on their own mux and
@@ -232,6 +270,17 @@ type serverOptions struct {
 	shardBackoffBase   time.Duration
 	shardBackoffMax    time.Duration
 
+	// Replication plane; zero values defer to replica defaults.
+	followURL         string        // "" → primary role
+	autoPromote       bool          // follower: promote on primary probe failure
+	peers             []string      // primary: startup epoch check against the fleet
+	shutdownTimeout   time.Duration // bound on the graceful shard drain; 0 = unbounded
+	replProbeInterval time.Duration // auto-promote probe period; 0 → 1s
+	replProbeFails    int           // consecutive probe failures before promote; 0 → 5
+	replBackoffBase   time.Duration // follower tailer retry backoff; 0 → 100ms
+	replBackoffMax    time.Duration
+	replWait          time.Duration // stream long-poll hold; 0 → 2s
+
 	// metrics is set by newServer to the server's registry so newOnline
 	// can instrument the WAL and register session gauges.
 	metrics *obs.Registry
@@ -246,6 +295,7 @@ type server struct {
 	eng    atomic.Pointer[engine.Engine]
 	sem    chan struct{}
 	online *onlineState // nil unless -events-dir is configured
+	repl   *replState   // nil unless online; owns role, epoch, fencing
 
 	// reg is the process metric registry (GET /metrics); the counter
 	// handles below are series registered on it by initMetrics.
@@ -313,6 +363,10 @@ func (s *server) routes() http.Handler {
 		// Admin plane: not hardened (a drain must not be shed under load)
 		// and not instrumented (it is not traffic).
 		mux.HandleFunc("POST /admin/drain", s.handleDrain)
+		if s.repl != nil {
+			s.repl.stream.Register(mux)
+			mux.HandleFunc("POST /admin/promote", s.handlePromote)
+		}
 	} else {
 		mux.Handle("POST /consume", s.instrument("/consume", http.HandlerFunc(s.errOnlineDisabled)))
 		mux.Handle("POST /recommend/user", s.instrument("/recommend/user", http.HandlerFunc(s.errOnlineDisabled)))
@@ -392,6 +446,9 @@ type statsResponse struct {
 
 	// Per-shard health, indexed by shard; nil when -events-dir is off.
 	Shards []shard.Status `json:"shards,omitempty"`
+
+	// Replication role and lag; nil when the replication plane is off.
+	Replication *replStatus `json:"replication,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -419,6 +476,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.online != nil {
 		s.online.statsInto(&st)
 	}
+	if s.repl != nil {
+		rst := s.repl.status()
+		st.Replication = &rst
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -434,6 +495,9 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 type readyResponse struct {
 	Status string   `json:"status"`
 	Shards []string `json:"shards,omitempty"`
+	// Replication reports the node's role, epoch, fence, and (follower)
+	// lag; nil when the replication plane is off.
+	Replication *replStatus `json:"replication,omitempty"`
 }
 
 // handleReady reports readiness: a loaded model, a healthy primary
@@ -456,6 +520,20 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.eng.Load() == nil {
 		resp.Status, code = "no model", http.StatusServiceUnavailable
+	}
+	if s.repl != nil {
+		st := s.repl.status()
+		resp.Replication = &st
+		if code == http.StatusOK {
+			switch {
+			case st.Fenced:
+				// Reads still serve, but a deposed primary must stop
+				// attracting routed traffic until it rejoins.
+				resp.Status, code = "fenced", http.StatusServiceUnavailable
+			case st.Role == "follower":
+				resp.Status = "following"
+			}
+		}
 	}
 	writeJSON(w, code, resp)
 }

@@ -26,8 +26,10 @@ package main
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"tsppr/internal/core"
 	"tsppr/internal/obs"
@@ -130,6 +132,14 @@ func (o *onlineState) ready() bool { return o.pool.Ready() }
 // drained.
 func (o *onlineState) close() error { return o.pool.Close() }
 
+// closeTimeout is close under a deadline: shards that cannot finish
+// their final snapshot within d are abandoned (their WALs stay
+// authoritative) and reported so the operator knows recovery will
+// replay. d <= 0 means unbounded.
+func (o *onlineState) closeTimeout(d time.Duration) ([]int, error) {
+	return o.pool.CloseTimeout(d)
+}
+
 // statsInto copies the pool's aggregate counters — and the per-shard
 // status list — into a /stats reply.
 func (o *onlineState) statsInto(st *statsResponse) {
@@ -159,7 +169,13 @@ func (o *onlineState) statsInto(st *statsResponse) {
 func writeOnlineErr(w http.ResponseWriter, err error) {
 	var ue *shard.UnavailableError
 	if errors.As(err, &ue) {
-		w.Header().Set("Retry-After", strconv.Itoa(int(ue.RetryAfter.Seconds())))
+		// Round the hint UP: advertising 6 for a 6.9s backoff invites a
+		// guaranteed-rejected retry inside the supervisor's window.
+		secs := int(math.Ceil(ue.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -182,6 +198,19 @@ type consumeResponse struct {
 }
 
 func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
+	// Replication fencing comes before anything else: a standby or a
+	// deposed primary must not acknowledge writes it cannot keep.
+	if s.repl != nil {
+		if err := s.repl.checkIngestEpoch(r); err != nil {
+			writeError(w, http.StatusPreconditionFailed, err)
+			return
+		}
+		if err := s.repl.writeBlocked(); err != nil {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
 	var req consumeRequest
 	if code, err := decodeJSON(w, r, 1<<16, &req); err != nil {
 		writeError(w, code, err)

@@ -1,0 +1,144 @@
+// Package replica implements asynchronous WAL shipping between two
+// rrc-server processes: a primary streams committed event-log records
+// per shard over HTTP, a warm standby tails each shard with
+// resume-from-LSN, applies them through the LSN-idempotent session
+// store, and can be promoted to primary under a fenced, monotonic
+// epoch. The epoch — persisted next to the `shards` marker — is the
+// split-brain guard: a promoted standby bumps it, and every replication
+// and ingest interaction carries it so a deposed primary is refused
+// (and told exactly where its timeline diverged) rather than silently
+// double-writing the same users.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tsppr/internal/atomicio"
+)
+
+// MetaFile is the epoch marker's file name, living in the events root
+// beside the `shards` marker so the two on-disk contracts travel
+// together.
+const MetaFile = "epoch"
+
+// Promotion records one epoch bump and, per shard, the first LSN minted
+// under the new epoch (the shard's nextLSN at promotion). Everything
+// below Bases[i] is shared history with the previous timeline;
+// everything at or above it belongs to the new one. A rejoining node
+// with an older epoch truncates from the minimum base across all
+// promotions it missed.
+type Promotion struct {
+	Epoch uint64   `json:"epoch"`
+	Bases []uint64 `json:"bases"`
+}
+
+// Meta is the persisted replication state of one events root.
+type Meta struct {
+	// Epoch is the node's current fencing token. 0 = never promoted,
+	// never followed: a legacy root, treated as epoch 1's history.
+	Epoch uint64 `json:"epoch"`
+	// History holds every promotion this node has witnessed (its own or
+	// adopted from a primary it follows), ascending by epoch.
+	History []Promotion `json:"history,omitempty"`
+}
+
+// LoadMeta reads the epoch marker from root. A missing file is not an
+// error: it returns a zero Meta, the state of every root created before
+// replication existed.
+func LoadMeta(root string) (Meta, error) {
+	var m Meta
+	b, err := os.ReadFile(filepath.Join(root, MetaFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, nil
+		}
+		return m, fmt.Errorf("replica: read epoch marker: %w", err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("replica: epoch marker %s: %w", filepath.Join(root, MetaFile), err)
+	}
+	for i, p := range m.History {
+		if i > 0 && p.Epoch <= m.History[i-1].Epoch {
+			return m, fmt.Errorf("replica: epoch marker: history not ascending at entry %d", i)
+		}
+		if p.Epoch > m.Epoch {
+			return m, fmt.Errorf("replica: epoch marker: history entry %d epoch %d above current %d", i, p.Epoch, m.Epoch)
+		}
+	}
+	return m, nil
+}
+
+// Store atomically persists the epoch marker to root, routed through
+// the "replica.meta" fault-injection point.
+func (m Meta) Store(root string) error {
+	path := filepath.Join(root, MetaFile)
+	err := atomicio.WriteFile(path, "replica.meta", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+	if err != nil {
+		return fmt.Errorf("replica: write epoch marker: %w", err)
+	}
+	return nil
+}
+
+// Promote returns a copy of m advanced to epoch, recording bases (the
+// per-shard nextLSN at the moment of promotion) in the history. epoch
+// must be strictly above the current one.
+func (m Meta) Promote(epoch uint64, bases []uint64) (Meta, error) {
+	if epoch <= m.Epoch {
+		return m, fmt.Errorf("replica: promote to epoch %d, already at %d", epoch, m.Epoch)
+	}
+	out := m
+	out.Epoch = epoch
+	out.History = append(append([]Promotion(nil), m.History...), Promotion{Epoch: epoch, Bases: append([]uint64(nil), bases...)})
+	return out, nil
+}
+
+// Adopt merges a primary's meta into a follower's: the follower takes
+// the primary's epoch and the history entries it was missing. The
+// primary's history must contain everything the follower has (same
+// timeline) — a follower that has seen a promotion the primary hasn't
+// is on a divergent future and must not silently adopt.
+func (m Meta) Adopt(primary Meta) (Meta, error) {
+	if primary.Epoch < m.Epoch {
+		return m, fmt.Errorf("replica: adopt epoch %d below own %d", primary.Epoch, m.Epoch)
+	}
+	byEpoch := map[uint64]bool{}
+	for _, p := range primary.History {
+		byEpoch[p.Epoch] = true
+	}
+	for _, p := range m.History {
+		if !byEpoch[p.Epoch] {
+			return m, fmt.Errorf("replica: primary history lacks our promotion epoch %d — divergent timelines", p.Epoch)
+		}
+	}
+	out := m
+	out.Epoch = primary.Epoch
+	out.History = append([]Promotion(nil), primary.History...)
+	return out, nil
+}
+
+// DivergenceLSN reports where shard's timeline split for a node last
+// synced at sinceEpoch: the minimum base LSN across every promotion
+// after sinceEpoch. ok is false when no promotion after sinceEpoch
+// covers the shard — the histories agree and no truncation is needed.
+func (m Meta) DivergenceLSN(shard int, sinceEpoch uint64) (uint64, bool) {
+	var min uint64
+	ok := false
+	for _, p := range m.History {
+		if p.Epoch <= sinceEpoch || shard >= len(p.Bases) {
+			continue
+		}
+		if !ok || p.Bases[shard] < min {
+			min = p.Bases[shard]
+			ok = true
+		}
+	}
+	return min, ok
+}

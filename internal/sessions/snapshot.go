@@ -209,6 +209,62 @@ func PruneSnapshots(dir string) (uint64, error) {
 	return snaps[0].lsn, nil
 }
 
+// SnapshotPath returns the canonical snapshot file path for an applied
+// LSN in dir — where a replica writes a snapshot downloaded from its
+// primary so LoadLatest and the generation pruner see it natively.
+func SnapshotPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, snapName(lsn))
+}
+
+// SnapshotLSNs returns the applied LSNs of every snapshot in dir in
+// ascending order.
+func SnapshotLSNs(dir string) ([]uint64, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	lsns := make([]uint64, len(snaps))
+	for i, sn := range snaps {
+		lsns[i] = sn.lsn
+	}
+	return lsns, nil
+}
+
+// NewestSnapshot reports the newest snapshot file in dir and its
+// applied LSN; ok is false when dir holds no snapshots. It does not
+// open the file — callers that need the contents go through LoadLatest,
+// which also falls back across corrupt generations.
+func NewestSnapshot(dir string) (path string, lsn uint64, ok bool, err error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) == 0 {
+		return "", 0, false, err
+	}
+	newest := snaps[len(snaps)-1]
+	return filepath.Join(dir, newest.name), newest.lsn, true, nil
+}
+
+// DropSnapshotsFrom removes every snapshot in dir whose applied LSN is
+// ≥ lsn and returns how many were deleted. A demoted replica truncating
+// its divergent WAL tail from lsn must also discard snapshots taken at
+// or past that point: they bake in records the new timeline never had.
+func DropSnapshotsFrom(dir string, lsn uint64) (int, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for _, sn := range snaps {
+		if sn.lsn < lsn {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, sn.name)); err != nil {
+			return dropped, fmt.Errorf("sessions: drop snapshot: %w", err)
+		}
+		dropped++
+	}
+	return dropped, nil
+}
+
 type snapInfo struct {
 	name string
 	lsn  uint64

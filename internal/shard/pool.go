@@ -43,7 +43,8 @@ type Config struct {
 
 	Fsync         wal.SyncPolicy
 	FsyncInterval time.Duration
-	SnapshotEvery int // snapshot a shard every N of its appends; 0 → only at drain
+	SnapshotEvery int   // snapshot a shard every N of its appends; 0 → only at drain
+	SegmentBytes  int64 // per-shard WAL rotation threshold; 0 → wal default
 	Corrupt       wal.CorruptPolicy
 
 	// Metrics, when non-nil, receives the per-shard families
@@ -201,6 +202,10 @@ func checkLayout(root string, n int) error {
 
 // N returns the pool's shard count.
 func (p *Pool) N() int { return len(p.shards) }
+
+// Root returns the pool's events root — where cross-shard markers (the
+// shard count, the replication epoch) live.
+func (p *Pool) Root() string { return p.root }
 
 // Shard returns shard i.
 func (p *Pool) Shard(i int) *Shard { return p.shards[i] }

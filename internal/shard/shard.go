@@ -125,7 +125,8 @@ type Shard struct {
 	sinceSnapshot int
 	snapshots     int64
 	snapshotErrs  int64
-	failStreak    int // consecutive append failures; breaker input
+	failStreak    int       // consecutive append failures; breaker input
+	retryAt       time.Time // when the supervisor's next restart attempt fires
 	restarts      int64
 	trips         int64
 	lastErr       error
@@ -243,6 +244,7 @@ func (s *Shard) tripLocked(cause error) {
 	old := s.log
 	s.log = nil
 	s.failStreak = 0
+	s.retryAt = time.Now().Add(s.cfg.BackoffBase)
 	go s.supervise(s.gen, old)
 }
 
@@ -269,6 +271,15 @@ func (s *Shard) supervise(gen int, old *wal.Log) {
 			s.mu.Unlock()
 			return
 		}
+		// Publish when this attempt will fire so fenced requests can
+		// derive an honest Retry-After instead of a fixed guess.
+		s.mu.Lock()
+		if s.gen != gen || s.state != Restarting {
+			s.mu.Unlock()
+			return
+		}
+		s.retryAt = time.Now().Add(backoff)
+		s.mu.Unlock()
 		time.Sleep(backoff)
 		backoff = min(2*backoff, s.cfg.BackoffMax)
 		s.mu.Lock()
@@ -341,6 +352,10 @@ func (s *Shard) Close() error {
 	if s.state == Serving {
 		s.state = Draining
 		s.gen++
+		// Chaos hook: a firing Delay plan here simulates a shard whose
+		// final drain wedges (slow disk, giant flush) so shutdown-bound
+		// tests can prove the deadline holds. Disarmed in production.
+		_ = faultinject.Do("shard.drain")
 		s.snapshotLocked()
 		err := s.log.Close()
 		s.log = nil
@@ -392,14 +407,21 @@ func (s *Shard) snapshotLocked() {
 }
 
 // unavailableLocked builds the fast-fail error for the current state.
-// The Retry-After hint is short while a supervised restart is expected
-// to bring the shard back, longer when it will not return (drained or
-// failed — the caller should re-resolve, not hot-loop).
+// While a supervised restart is pending, the Retry-After hint is the
+// supervisor's actual remaining backoff (floored at 1s so jittery
+// clients don't re-arrive a few ms early) — a shard backing off for
+// several seconds tells clients exactly that instead of inviting a
+// hammering retry loop. States that will not come back (drained,
+// failed) hint longer: the caller should re-resolve, not hot-loop.
 func (s *Shard) unavailableLocked() error {
 	retry := time.Second
 	switch s.state {
 	case Draining, Stopped, Failed:
 		retry = 5 * time.Second
+	case Restarting:
+		if rem := time.Until(s.retryAt); rem > retry {
+			retry = rem
+		}
 	}
 	return &UnavailableError{Shard: s.index, State: s.state, RetryAfter: retry, Cause: s.lastErr}
 }
@@ -483,10 +505,11 @@ func (s *Shard) Dump() []sessions.UserWindow {
 // replay the tail.
 func openState(dir string, cfg Config) (*wal.Log, *sessions.Store, sessions.RecoverStats, error) {
 	l, err := wal.Open(dir, wal.Options{
-		Sync:      cfg.Fsync,
-		SyncEvery: cfg.FsyncInterval,
-		Corrupt:   cfg.Corrupt,
-		Metrics:   cfg.Metrics,
+		Sync:         cfg.Fsync,
+		SyncEvery:    cfg.FsyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+		Corrupt:      cfg.Corrupt,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, sessions.RecoverStats{}, err

@@ -53,6 +53,11 @@ import (
 // CorruptHalt policy.
 var ErrCorrupt = errors.New("corrupt record")
 
+// ErrPruned reports a positioned read or truncation below the log's
+// oldest retained LSN — the records were pruned away behind a snapshot
+// and the caller must re-sync from a snapshot instead of the log.
+var ErrPruned = errors.New("lsn below oldest retained record")
+
 const (
 	headerSize = 8
 	segPrefix  = "wal-"
@@ -135,6 +140,12 @@ type Options struct {
 	SyncEvery      time.Duration // SyncInterval batching period; 0 → DefaultSyncEvery
 	Corrupt        CorruptPolicy
 
+	// InitialLSN seeds the first record's LSN when the directory holds
+	// no segments yet (0 → 1). A replica reseeded from a snapshot at
+	// LSN S opens its fresh log with InitialLSN S+1 so local LSNs stay
+	// identical to the primary's. Ignored when segments already exist.
+	InitialLSN uint64
+
 	// Metrics, when non-nil, receives append/fsync latency histograms
 	// and a rotation counter (rrc_wal_*). Nil records nothing.
 	Metrics *obs.Registry
@@ -210,7 +221,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	if len(segs) == 0 {
 		l.nextLSN = 1
-		if err := l.createSegmentLocked(1); err != nil {
+		if opts.InitialLSN > 1 {
+			l.nextLSN = opts.InitialLSN
+		}
+		if err := l.createSegmentLocked(l.nextLSN); err != nil {
 			return nil, err
 		}
 		return l, nil
@@ -470,6 +484,226 @@ func (l *Log) NextLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextLSN
+}
+
+// OldestLSN returns the LSN of the oldest record still retained (the
+// first segment's base). Records below it were pruned behind snapshots.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segments[0].first
+}
+
+// errReadDone is the internal sentinel a bounded ReadFrom uses to stop a
+// segment scan once maxRecords have been delivered.
+var errReadDone = errors.New("wal: read budget exhausted")
+
+// DefaultReadBatch is ReadFrom's record budget when maxRecords ≤ 0.
+const DefaultReadBatch = 1024
+
+// ReadFrom delivers up to maxRecords committed records with LSN ≥ from,
+// oldest first, and returns the LSN the next ReadFrom should resume at
+// (from itself when nothing new is committed — a clean EOF, not an
+// error). Unlike Replay it does not hold the log lock during file I/O:
+// the segment list and commit horizon are snapshotted under the lock,
+// then the files are read independently, so a replication stream never
+// stalls appends. from below the oldest retained record returns
+// ErrPruned — the reader must re-sync from a snapshot.
+func (l *Log) ReadFrom(from uint64, maxRecords int, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	if maxRecords <= 0 {
+		maxRecords = DefaultReadBatch
+	}
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	limit := l.nextLSN
+	maxRecord := l.opts.MaxRecordBytes
+	corrupt := l.opts.Corrupt
+	dir := l.dir
+	l.mu.Unlock()
+
+	if len(segs) > 0 && from < segs[0].first {
+		return from, fmt.Errorf("wal: read from %d, oldest retained %d: %w", from, segs[0].first, ErrPruned)
+	}
+	if from >= limit {
+		return from, nil
+	}
+	next := from
+	delivered := 0
+	for i, sg := range segs {
+		if i+1 < len(segs) && segs[i+1].first <= next {
+			continue // segment entirely below the resume point
+		}
+		if sg.first >= limit || delivered >= maxRecords {
+			break
+		}
+		res, err := scanSegment(filepath.Join(dir, sg.name), maxRecord, func(idx int, payload []byte) error {
+			lsn := sg.first + uint64(idx)
+			if lsn < next || lsn >= limit {
+				return nil
+			}
+			if delivered >= maxRecords {
+				return errReadDone
+			}
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+			delivered++
+			next = lsn + 1
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, errReadDone) {
+				return next, nil
+			}
+			return next, fmt.Errorf("wal: read %s: %w", sg.name, err)
+		}
+		// A CRC-failed record inside the read range is a hole a reader
+		// cannot stream over: under CorruptHalt refuse; under CorruptSkip
+		// it is already quarantined and the LSN slot is simply absent.
+		if corrupt == CorruptHalt {
+			for _, idx := range res.corrupt {
+				if lsn := sg.first + uint64(idx); lsn >= from && lsn < limit {
+					return next, fmt.Errorf("wal: read %s: record %d (lsn %d): %w", sg.name, idx, lsn, ErrCorrupt)
+				}
+			}
+		}
+	}
+	return next, nil
+}
+
+// TruncateFrom discards every record with LSN ≥ lsn — the positioned
+// write used when a demoted primary rejoins as a follower and must drop
+// the unshipped tail that diverged from the new primary's timeline.
+// Whole segments past the cut are removed; the segment containing the
+// cut is truncated at the exact record boundary and becomes the active
+// segment, so the next Append is assigned exactly lsn. lsn ≥ NextLSN is
+// a no-op; lsn below the oldest retained record is ErrPruned (the
+// caller must discard the whole log and re-sync from a snapshot).
+func (l *Log) TruncateFrom(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if lsn >= l.nextLSN {
+		return nil
+	}
+	if lsn < l.segments[0].first {
+		return fmt.Errorf("wal: truncate from %d, oldest retained %d: %w", lsn, l.segments[0].first, ErrPruned)
+	}
+	// Release the active segment handle; the cut may land in any segment.
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: truncate fsync: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: truncate close: %w", err)
+		}
+		l.f = nil
+	}
+	cut := 0
+	for i, sg := range l.segments {
+		if sg.first <= lsn {
+			cut = i
+		}
+	}
+	for _, sg := range l.segments[cut+1:] {
+		if err := os.Remove(filepath.Join(l.dir, sg.name)); err != nil {
+			return fmt.Errorf("wal: truncate remove %s: %w", sg.name, err)
+		}
+	}
+	l.segments = l.segments[:cut+1]
+	sg := l.segments[cut]
+	path := filepath.Join(l.dir, sg.name)
+	if sg.first == lsn {
+		// The cut lands on the segment's first record: the whole segment
+		// goes, replaced by a fresh empty one with the same base.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: truncate remove %s: %w", sg.name, err)
+		}
+		l.segments = l.segments[:cut]
+		l.nextLSN = lsn
+		if err := l.createSegmentLocked(lsn); err != nil {
+			return err
+		}
+		syncDir(l.dir)
+		return nil
+	}
+	off, err := offsetOfRecord(path, l.opts.MaxRecordBytes, int(lsn-sg.first))
+	if err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", sg.name, err)
+	}
+	if err := truncateAt(path, off); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segSize = off
+	l.nextLSN = lsn
+	syncDir(l.dir)
+	return nil
+}
+
+// offsetOfRecord returns the byte offset of the n-th (0-based) record in
+// a segment file by walking the length-prefixed headers.
+func offsetOfRecord(path string, maxRecord, n int) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	hdr := make([]byte, headerSize)
+	var off int64
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		ln := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		if ln <= 0 || ln > maxRecord {
+			return 0, fmt.Errorf("record %d: implausible length %d: %w", i, ln, ErrCorrupt)
+		}
+		if _, err := br.Discard(ln); err != nil {
+			return 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		off += int64(headerSize + ln)
+	}
+	return off, nil
+}
+
+// ScanDir streams every framed, CRC-intact record in dir with its LSN,
+// oldest first, without opening (or mutating) the log — the read-only
+// iterator behind rrc-inspect's divergence check between two replica
+// roots. Corrupt records are reported, not delivered. maxRecord ≤ 0
+// uses DefaultMaxRecordBytes.
+func ScanDir(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) (corrupt int, err error) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecordBytes
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, sg := range segs {
+		res, err := scanSegment(filepath.Join(dir, sg.name), maxRecord, func(idx int, payload []byte) error {
+			return fn(sg.first+uint64(idx), payload)
+		})
+		if err != nil {
+			return corrupt, fmt.Errorf("wal: scan %s: %w", sg.name, err)
+		}
+		corrupt += len(res.corrupt)
+	}
+	return corrupt, nil
 }
 
 // Stats returns a copy of the durability counters.
