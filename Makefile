@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos replica-chaos replica-smoke
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos replica-chaos replica-smoke router-chaos
 
 ## check: everything CI should gate on — formatting, vet, race-enabled tests
 ## (obs-race first: the metric hot paths are the newest concurrency surface,
 ## shard-chaos next: panic/fault injection into live sharded traffic,
-## replica-chaos after: failover/fencing/rejoin over a live pair),
+## replica-chaos after: failover/fencing/rejoin over a live pair,
+## router-chaos last: the routed fleet end to end — kill the primary under
+## live traffic through rrc-router and lose nothing),
 ## and the fuzz targets over their seed corpora
-check: fmt vet obs-race shard-chaos replica-chaos race fuzz-smoke
+check: fmt vet obs-race shard-chaos replica-chaos router-chaos race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -43,10 +45,21 @@ shard-chaos:
 replica-chaos:
 	$(GO) test -race -count=1 -run Replica ./cmd/rrc-server ./internal/replica
 
-## replica-smoke: end-to-end primary+standby soak over real sockets —
-## traffic against the primary, standby tails the WAL stream, both
-## /metrics scraped, replication lag asserted back to 0, then promote
-## and verify the standby owns writes
+## router-chaos: the routing chaos suite, unconditionally re-run under
+## the race detector — with live traffic flowing through rrc-router,
+## killing the primary must lose zero acked writes, reads must keep
+## serving throughout, the router must converge on the promoted node
+## unaided, and a rejoining deposed primary must be fenced on contact;
+## plus the router's own retry-budget/hedging/topology unit suites
+router-chaos:
+	$(GO) test -race -count=1 -run Router ./cmd/rrc-server ./internal/router
+
+## replica-smoke: end-to-end primary+standby+router soak over real
+## sockets — traffic flows through rrc-router, the primary is SIGKILLed
+## at half-time, the router auto-promotes the standby, and the client-
+## visible error rate across the whole soak must stay under budget;
+## all three /metrics scraped and validated, replication lag asserted
+## back to 0 before the kill, offline forensics on both roots after
 replica-smoke:
 	sh scripts/replica_smoke.sh
 

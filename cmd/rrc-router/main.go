@@ -1,0 +1,124 @@
+// Command rrc-router is the stateless front end for an rrc-server
+// primary/standby pair. Point clients at the router; it health-probes
+// every backend, routes writes to the current primary (by replication
+// epoch), spreads reads over healthy nodes within a staleness bound,
+// and drives or follows failover automatically.
+//
+// Endpoints (mirrors the rrc-server traffic surface):
+//
+//	GET  /healthz          → {"status":"ok"} while the process is alive
+//	GET  /readyz           → 200 while a write target and ≥1 read
+//	                         backend exist; body lists per-node state
+//	GET  /stats            → same body as /readyz, always 200
+//	GET  /metrics          → rrc_router_* Prometheus families
+//	POST /consume          → proxied to the highest-epoch unfenced primary
+//	POST /recommend        → proxied to any healthy node
+//	POST /recommend/batch  → proxied to any healthy node
+//	POST /recommend/user   → proxied to any healthy node within -max-lag
+//
+// Topology comes from -nodes (comma-separated base URLs) or -topology
+// (a file, one URL per line, re-read on mtime change — editing it is
+// the whole "add a node" procedure). Requests carry propagated
+// deadlines (X-RRC-Deadline-Ms) and the fleet's max epoch
+// (X-RRC-Epoch, which fences deposed primaries on contact); retries
+// are bounded per client by a token-bucket retry budget. Usage:
+//
+//	rrc-router -addr :8394 -nodes http://a:8395,http://b:8396 -auto-promote
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tsppr/internal/obs"
+	"tsppr/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8394", "listen address")
+		nodesCSV = flag.String("nodes", "", "comma-separated backend base URLs (e.g. http://a:8395,http://b:8396)")
+		topology = flag.String("topology", "", "topology file: one backend base URL per line, # comments; re-read when its mtime changes (overrides -nodes)")
+
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "backend health-probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "per-probe HTTP timeout (0 = probe interval)")
+		probeFails    = flag.Int("probe-fails", 3, "probe rounds without a write target before failover action")
+		autoPromote   = flag.Bool("auto-promote", false, "promote the best caught-up standby (POST /admin/promote) after -probe-fails rounds without a primary")
+		maxLag        = flag.Uint64("max-lag", 1024, "read staleness bound: followers more than this many records behind stop taking reads")
+
+		deadline     = flag.Duration("deadline", 2*time.Second, "default end-to-end deadline per client request (header X-RRC-Deadline-Ms lowers it)")
+		tryTimeout   = flag.Duration("try-timeout", time.Second, "per-upstream-attempt timeout within the deadline")
+		maxAttempts  = flag.Int("max-attempts", 3, "max upstream attempts per request, including the first")
+		retryBudget  = flag.Float64("retry-budget", 0.1, "retry tokens earned per incoming request (retries per request, fleet-wide bound)")
+		retryBurst   = flag.Float64("retry-burst", 10, "max banked retry tokens per client")
+		retryBackoff = flag.Duration("retry-backoff", 25*time.Millisecond, "pause before re-attempting a write")
+		hedgeDelay   = flag.Duration("hedge-delay", 0, "fire a second read attempt at another node after this delay (0 = hedging off)")
+
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	if *nodesCSV == "" && *topology == "" {
+		fmt.Fprintln(os.Stderr, "rrc-router: one of -nodes or -topology is required")
+		os.Exit(2)
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesCSV, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, strings.TrimRight(n, "/"))
+		}
+	}
+
+	reg := obs.NewRegistry()
+	rt, err := router.New(router.Config{
+		Nodes:         nodes,
+		TopologyPath:  *topology,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		ProbeFails:    *probeFails,
+		AutoPromote:   *autoPromote,
+		MaxLagRecords: *maxLag,
+		Deadline:      *deadline,
+		TryTimeout:    *tryTimeout,
+		MaxAttempts:   *maxAttempts,
+		RetryBudget:   *retryBudget,
+		RetryBurst:    *retryBurst,
+		RetryBackoff:  *retryBackoff,
+		HedgeDelay:    *hedgeDelay,
+		Metrics:       reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrc-router:", err)
+		os.Exit(2)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Routes()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("rrc-router: %s: draining (budget %s)", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("rrc-router: drain incomplete: %v", err)
+		}
+	}()
+
+	log.Printf("rrc-router: listening on %s over %d node(s)", *addr, len(rt.Nodes()))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rrc-router: %v", err)
+	}
+	log.Printf("rrc-router: bye")
+}

@@ -52,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,7 @@ import (
 	"tsppr/internal/faultinject"
 	"tsppr/internal/obs"
 	"tsppr/internal/rec"
+	"tsppr/internal/router"
 	"tsppr/internal/seq"
 	"tsppr/internal/sessions"
 	"tsppr/internal/shard"
@@ -395,7 +397,11 @@ func (s *server) recovered(next http.Handler) http.Handler {
 
 // harden wraps the scoring endpoints with the concurrency semaphore
 // (load-shedding with 429 + Retry-After when saturated) and the
-// per-request deadline.
+// per-request deadline: the server default, lowered by a propagated
+// X-RRC-Deadline-Ms header when a front end (rrc-router) has less
+// time left than we would grant ourselves. The header can only
+// shorten the deadline — a client cannot buy more server time than
+// -request-timeout allows.
 func (s *server) harden(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -407,7 +413,15 @@ func (s *server) harden(next http.Handler) http.Handler {
 			writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.reqTimeout)
+		timeout := s.opts.reqTimeout
+		if raw := r.Header.Get(router.DeadlineHeader); raw != "" {
+			if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+				if d := time.Duration(ms) * time.Millisecond; d < timeout {
+					timeout = d
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
@@ -534,6 +548,11 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 				resp.Status = "following"
 			}
 		}
+	}
+	if code != http.StatusOK {
+		// Recovering, degraded, and fenced are all states a prober
+		// should re-check shortly, not back off from for minutes.
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, resp)
 }

@@ -202,6 +202,10 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 	// deposed primary must not acknowledge writes it cannot keep.
 	if s.repl != nil {
 		if err := s.repl.checkIngestEpoch(r); err != nil {
+			// An epoch conflict resolves within about one router probe
+			// round (the fleet converges on the new primary); tell the
+			// caller when a re-pick is worth attempting.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusPreconditionFailed, err)
 			return
 		}

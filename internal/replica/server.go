@@ -100,6 +100,15 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	json.NewEncoder(w).Encode(body)
 }
 
+// writeUnavailable is writeJSON(503) with the Retry-After every 503
+// from this server carries: the source errors behind it (a shard mid
+// restart, a snapshot mid flush) clear on the order of a second, and a
+// follower that backs off longer than that just accumulates lag.
+func writeUnavailable(w http.ResponseWriter, body any) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
 // checkEpoch compares the requester's epoch header against ours and
 // resolves conflicts; it reports whether the request may proceed.
 // Requests without the header (ops tooling, curl) are let through — the
@@ -184,7 +193,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		next, err = s.Source.NextLSN(shard)
 		if err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
+			writeUnavailable(w, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
 			return
 		}
 		if next > from || time.Now().After(deadline) || r.Context().Err() != nil {
@@ -235,12 +244,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	path, lsn, err := s.Source.Snapshot(shard)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
+		writeUnavailable(w, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
 		return
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
+		writeUnavailable(w, ErrorBody{Error: err.Error(), Epoch: m.Epoch})
 		return
 	}
 	defer f.Close()

@@ -1,0 +1,54 @@
+// Per-client retry budget: the gRPC-style token bucket that makes
+// retry storms structurally impossible. Every incoming request earns
+// its client `ratio` tokens (banked up to `burst`); every retry or
+// hedge spends one whole token. Under a fully down backend a client
+// issuing R requests therefore drives at most R×(1+ratio)+burst
+// upstream attempts — amplification is bounded by configuration, not
+// by luck. Clients are keyed by X-RRC-Client (or remote IP), so one
+// misbehaving caller exhausting its budget cannot spend anyone else's.
+package router
+
+import "sync"
+
+type retryBudget struct {
+	ratio float64
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]float64
+}
+
+func newRetryBudget(ratio, burst float64) *retryBudget {
+	return &retryBudget{ratio: ratio, burst: burst, clients: map[string]float64{}}
+}
+
+// arrive credits a client for one incoming request.
+func (b *retryBudget) arrive(client string) {
+	b.mu.Lock()
+	t := b.clients[client] + b.ratio
+	if t > b.burst {
+		t = b.burst
+	}
+	b.clients[client] = t
+	b.mu.Unlock()
+}
+
+// spend tries to consume one retry token; false means the budget is
+// exhausted and the caller must give up rather than re-attempt.
+func (b *retryBudget) spend(client string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.clients[client]
+	if t < 1 {
+		return false
+	}
+	b.clients[client] = t - 1
+	return true
+}
+
+// tokens reports a client's current balance (tests, /stats).
+func (b *retryBudget) tokens(client string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.clients[client]
+}

@@ -1,0 +1,322 @@
+// Health probing and failover. Each probe round asks every node two
+// questions in parallel:
+//
+//	GET /readyz          — serving state, shard states, replication
+//	                       role/epoch/fence/lag (the replStatus block)
+//	GET /replica/epoch   — the replication meta, carrying the highest
+//	                       epoch the router has seen in X-RRC-Epoch
+//
+// The second probe is also the fencing mechanism: rrc-server's epoch
+// check self-fences when it sees a higher epoch than its own, so a
+// deposed primary stops accepting writes the moment the router —
+// which has talked to the promoted node — probes it. No new protocol;
+// the router is just another replication-aware peer.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Node roles as reported by /readyz. A node that reports no
+// replication block at all (replication plane off) is treated as a
+// primary at epoch 0 — the single-node degenerate topology.
+const (
+	rolePrimary  = "primary"
+	roleFollower = "follower"
+)
+
+// nodeView is one probed snapshot of a backend's state.
+type nodeView struct {
+	Reachable  bool
+	Ready      bool
+	Status     string
+	Role       string
+	Epoch      uint64
+	Fenced     bool
+	LagRecords uint64
+	CaughtUp   bool
+	LastErr    string
+	LastProbe  time.Time
+}
+
+// node pairs a backend URL with its latest probed view.
+type node struct {
+	url string
+
+	mu   sync.Mutex
+	v    nodeView
+	seen bool // at least one probe completed
+}
+
+func (n *node) view() nodeView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.v
+}
+
+func (n *node) setView(v nodeView) {
+	n.mu.Lock()
+	n.v, n.seen = v, true
+	n.mu.Unlock()
+}
+
+// NodeStatus is the per-node block in the router's own /readyz body.
+type NodeStatus struct {
+	URL        string `json:"url"`
+	Reachable  bool   `json:"reachable"`
+	Ready      bool   `json:"ready"`
+	Status     string `json:"status,omitempty"`
+	Role       string `json:"role,omitempty"`
+	Epoch      uint64 `json:"epoch"`
+	Fenced     bool   `json:"fenced,omitempty"`
+	LagRecords uint64 `json:"lag_records,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (n *node) status() NodeStatus {
+	v := n.view()
+	return NodeStatus{
+		URL: n.url, Reachable: v.Reachable, Ready: v.Ready,
+		Status: v.Status, Role: v.Role, Epoch: v.Epoch,
+		Fenced: v.Fenced, LagRecords: v.LagRecords, Error: v.LastErr,
+	}
+}
+
+// readyBody mirrors rrc-server's readyResponse — only the fields the
+// router routes on.
+type readyBody struct {
+	Status      string `json:"status"`
+	Replication *struct {
+		Role       string `json:"role"`
+		Epoch      uint64 `json:"epoch"`
+		Fenced     bool   `json:"fenced"`
+		LagRecords uint64 `json:"lag_records"`
+		CaughtUp   bool   `json:"caught_up"`
+	} `json:"replication"`
+}
+
+// epochBody covers both shapes /replica/epoch answers with: the meta on
+// 200 and replica.ErrorBody on 412 — each carries an "epoch" field.
+type epochBody struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// probeRound probes every node in parallel, updates views, then runs
+// the failover policy on the refreshed picture.
+func (rt *Router) probeRound() {
+	nodes := rt.snapshotNodes()
+	if len(nodes) == 0 {
+		return
+	}
+	epoch := rt.maxEpoch()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			rt.probeNode(n, epoch)
+		}(n)
+	}
+	wg.Wait()
+	rt.maybeFailover()
+}
+
+// probeNode refreshes one node's view. The node counts reachable when
+// either endpoint answered with parseable JSON — /replica/epoch can
+// legitimately 412 (stale router epoch on one side or the other) and
+// the body still tells us the node's true epoch.
+func (rt *Router) probeNode(n *node, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	v := nodeView{LastProbe: time.Now()}
+
+	code, body, err := rt.probeGet(ctx, n.url+"/readyz", 0)
+	if err == nil {
+		var rb readyBody
+		if jerr := json.Unmarshal(body, &rb); jerr == nil {
+			v.Reachable = true
+			v.Ready = code == http.StatusOK
+			v.Status = rb.Status
+			if rep := rb.Replication; rep != nil {
+				v.Role = rep.Role
+				v.Epoch = rep.Epoch
+				v.Fenced = rep.Fenced
+				v.LagRecords = rep.LagRecords
+				v.CaughtUp = rep.CaughtUp
+			} else {
+				v.Role, v.CaughtUp = rolePrimary, true
+			}
+		} else {
+			err = fmt.Errorf("readyz: %w", jerr)
+		}
+	}
+	if err != nil {
+		v.LastErr = err.Error()
+	}
+
+	// The epoch probe both refreshes the epoch (412 bodies included)
+	// and fences deposed nodes via the X-RRC-Epoch contract.
+	code, body, eerr := rt.probeGet(ctx, n.url+"/replica/epoch", epoch)
+	if eerr == nil {
+		var eb epochBody
+		if json.Unmarshal(body, &eb) == nil {
+			v.Reachable = true
+			if eb.Epoch > v.Epoch {
+				v.Epoch = eb.Epoch
+			}
+			if code == http.StatusPreconditionFailed && eb.Epoch < epoch {
+				// The node answered from a lower epoch than the fleet's:
+				// our probe just deposed it (its SawHigherEpoch fired).
+				v.Fenced = true
+			}
+		}
+	}
+	n.setView(v)
+}
+
+// probeGet issues one probe request, stamping the router's epoch when
+// nonzero, and returns the status code and a bounded body.
+func (rt *Router) probeGet(ctx context.Context, url string, epoch uint64) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if epoch > 0 {
+		req.Header.Set("X-RRC-Epoch", strconv.FormatUint(epoch, 10))
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// maybeFailover runs the consecutive-probe-failure promotion policy:
+// when no write target has existed for ProbeFails straight rounds and
+// AutoPromote is on, promote the best eligible standby. The streak
+// gate makes a single flapped probe harmless; the "best standby"
+// choice prefers caught-up followers on the highest epoch with the
+// least lag, minimizing the acked-but-unshipped window the deposed
+// primary will truncate on rejoin.
+func (rt *Router) maybeFailover() {
+	rt.mu.Lock()
+	if rt.writeTargetLocked() != nil {
+		rt.noTargetStreak = 0
+		rt.mu.Unlock()
+		return
+	}
+	rt.noTargetStreak++
+	streak := rt.noTargetStreak
+	rt.mu.Unlock()
+
+	if !rt.cfg.AutoPromote || streak < rt.cfg.ProbeFails {
+		return
+	}
+	cand := rt.promoteCandidate()
+	if cand == nil {
+		return
+	}
+	if err := rt.promoteNode(cand); err != nil {
+		log.Printf("rrc-router: promote %s failed: %v", cand.url, err)
+		return
+	}
+	rt.failovers.Inc()
+	rt.mu.Lock()
+	rt.noTargetStreak = 0
+	rt.mu.Unlock()
+	log.Printf("rrc-router: no write target for %d probe rounds: promoted %s", streak, cand.url)
+}
+
+// writeTargetLocked is writeTarget for callers already holding rt.mu.
+func (rt *Router) writeTargetLocked() *node {
+	var best *node
+	var bestEpoch uint64
+	for _, n := range rt.nodes {
+		v := n.view()
+		if !v.Reachable || v.Fenced || v.Role != rolePrimary {
+			continue
+		}
+		if best == nil || v.Epoch > bestEpoch {
+			best, bestEpoch = n, v.Epoch
+		}
+	}
+	return best
+}
+
+// promoteCandidate picks the standby to promote: reachable, unfenced
+// followers only, caught-up ones first, then highest epoch, then least
+// record lag.
+func (rt *Router) promoteCandidate() *node {
+	var best *node
+	var bestV nodeView
+	for _, n := range rt.snapshotNodes() {
+		v := n.view()
+		if !v.Reachable || v.Fenced || v.Role != roleFollower {
+			continue
+		}
+		if best == nil {
+			best, bestV = n, v
+			continue
+		}
+		switch {
+		case v.CaughtUp != bestV.CaughtUp:
+			if v.CaughtUp {
+				best, bestV = n, v
+			}
+		case v.Epoch != bestV.Epoch:
+			if v.Epoch > bestV.Epoch {
+				best, bestV = n, v
+			}
+		case v.LagRecords < bestV.LagRecords:
+			best, bestV = n, v
+		}
+	}
+	return best
+}
+
+// promoteNode POSTs /admin/promote and folds the reply into the node's
+// view so the very next request can route to it — no probe-round gap.
+func (rt *Router) promoteNode(n *node) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+"/admin/promote", bytes.NewReader(nil))
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var pr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.v.Role = rolePrimary
+	n.v.Epoch = pr.Epoch
+	n.v.Fenced = false
+	n.v.LagRecords = 0
+	n.mu.Unlock()
+	return nil
+}

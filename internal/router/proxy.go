@@ -1,0 +1,310 @@
+// The proxy path. One incoming request becomes a bounded sequence of
+// upstream attempts:
+//
+//   - The body is buffered once (capped), so an attempt can be replayed
+//     without trusting the client to resend.
+//   - The request runs under min(router default, X-RRC-Deadline-Ms);
+//     every attempt is additionally bounded by TryTimeout and carries
+//     the remaining budget downstream in the same header.
+//   - Reads retry across distinct nodes on 429/503/412/5xx or any
+//     transport error; writes re-pick the write target after a short
+//     backoff, and retry ONLY outcomes that provably never applied:
+//     dial-level transport errors (the request never left) and
+//     429/503/412 (the contract says "not durable"). Anything
+//     ambiguous — an error after the request was sent — is answered
+//     502 without a retry, because replaying it could double-apply.
+//   - Every retry and hedge spends the client's retry budget; when the
+//     budget or MaxAttempts runs out the router forwards the last
+//     definitive backend response, else sheds 503 + Retry-After.
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxProxyBody caps buffered request and response bodies (16 MiB —
+// far above any real /recommend/batch, small enough to bound memory
+// per in-flight request).
+const maxProxyBody = 1 << 24
+
+// upstreamResult is one fully buffered backend response, decoupled
+// from the backend connection so it can lose a hedge race, be held as
+// "last definitive answer", or be forwarded — all after the upstream
+// round trip finished.
+type upstreamResult struct {
+	status      int
+	contentType string
+	retryAfter  string
+	body        []byte
+}
+
+// proxy builds the handler for one proxied endpoint.
+func (rt *Router) proxy(endpoint string, isWrite bool) http.Handler {
+	em := rt.endpointMetrics(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := rt.serveProxy(w, r, endpoint, isWrite)
+		em.observe(code, start)
+	})
+}
+
+// serveProxy runs the attempt loop and returns the status it wrote.
+func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request, endpoint string, isWrite bool) int {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("reading request body: %w", err))
+		return code
+	}
+
+	deadline := rt.cfg.Deadline
+	if hd, ok := parseDeadlineMs(r.Header.Get(DeadlineHeader)); ok && hd < deadline {
+		deadline = hd
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	client := clientKey(r)
+	rt.budget.arrive(client)
+
+	if isWrite {
+		return rt.proxyWrite(ctx, w, endpoint, body, client)
+	}
+	return rt.proxyRead(ctx, w, endpoint, body, client)
+}
+
+// proxyWrite is the /consume attempt loop.
+func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string) int {
+	var last *upstreamResult
+	attempts := 0
+	for ctx.Err() == nil {
+		n := rt.writeTarget()
+		if n == nil {
+			break // shed below; the prober (or a promotion) must restore a target
+		}
+		res, err := rt.attempt(ctx, n, endpoint, body)
+		attempts++
+		if err != nil {
+			if !dialError(err) {
+				// The request may have reached the backend: the write's
+				// outcome is unknown and a replay could double-apply.
+				// Surface the ambiguity; idempotency belongs to the caller.
+				werr := fmt.Errorf("write outcome unknown (%s): %v", n.url, err)
+				writeError(w, http.StatusBadGateway, werr)
+				return http.StatusBadGateway
+			}
+			// Dial-level failure: the request never left this process, so
+			// a retry cannot double-apply.
+		} else {
+			last = res
+			if !retryableStatus(res.status, false) {
+				return rt.forward(w, res)
+			}
+		}
+		if attempts >= rt.cfg.MaxAttempts || !rt.budget.spend(client) {
+			break
+		}
+		rt.retries.Inc()
+		select {
+		case <-ctx.Done():
+		case <-time.After(rt.cfg.RetryBackoff):
+		}
+	}
+	if last != nil {
+		return rt.forward(w, last)
+	}
+	return rt.shedRequest(w, "no write target")
+}
+
+// proxyRead is the read attempt loop: distinct nodes per attempt (the
+// tried set), optional hedging inside each attempt.
+func (rt *Router) proxyRead(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string) int {
+	tried := map[*node]bool{}
+	var last *upstreamResult
+	attempts := 0
+	for ctx.Err() == nil {
+		cands := rt.readCandidates(tried)
+		if len(cands) == 0 {
+			break
+		}
+		n := cands[0]
+		tried[n] = true
+		res, err := rt.attemptHedged(ctx, n, endpoint, body, client, tried)
+		attempts++
+		if err == nil {
+			last = res
+			if !retryableStatus(res.status, true) {
+				return rt.forward(w, res)
+			}
+		}
+		if attempts >= rt.cfg.MaxAttempts || !rt.budget.spend(client) {
+			break
+		}
+		rt.retries.Inc()
+	}
+	if last != nil {
+		return rt.forward(w, last)
+	}
+	return rt.shedRequest(w, "no backend answered")
+}
+
+// attemptHedged wraps attempt with tail-latency hedging: if the first
+// attempt has not resolved within HedgeDelay, a budget-gated second
+// attempt fires at another untried node and the first good response
+// wins. The loser is cancelled on return via the shared context.
+func (rt *Router) attemptHedged(ctx context.Context, n *node, endpoint string, body []byte, client string, tried map[*node]bool) (*upstreamResult, error) {
+	if rt.cfg.HedgeDelay <= 0 {
+		return rt.attempt(ctx, n, endpoint, body)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res *upstreamResult
+		err error
+	}
+	ch := make(chan outcome, 2)
+	launch := func(target *node) {
+		go func() {
+			res, err := rt.attempt(actx, target, endpoint, body)
+			ch <- outcome{res, err}
+		}()
+	}
+	launch(n)
+	inFlight := 1
+	hedgeTimer := time.NewTimer(rt.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	var fallback *outcome // best non-winning outcome: a response beats an error
+	for {
+		select {
+		case o := <-ch:
+			inFlight--
+			if o.err == nil && !retryableStatus(o.res.status, true) {
+				return o.res, nil
+			}
+			if fallback == nil || (o.err == nil && fallback.err != nil) {
+				fallback = &o
+			}
+			if inFlight == 0 {
+				return fallback.res, fallback.err
+			}
+		case <-hedgeTimer.C:
+			if inFlight != 1 {
+				continue
+			}
+			cands := rt.readCandidates(tried)
+			if len(cands) == 0 || !rt.budget.spend(client) {
+				continue
+			}
+			h := cands[0]
+			tried[h] = true
+			rt.hedges.Inc()
+			launch(h)
+			inFlight++
+		case <-ctx.Done():
+			if fallback != nil {
+				return fallback.res, fallback.err
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt makes one upstream round trip, bounded by TryTimeout within
+// the request deadline, and buffers the whole response. The outbound
+// request carries the fleet's max epoch (fencing any deposed node
+// before it can ack a write) and the attempt's remaining deadline.
+func (rt *Router) attempt(ctx context.Context, n *node, endpoint string, body []byte) (*upstreamResult, error) {
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, n.url+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if e := rt.maxEpoch(); e > 0 {
+		req.Header.Set("X-RRC-Epoch", strconv.FormatUint(e, 10))
+	}
+	if dl, ok := tctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s response: %w", n.url, err)
+	}
+	return &upstreamResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        buf,
+	}, nil
+}
+
+// retryableStatus classifies a backend status. 429/503 mean "not done,
+// come back" by contract (shed, breaker, draining, recovering); 412 is
+// an epoch fence (the write provably did not apply — re-pick and
+// retry). Reads may additionally retry any 5xx: they are idempotent,
+// so a different node is always worth one more try.
+func retryableStatus(status int, isRead bool) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusPreconditionFailed:
+		return true
+	}
+	return isRead && status >= http.StatusInternalServerError
+}
+
+// dialError reports whether err happened at connection establishment —
+// the one transport failure mode that proves the request was never
+// sent, making a write retry safe.
+func dialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// forward replays a buffered backend response to the client,
+// preserving its Retry-After (or deriving one for backoff statuses
+// that lack it, so every 429/503 through the router is schedulable).
+func (rt *Router) forward(w http.ResponseWriter, res *upstreamResult) int {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	ra := res.retryAfter
+	if ra == "" && (res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable) {
+		ra = rt.retryAfterHint()
+	}
+	if ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+	return res.status
+}
+
+// shedRequest answers 503 locally: no backend produced even a
+// definitive error within the deadline, attempts, and budget.
+func (rt *Router) shedRequest(w http.ResponseWriter, why string) int {
+	rt.shed.Inc()
+	w.Header().Set("Retry-After", rt.retryAfterHint())
+	writeError(w, http.StatusServiceUnavailable, errors.New(why))
+	return http.StatusServiceUnavailable
+}

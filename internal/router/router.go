@@ -1,0 +1,456 @@
+// Package router implements the stateless epoch-aware front end that
+// sits between clients and an rrc-server primary/standby pair. The
+// serving layer is stateful (each node owns per-user repeat-consumption
+// windows), so which node answers matters: writes must reach the one
+// node that can make them durable on the current timeline, and reads
+// must come from a node whose window state is fresh enough to rank
+// from. The router turns that placement problem into configuration:
+//
+//   - Topology comes from a static node list or a watched topology
+//     file; nodes are added and removed without restarting the router.
+//   - Every node is health-probed (GET /readyz + GET /replica/epoch) on
+//     an interval. The probe carries the highest epoch the router has
+//     seen (X-RRC-Epoch), so a deposed primary fences itself the moment
+//     the router looks at it — the existing replication contract, no
+//     new protocol.
+//   - Writes (/consume) route to the highest-epoch unfenced primary.
+//     Reads (/recommend, /recommend/user, /recommend/batch) route to
+//     any healthy node whose replication lag is within a configured
+//     staleness bound (the same quantity the nodes export as
+//     rrc_replica_lag_records).
+//   - When no write target survives ProbeFails consecutive probe
+//     rounds and AutoPromote is set, the router promotes the best
+//     caught-up standby itself (POST /admin/promote) — the same
+//     consecutive-failure policy rrc-server's -auto-promote uses.
+//   - Requests carry propagated deadlines (X-RRC-Deadline-Ms), bounded
+//     retries under a per-client retry budget (a fully down backend
+//     can never amplify client traffic beyond the budget), and —
+//     optionally — hedged reads for tail latency.
+//
+// Retry safety: reads are idempotent and retry freely. A write retries
+// only when the router can prove the attempt never applied — the
+// connection was refused before the request was sent, or the backend
+// answered 429/503/412 (all "not durable" by contract). A write that
+// failed after the request was sent is answered 502 without a retry:
+// the outcome is unknown, and replaying it could double-apply the
+// event. Idempotency of ambiguous writes belongs to the caller.
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsppr/internal/obs"
+)
+
+// DeadlineHeader carries the remaining request deadline in integer
+// milliseconds. The router stamps it on every proxied request;
+// rrc-server bounds its per-request work by min(header, its own
+// -request-timeout), so a deadline set at the edge actually bounds
+// backend work instead of evaporating at the first hop.
+const DeadlineHeader = "X-RRC-Deadline-Ms"
+
+// Config tunes a Router. Zero fields pick the documented defaults.
+type Config struct {
+	// Nodes is the static topology: backend base URLs. Ignored when
+	// TopologyPath is set.
+	Nodes []string
+	// TopologyPath names a topology file (one base URL per line, #
+	// comments). The router re-reads it whenever its mtime changes, so
+	// nodes can be added or replaced without a restart.
+	TopologyPath string
+
+	ProbeInterval time.Duration // health-probe period; 0 → 500ms
+	ProbeTimeout  time.Duration // per-probe HTTP timeout; 0 → ProbeInterval
+	ProbeFails    int           // probe rounds without a write target before failover; 0 → 3
+
+	// AutoPromote lets the router drive failover itself: after
+	// ProbeFails rounds with no reachable unfenced primary it POSTs
+	// /admin/promote to the best caught-up standby. Off, the router
+	// only follows promotions performed elsewhere (operator or the
+	// standby's own -auto-promote).
+	AutoPromote bool
+
+	// MaxLagRecords bounds read staleness: a follower more than this
+	// many records behind its primary stops taking reads until it
+	// catches back up. 0 → 1024.
+	MaxLagRecords uint64
+
+	Deadline    time.Duration // default client deadline; 0 → 2s
+	TryTimeout  time.Duration // per-attempt bound within the deadline; 0 → 1s
+	MaxAttempts int           // upstream attempts per request, incl. the first; 0 → 3
+
+	// RetryBudget is the per-client retry allowance: each incoming
+	// request earns the client this many retry tokens (capped at
+	// RetryBurst), and every retry or hedge spends one. Under a fully
+	// down backend a client's upstream attempts are therefore bounded
+	// by requests × (1 + RetryBudget) + RetryBurst — no retry storms.
+	// 0 → 0.1.
+	RetryBudget float64
+	// RetryBurst caps banked retry tokens per client. 0 → 10.
+	RetryBurst float64
+	// RetryBackoff is the pause before re-attempting a write (the
+	// write target rarely changes faster than a probe round). 0 → 25ms.
+	RetryBackoff time.Duration
+
+	// HedgeDelay, when positive, arms hedged reads: a read that has
+	// not answered within this delay fires a second attempt at another
+	// eligible node and the first response wins. Hedges spend retry
+	// budget, so they cannot storm either. 0 disables hedging.
+	HedgeDelay time.Duration
+
+	// Metrics, when non-nil, receives the rrc_router_* families.
+	Metrics *obs.Registry
+	// Client, when nil, falls back to a default with sane timeouts.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.ProbeFails <= 0 {
+		c.ProbeFails = 3
+	}
+	if c.MaxLagRecords == 0 {
+		c.MaxLagRecords = 1024
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Second
+	}
+	if c.TryTimeout <= 0 {
+		c.TryTimeout = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 10
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Router is the front end. It holds no session state — only the probed
+// view of the topology — so any number of routers can run side by side.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu    sync.Mutex
+	nodes []*node // topology order
+	byURL map[string]*node
+	// noTargetStreak counts consecutive probe rounds that ended with
+	// no reachable unfenced primary — the failover trigger.
+	noTargetStreak int
+	topoMod        time.Time // mtime of the last loaded topology file
+
+	budget *retryBudget
+	rr     atomic.Uint64 // read candidate rotation
+
+	stop chan struct{}
+	done chan struct{}
+
+	reg       *obs.Registry
+	failovers *obs.Counter
+	retries   *obs.Counter
+	hedges    *obs.Counter
+	shed      *obs.Counter
+}
+
+// New builds a Router over cfg. Call Start to run the prober (and the
+// topology watcher), Routes for the HTTP handler, Stop to shut down.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:    cfg,
+		client: cfg.Client,
+		byURL:  map[string]*node{},
+		budget: newRetryBudget(cfg.RetryBudget, cfg.RetryBurst),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		reg:    cfg.Metrics,
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt.initMetrics()
+
+	urls := cfg.Nodes
+	if cfg.TopologyPath != "" {
+		loaded, mod, err := LoadTopology(cfg.TopologyPath)
+		if err != nil {
+			return nil, err
+		}
+		urls, rt.topoMod = loaded, mod
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("router: no backend nodes configured")
+	}
+	rt.SetNodes(urls)
+	return rt, nil
+}
+
+// Start probes every node once synchronously (so the router is usable
+// the moment it returns) and launches the probe loop.
+func (rt *Router) Start() {
+	rt.probeRound()
+	go rt.run()
+}
+
+// Stop halts the probe loop.
+func (rt *Router) Stop() {
+	select {
+	case <-rt.stop:
+		return // already stopped
+	default:
+	}
+	close(rt.stop)
+	<-rt.done
+}
+
+func (rt *Router) run() {
+	defer close(rt.done)
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+		rt.reloadTopology()
+		rt.probeRound()
+	}
+}
+
+// SetNodes replaces the topology. Known URLs keep their probed state;
+// new ones start unprobed; removed ones stop being candidates.
+func (rt *Router) SetNodes(urls []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	next := make([]*node, 0, len(urls))
+	nextBy := make(map[string]*node, len(urls))
+	for _, u := range urls {
+		if _, dup := nextBy[u]; dup {
+			continue
+		}
+		n, ok := rt.byURL[u]
+		if !ok {
+			n = &node{url: u}
+			rt.registerNodeGauges(u)
+		}
+		next = append(next, n)
+		nextBy[u] = n
+	}
+	rt.nodes = next
+	rt.byURL = nextBy
+}
+
+// Nodes returns the current topology order.
+func (rt *Router) Nodes() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, len(rt.nodes))
+	for i, n := range rt.nodes {
+		out[i] = n.url
+	}
+	return out
+}
+
+// snapshotNodes returns the node list under the lock.
+func (rt *Router) snapshotNodes() []*node {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*node(nil), rt.nodes...)
+}
+
+// maxEpoch is the highest replication epoch the router has observed —
+// what it stamps on every outbound request so stale nodes fence.
+func (rt *Router) maxEpoch() uint64 {
+	var max uint64
+	for _, n := range rt.snapshotNodes() {
+		if e := n.view().Epoch; e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// writeTarget picks the one node writes may go to: reachable, role
+// primary, unfenced, highest epoch. Nil when no such node exists —
+// writes shed until the prober (or a promotion) restores one.
+func (rt *Router) writeTarget() *node {
+	var best *node
+	var bestEpoch uint64
+	for _, n := range rt.snapshotNodes() {
+		v := n.view()
+		if !v.Reachable || v.Fenced || v.Role != rolePrimary {
+			continue
+		}
+		if best == nil || v.Epoch > bestEpoch {
+			best, bestEpoch = n, v.Epoch
+		}
+	}
+	return best
+}
+
+// readCandidates lists nodes eligible for reads, rotated for load
+// spread, minus exclude. Eligibility degrades gracefully: fully
+// healthy in-bound nodes first; if none, any reachable unfenced node
+// (probe state may be a round stale); if none, every node — a request
+// is cheaper to fail on the wire than to shed on a guess. Fenced nodes
+// are never offered: a deposed primary's unshipped tail makes its
+// windows divergent, not merely stale.
+func (rt *Router) readCandidates(exclude map[*node]bool) []*node {
+	nodes := rt.snapshotNodes()
+	pick := func(ok func(nodeView) bool) []*node {
+		var out []*node
+		for _, n := range nodes {
+			if exclude[n] {
+				continue
+			}
+			if ok(n.view()) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	out := pick(func(v nodeView) bool {
+		if !v.Reachable || v.Fenced || !v.Ready {
+			return false
+		}
+		return v.Role != roleFollower || v.LagRecords <= rt.cfg.MaxLagRecords
+	})
+	if len(out) == 0 {
+		out = pick(func(v nodeView) bool { return v.Reachable && !v.Fenced })
+	}
+	if len(out) == 0 {
+		out = pick(func(v nodeView) bool { return !v.Fenced })
+	}
+	if len(out) > 1 {
+		off := int(rt.rr.Add(1)) % len(out)
+		out = append(out[off:], out[:off]...)
+	}
+	return out
+}
+
+// Status is the router's own /readyz and /stats body.
+type Status struct {
+	Status      string       `json:"status"`
+	WriteTarget string       `json:"write_target,omitempty"`
+	Epoch       uint64       `json:"epoch"`
+	Nodes       []NodeStatus `json:"nodes"`
+}
+
+// statusSnapshot assembles the current routed view.
+func (rt *Router) statusSnapshot() (Status, int) {
+	st := Status{Status: "ready", Epoch: rt.maxEpoch()}
+	code := http.StatusOK
+	for _, n := range rt.snapshotNodes() {
+		st.Nodes = append(st.Nodes, n.status())
+	}
+	if wt := rt.writeTarget(); wt != nil {
+		st.WriteTarget = wt.url
+	} else {
+		st.Status, code = "no write target", http.StatusServiceUnavailable
+	}
+	if len(rt.readCandidates(nil)) == 0 {
+		st.Status, code = "no backends", http.StatusServiceUnavailable
+	}
+	return st, code
+}
+
+// Routes returns the router's HTTP handler: the proxied API surface
+// plus its own health and metrics endpoints.
+func (rt *Router) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		st, code := rt.statusSnapshot()
+		if code != http.StatusOK {
+			w.Header().Set("Retry-After", rt.retryAfterHint())
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		st, _ := rt.statusSnapshot()
+		writeJSON(w, http.StatusOK, st)
+	})
+	if rt.reg != nil {
+		mux.Handle("GET /metrics", rt.reg.Handler())
+	}
+	mux.Handle("POST /consume", rt.proxy("/consume", true))
+	mux.Handle("POST /recommend", rt.proxy("/recommend", false))
+	mux.Handle("POST /recommend/batch", rt.proxy("/recommend/batch", false))
+	mux.Handle("POST /recommend/user", rt.proxy("/recommend/user", false))
+	return mux
+}
+
+// retryAfterHint derives the Retry-After the router sends with its own
+// 503s: one probe round (rounded up to a whole second) is when its view
+// of the fleet can next improve.
+func (rt *Router) retryAfterHint() string {
+	secs := int(math.Ceil(rt.cfg.ProbeInterval.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// clientKey identifies the retry-budget principal: the X-RRC-Client
+// header when the caller sets one (load-balancer fleets should), else
+// the remote address without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-RRC-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// parseDeadlineMs parses a DeadlineHeader value; ok is false for a
+// missing or malformed header (malformed is ignored, not an error — a
+// bad hint must not reject a request the default deadline can serve).
+func parseDeadlineMs(raw string) (time.Duration, bool) {
+	if raw == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("rrc-router: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,476 @@
+package router
+
+// White-box suite for the routing core: epoch-based write targeting,
+// staleness-bounded reads, the retry-budget amplification bound,
+// ambiguous-write safety, deadline propagation, hedging, and
+// router-driven promotion — all against scripted fake backends that
+// speak just enough of the rrc-server surface (/readyz,
+// /replica/epoch, traffic endpoints, /admin/promote).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsppr/internal/obs"
+)
+
+// fakeNode scripts one backend. Zero value: a ready primary at epoch 0
+// answering every endpoint 200.
+type fakeNode struct {
+	mu       sync.Mutex
+	role     string // "" → primary
+	epoch    uint64
+	fenced   bool
+	notReady bool
+	lag      uint64
+	caughtUp bool
+
+	consumeStatus   int           // 0 → 200
+	recommendStatus int           // 0 → 200
+	recommendDelay  time.Duration // per-request stall before answering
+
+	consumes   atomic.Int64
+	recommends atomic.Int64
+	promotes   atomic.Int64
+
+	lastDeadlineMs atomic.Int64 // last X-RRC-Deadline-Ms seen on /consume
+	lastEpochHdr   atomic.Int64 // last X-RRC-Epoch seen on /consume (-1 = absent)
+
+	ts *httptest.Server
+}
+
+func (f *fakeNode) set(mut func(*fakeNode)) {
+	f.mu.Lock()
+	mut(f)
+	f.mu.Unlock()
+}
+
+func (f *fakeNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		role := f.role
+		if role == "" {
+			role = rolePrimary
+		}
+		body := map[string]any{
+			"status": "ready",
+			"replication": map[string]any{
+				"role": role, "epoch": f.epoch, "fenced": f.fenced,
+				"lag_records": f.lag, "caught_up": f.caughtUp,
+			},
+		}
+		code := http.StatusOK
+		if f.notReady || f.fenced {
+			body["status"] = "recovering"
+			code = http.StatusServiceUnavailable
+		}
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("GET /replica/epoch", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		own := f.epoch
+		code := http.StatusOK
+		if raw := r.Header.Get("X-RRC-Epoch"); raw != "" {
+			if theirs, err := strconv.ParseUint(raw, 10, 64); err == nil && theirs != own {
+				code = http.StatusPreconditionFailed
+				if theirs > own {
+					f.fenced = true // the real server's SawHigherEpoch path
+				}
+			}
+		}
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{"epoch": own})
+	})
+	mux.HandleFunc("POST /consume", func(w http.ResponseWriter, r *http.Request) {
+		f.consumes.Add(1)
+		if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil {
+			f.lastDeadlineMs.Store(ms)
+		}
+		f.lastEpochHdr.Store(-1)
+		if e, err := strconv.ParseInt(r.Header.Get("X-RRC-Epoch"), 10, 64); err == nil {
+			f.lastEpochHdr.Store(e)
+		}
+		f.mu.Lock()
+		status := f.consumeStatus
+		f.mu.Unlock()
+		if status != 0 {
+			if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			http.Error(w, "scripted failure", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"lsn":1,"window":1}`)
+	})
+	serveRead := func(w http.ResponseWriter, _ *http.Request) {
+		f.recommends.Add(1)
+		f.mu.Lock()
+		status, delay := f.recommendStatus, f.recommendDelay
+		f.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if status != 0 {
+			http.Error(w, "scripted failure", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"items":[1],"scores":[0.5]}`)
+	}
+	mux.HandleFunc("POST /recommend", serveRead)
+	mux.HandleFunc("POST /recommend/batch", serveRead)
+	mux.HandleFunc("POST /recommend/user", serveRead)
+	mux.HandleFunc("POST /admin/promote", func(w http.ResponseWriter, _ *http.Request) {
+		f.promotes.Add(1)
+		f.mu.Lock()
+		f.role = rolePrimary
+		f.epoch++
+		f.fenced = false
+		e := f.epoch
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"epoch":%d,"role":"primary"}`+"\n", e)
+	})
+	return mux
+}
+
+// startFakes boots the fakes and a router over them with fast probe
+// settings; mutate tweaks the config before New.
+func startFakes(t *testing.T, fakes []*fakeNode, mutate func(*Config)) *Router {
+	t.Helper()
+	urls := make([]string, len(fakes))
+	for i, f := range fakes {
+		f.ts = httptest.NewServer(f.handler())
+		t.Cleanup(f.ts.Close)
+		urls[i] = f.ts.URL
+	}
+	cfg := Config{
+		Nodes:         urls,
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeFails:    2,
+		RetryBackoff:  time.Millisecond,
+		Metrics:       obs.NewRegistry(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	return rt
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func post(h http.Handler, path, body string, headers map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestRouterWritesFollowHighestEpoch(t *testing.T) {
+	old := &fakeNode{epoch: 1}
+	neu := &fakeNode{epoch: 2}
+	rt := startFakes(t, []*fakeNode{old, neu}, nil)
+	h := rt.Routes()
+
+	rr := post(h, "/consume", `{"user":0,"item":1}`, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("consume status %d: %s", rr.Code, rr.Body.String())
+	}
+	if neu.consumes.Load() == 0 || old.consumes.Load() != 0 {
+		t.Fatalf("write went to epoch-1 node (old=%d new=%d)", old.consumes.Load(), neu.consumes.Load())
+	}
+	// The write carried the fleet max epoch — the fencing stamp.
+	if got := neu.lastEpochHdr.Load(); got != 2 {
+		t.Fatalf("X-RRC-Epoch on write = %d, want 2", got)
+	}
+	// And the probe loop fences the stale node via the same contract.
+	waitFor(t, "old primary fenced by probe", func() bool {
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		return old.fenced
+	})
+}
+
+func TestRouterReadsSkipLaggyFollower(t *testing.T) {
+	primary := &fakeNode{caughtUp: true}
+	laggy := &fakeNode{role: roleFollower, lag: 5000}
+	rt := startFakes(t, []*fakeNode{primary, laggy}, func(c *Config) { c.MaxLagRecords = 100 })
+	h := rt.Routes()
+
+	for i := 0; i < 8; i++ {
+		rr := post(h, "/recommend/user", `{"user":0,"n":3}`, nil)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("read %d status %d: %s", i, rr.Code, rr.Body.String())
+		}
+	}
+	if laggy.recommends.Load() != 0 {
+		t.Fatalf("%d reads reached a follower lagging past the staleness bound", laggy.recommends.Load())
+	}
+	if primary.recommends.Load() != 8 {
+		t.Fatalf("primary served %d of 8 reads", primary.recommends.Load())
+	}
+}
+
+func TestRouterReadFailsOverAcrossNodes(t *testing.T) {
+	bad := &fakeNode{recommendStatus: http.StatusInternalServerError}
+	good := &fakeNode{role: roleFollower, caughtUp: true}
+	rt := startFakes(t, []*fakeNode{bad, good}, func(c *Config) {
+		c.RetryBudget = 1 // every request may fund its own failover retry
+	})
+	h := rt.Routes()
+
+	ok := 0
+	for i := 0; i < 8; i++ {
+		if rr := post(h, "/recommend", `{"user":0,"history":[1],"n":1}`, nil); rr.Code == http.StatusOK {
+			ok++
+		}
+	}
+	if ok != 8 {
+		t.Fatalf("only %d/8 reads succeeded with a healthy follower available", ok)
+	}
+	if good.recommends.Load() < 8 {
+		t.Fatalf("healthy node served %d reads, want >= 8", good.recommends.Load())
+	}
+}
+
+func TestRouterRetryBudgetBoundsAmplification(t *testing.T) {
+	const requests, ratio, burst = 100, 0.1, 2.0
+	down := &fakeNode{consumeStatus: http.StatusServiceUnavailable}
+	rt := startFakes(t, []*fakeNode{down}, func(c *Config) {
+		c.RetryBudget = ratio
+		c.RetryBurst = burst
+		c.MaxAttempts = 50 // far above the budget: the budget must bind
+		c.Deadline = 5 * time.Second
+	})
+	h := rt.Routes()
+
+	hdr := map[string]string{"X-RRC-Client": "loadgen"}
+	for i := 0; i < requests; i++ {
+		rr := post(h, "/consume", `{"user":0,"item":1}`, hdr)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, rr.Code)
+		}
+		if rr.Result().Header.Get("Retry-After") == "" {
+			t.Fatalf("request %d: 503 without Retry-After", i)
+		}
+	}
+	attempts := down.consumes.Load()
+	bound := int64(requests*(1+ratio) + burst)
+	if attempts > bound {
+		t.Fatalf("amplification: %d upstream attempts for %d requests (budget bound %d)", attempts, requests, bound)
+	}
+	if attempts < requests {
+		t.Fatalf("only %d attempts for %d requests — requests not reaching the backend", attempts, requests)
+	}
+}
+
+func TestRouterShedsWhenBackendDead(t *testing.T) {
+	dead := &fakeNode{}
+	rt := startFakes(t, []*fakeNode{dead}, func(c *Config) {
+		c.Deadline = 300 * time.Millisecond
+	})
+	h := rt.Routes()
+	dead.ts.Close() // SIGKILL-shaped: connections refused from here on
+
+	rr := post(h, "/consume", `{"user":0,"item":1}`, nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 shed", rr.Code)
+	}
+	if rr.Result().Header.Get("Retry-After") == "" {
+		t.Fatal("local shed without Retry-After")
+	}
+	if rt.shed.Value() == 0 {
+		t.Fatal("rrc_router_shed_total not incremented")
+	}
+}
+
+func TestRouterAmbiguousWriteNotRetried(t *testing.T) {
+	// A backend that accepts the request and then kills the connection:
+	// the canonical ambiguous outcome. The router must answer 502 after
+	// exactly one attempt — a retry could double-apply the event.
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	ambiguous := &fakeNode{}
+	base := ambiguous.handler()
+	mux.HandleFunc("POST /consume", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("recorder cannot hijack")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+	mux.Handle("/", base)
+	ambiguous.ts = httptest.NewServer(mux)
+	t.Cleanup(ambiguous.ts.Close)
+
+	rt, err := New(Config{
+		Nodes:         []string{ambiguous.ts.URL},
+		ProbeInterval: 10 * time.Millisecond,
+		RetryBackoff:  time.Millisecond,
+		Metrics:       obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+
+	rr := post(rt.Routes(), "/consume", `{"user":0,"item":1}`, nil)
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("ambiguous write answered %d, want 502: %s", rr.Code, rr.Body.String())
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("ambiguous write attempted %d times, want exactly 1", got)
+	}
+}
+
+func TestRouterPropagatesDeadlineHeader(t *testing.T) {
+	n := &fakeNode{}
+	rt := startFakes(t, []*fakeNode{n}, func(c *Config) {
+		c.Deadline = 2 * time.Second
+		c.TryTimeout = 2 * time.Second
+	})
+	h := rt.Routes()
+
+	// Client supplies 250ms: the upstream header must carry the (lower)
+	// remaining budget, never the router default.
+	rr := post(h, "/consume", `{"user":0,"item":1}`, map[string]string{DeadlineHeader: "250"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	ms := n.lastDeadlineMs.Load()
+	if ms <= 0 || ms > 250 {
+		t.Fatalf("propagated deadline %dms, want in (0,250]", ms)
+	}
+}
+
+func TestRouterHedgesSlowReads(t *testing.T) {
+	slow := &fakeNode{recommendDelay: 200 * time.Millisecond}
+	fast := &fakeNode{role: roleFollower, caughtUp: true}
+	rt := startFakes(t, []*fakeNode{slow, fast}, func(c *Config) {
+		c.HedgeDelay = 20 * time.Millisecond
+		c.Deadline = 2 * time.Second
+		c.RetryBurst = 10 // plenty of hedge budget
+		c.RetryBudget = 1
+	})
+	h := rt.Routes()
+
+	// Warm the budget (hedges spend tokens).
+	for i := 0; i < 10; i++ {
+		post(h, "/recommend", `{"user":0,"history":[1],"n":1}`, nil)
+	}
+	slowServed := slow.recommends.Load()
+	fastServed := fast.recommends.Load()
+	if fastServed == 0 {
+		t.Fatalf("hedging never engaged (slow=%d fast=%d)", slowServed, fastServed)
+	}
+	if rt.hedges.Value() == 0 {
+		t.Fatal("rrc_router_hedges_total not incremented")
+	}
+}
+
+func TestRouterAutoPromotesOnPrimaryLoss(t *testing.T) {
+	primary := &fakeNode{caughtUp: true}
+	standby := &fakeNode{role: roleFollower, caughtUp: true}
+	rt := startFakes(t, []*fakeNode{primary, standby}, func(c *Config) {
+		c.AutoPromote = true
+	})
+	h := rt.Routes()
+
+	// Sanity: writes land on the primary first.
+	if rr := post(h, "/consume", `{"user":0,"item":1}`, nil); rr.Code != http.StatusOK {
+		t.Fatalf("pre-kill consume status %d", rr.Code)
+	}
+
+	primary.ts.Close()
+	waitFor(t, "router-driven promotion", func() bool { return standby.promotes.Load() > 0 })
+	waitFor(t, "writes landing on promoted node", func() bool {
+		rr := post(h, "/consume", `{"user":0,"item":1}`, nil)
+		return rr.Code == http.StatusOK && standby.consumes.Load() > 0
+	})
+	if rt.failovers.Value() == 0 {
+		t.Fatal("rrc_router_failovers_total not incremented")
+	}
+}
+
+func TestRouterOwnEndpoints(t *testing.T) {
+	n := &fakeNode{caughtUp: true}
+	rt := startFakes(t, []*fakeNode{n}, nil)
+	h := rt.Routes()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/readyz status %d: %s", rr.Code, rr.Body.String())
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WriteTarget != n.ts.URL || len(st.Nodes) != 1 {
+		t.Fatalf("readyz body %+v", st)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, family := range []string{"rrc_router_node_state", "rrc_router_node_epoch", "rrc_router_requests_total"} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("/metrics missing %s family", family)
+		}
+	}
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	// Kill the only backend: /readyz flips to 503 with Retry-After.
+	n.ts.Close()
+	waitFor(t, "router readyz 503", func() bool {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rr.Code == http.StatusServiceUnavailable && rr.Result().Header.Get("Retry-After") != ""
+	})
+}

@@ -1,0 +1,76 @@
+// Topology files: one backend base URL per line, blank lines and
+// #-comments ignored. The router polls the file's mtime each probe
+// round, so editing the file is the whole "add a node" procedure.
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// LoadTopology reads and validates a topology file, returning the node
+// URLs and the file's mtime (the watch key).
+func LoadTopology(path string) ([]string, time.Time, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	var nodes []string
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, time.Time{}, fmt.Errorf("%s:%d: %q is not a base URL (want http://host:port)", path, line, raw)
+		}
+		nodes = append(nodes, strings.TrimRight(raw, "/"))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, time.Time{}, err
+	}
+	if len(nodes) == 0 {
+		return nil, time.Time{}, fmt.Errorf("%s: no nodes", path)
+	}
+	return nodes, st.ModTime(), nil
+}
+
+// reloadTopology re-reads the topology file when its mtime moved. A
+// transiently unreadable or invalid file keeps the last good topology —
+// a half-written edit must not empty the fleet.
+func (rt *Router) reloadTopology() {
+	if rt.cfg.TopologyPath == "" {
+		return
+	}
+	st, err := os.Stat(rt.cfg.TopologyPath)
+	if err != nil {
+		return
+	}
+	rt.mu.Lock()
+	unchanged := st.ModTime().Equal(rt.topoMod)
+	rt.mu.Unlock()
+	if unchanged {
+		return
+	}
+	nodes, mod, err := LoadTopology(rt.cfg.TopologyPath)
+	if err != nil {
+		return
+	}
+	rt.SetNodes(nodes)
+	rt.mu.Lock()
+	rt.topoMod = mod
+	rt.mu.Unlock()
+}

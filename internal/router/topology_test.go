@@ -1,0 +1,100 @@
+package router
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nodes")
+	content := "# fleet\nhttp://a:8395\n\n  http://b:8396/  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0] != "http://a:8395" || nodes[1] != "http://b:8396" {
+		t.Fatalf("parsed %v", nodes)
+	}
+
+	for name, bad := range map[string]string{
+		"not-a-url": "around:the:bend\n",
+		"empty":     "# nothing here\n",
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadTopology(path); err == nil {
+			t.Fatalf("%s topology loaded without error", name)
+		}
+	}
+}
+
+func TestRouterWatchesTopologyFile(t *testing.T) {
+	a := &fakeNode{caughtUp: true}
+	b := &fakeNode{role: roleFollower, caughtUp: true}
+	a.ts = httptest.NewServer(a.handler())
+	b.ts = httptest.NewServer(b.handler())
+	t.Cleanup(a.ts.Close)
+	t.Cleanup(b.ts.Close)
+
+	path := filepath.Join(t.TempDir(), "nodes")
+	if err := os.WriteFile(path, []byte(a.ts.URL+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		TopologyPath:  path,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	if got := rt.Nodes(); len(got) != 1 || got[0] != a.ts.URL {
+		t.Fatalf("initial topology %v", got)
+	}
+
+	// Add node b; backdate-proof the mtime change by rewriting with a
+	// bumped modification time.
+	if err := os.WriteFile(path, []byte(a.ts.URL+"\n"+b.ts.URL+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "topology reload", func() bool { return len(rt.Nodes()) == 2 })
+	waitFor(t, "new node probed", func() bool {
+		for _, ns := range mustStatus(rt).Nodes {
+			if ns.URL == b.ts.URL && ns.Reachable {
+				return true
+			}
+		}
+		return false
+	})
+
+	// A broken rewrite must keep the last good topology.
+	if err := os.WriteFile(path, []byte("::::\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	later := future.Add(2 * time.Second)
+	if err := os.Chtimes(path, later, later); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := rt.Nodes(); len(got) != 2 {
+		t.Fatalf("broken topology file emptied the fleet: %v", got)
+	}
+}
+
+func mustStatus(rt *Router) Status {
+	st, _ := rt.statusSnapshot()
+	return st
+}

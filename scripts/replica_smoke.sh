@@ -1,27 +1,36 @@
 #!/bin/sh
-# End-to-end replication smoke test (make replica-smoke; non-gating in
-# CI): start a primary and a warm standby over real sockets, soak the
-# primary with /consume traffic while the standby tails the WAL stream,
-# scrape both /metrics, assert the standby's replication lag drains
-# back to 0, then promote the standby and verify it owns writes under
-# the bumped epoch while the deposed primary refuses them. Finally
-# rrc-inspect -epoch and -diverge audit the two events roots offline.
+# End-to-end routed-replication smoke test (make replica-smoke;
+# non-gating in CI): three processes over real sockets — a primary, a
+# warm standby tailing its WAL stream, and rrc-router in front of both.
+# All traffic flows through the router. Half-way through the soak the
+# primary is SIGKILLed; the router must notice, promote the standby
+# itself (-auto-promote), and keep serving — the client-visible error
+# rate across the WHOLE soak, kill included, must stay under budget
+# (< 1 error per 5 requests). Before the kill, replication lag is
+# asserted back to 0 so the takeover provably loses nothing. After the
+# soak the router's own rrc_router_* families are scraped and
+# validated, and rrc-inspect -epoch / -diverge audit the two event
+# roots offline.
 set -eu
 
 PRIMARY=${REPLICA_SMOKE_PRIMARY:-127.0.0.1:18397}
 STANDBY=${REPLICA_SMOKE_STANDBY:-127.0.0.1:18398}
+ROUTER=${REPLICA_SMOKE_ROUTER:-127.0.0.1:18399}
 SOAK_SECS=${REPLICA_SMOKE_SOAK:-30}
 tmp=$(mktemp -d)
 primary_pid=
 standby_pid=
+router_pid=
 cleanup() {
 	[ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
 	[ -n "$standby_pid" ] && kill "$standby_pid" 2>/dev/null || true
+	[ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
 
-go build -o "$tmp/bin/" ./cmd/rrc-datagen ./cmd/rrc-train ./cmd/rrc-server ./cmd/rrc-inspect
+go build -o "$tmp/bin/" ./cmd/rrc-datagen ./cmd/rrc-train ./cmd/rrc-server \
+	./cmd/rrc-router ./cmd/rrc-inspect
 
 "$tmp/bin/rrc-datagen" -preset gowalla -users 40 -out "$tmp/data.tsv"
 "$tmp/bin/rrc-train" -data "$tmp/data.tsv" -out "$tmp/model.tsppr" \
@@ -47,37 +56,45 @@ wait_healthy "$PRIMARY"
 standby_pid=$!
 wait_healthy "$STANDBY"
 
-# Soak: steady /consume traffic against the primary while the standby
-# tails. Item ids stay inside the trained model's catalog.
-echo "soaking for ${SOAK_SECS}s"
-end=$(( $(date +%s) + SOAK_SECS ))
+# The router owns failover: fast probes so the takeover fits the soak,
+# -retry-budget 1 so every client request can fund one failover retry.
+"$tmp/bin/rrc-router" -addr "$ROUTER" -nodes "http://$PRIMARY,http://$STANDBY" \
+	-auto-promote -probe-interval 100ms -probe-fails 2 \
+	-retry-budget 1 -max-attempts 4 -retry-backoff 50ms &
+router_pid=$!
+wait_healthy "$ROUTER"
+
+# soak_for SECS: mixed /consume + /recommend/user traffic through the
+# router, appending one line per request outcome to $tmp/outcomes.
+soak_for() {
+	end=$(( $(date +%s) + $1 ))
+	while [ "$(date +%s)" -lt "$end" ]; do
+		u=$(( n % 20 ))
+		i=$(( n % 13 ))
+		if [ $(( n % 5 )) -eq 4 ]; then
+			code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+				"http://$ROUTER/recommend/user" -d "{\"user\":$u,\"n\":3}")
+			case $code in 200|404) echo ok ;; *) echo "err read $code" ;; esac >>"$tmp/outcomes"
+		else
+			code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+				"http://$ROUTER/consume" -d "{\"user\":$u,\"item\":$i}")
+			case $code in 200) echo ok ;; *) echo "err write $code" ;; esac >>"$tmp/outcomes"
+		fi
+		n=$(( n + 1 ))
+		sleep 0.05
+	done
+}
+
+: >"$tmp/outcomes"
 n=0
-while [ "$(date +%s)" -lt "$end" ]; do
-	u=$(( n % 20 ))
-	i=$(( n % 13 ))
-	curl -sf -X POST "http://$PRIMARY/consume" -d "{\"user\":$u,\"item\":$i}" >/dev/null
-	n=$(( n + 1 ))
-	sleep 0.05
-done
-echo "soaked $n events"
-[ "$n" -gt 0 ] || { echo "no events ingested" >&2; exit 1; }
+half=$(( SOAK_SECS / 2 ))
+[ "$half" -ge 1 ] || half=1
 
-# Both nodes must expose a clean exposition; the standby must export
-# the replication families.
-curl -sf "http://$PRIMARY/metrics" >"$tmp/primary.prom"
-curl -sf "http://$STANDBY/metrics" >"$tmp/standby.prom"
-"$tmp/bin/rrc-inspect" -expfmt - <"$tmp/primary.prom"
-"$tmp/bin/rrc-inspect" -expfmt - <"$tmp/standby.prom"
-for fam in rrc_replica_lag_records rrc_replica_lag_seconds \
-	rrc_replica_applied_total rrc_replica_epoch; do
-	grep -q "^$fam" "$tmp/standby.prom" || {
-		echo "standby /metrics lacks $fam" >&2
-		exit 1
-	}
-done
+echo "soaking ${half}s against the healthy fleet"
+soak_for "$half"
 
-# Replication lag must drain back to 0 on every shard once traffic
-# stops (the stream long-poll ships the tail within a couple seconds).
+# Quiesce and require lag 0 on every shard: everything acknowledged so
+# far is on the standby, so the kill below can lose nothing.
 lag_zero() {
 	curl -sf "http://$STANDBY/metrics" | awk '
 		/^rrc_replica_lag_records/ { if ($NF != 0) bad = 1 }
@@ -92,31 +109,69 @@ for _ in $(seq 1 50); do
 	sleep 0.2
 done
 [ -n "$ok" ] || { echo "replication lag never drained to 0" >&2; exit 1; }
-echo "lag drained to 0"
+echo "lag drained to 0; killing the primary (SIGKILL)"
 
-# The standby is read-only until promoted.
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$STANDBY/consume" -d '{"user":0,"item":1}')
-[ "$code" = "503" ] || { echo "standby accepted a write before promotion (HTTP $code)" >&2; exit 1; }
+kill -9 "$primary_pid" 2>/dev/null || true
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=
 
-# Promote: the standby takes over under epoch 1 and owns writes.
-curl -sf -X POST "http://$STANDBY/admin/promote" | grep -q '"epoch":1' || {
-	echo "promotion did not report epoch 1" >&2
+echo "soaking ${half}s through the failover"
+soak_for "$half"
+
+total=$(wc -l <"$tmp/outcomes")
+errs=$(grep -c '^err' "$tmp/outcomes" || true)
+echo "soaked $total requests through the router, $errs client-visible errors"
+[ "$total" -gt 0 ] || { echo "no requests made it through the router" >&2; exit 1; }
+# Error budget: the only tolerated failures are the handful of probe
+# rounds between the kill and the router's promotion.
+if [ $(( errs * 5 )) -ge "$total" ]; then
+	echo "client-visible error rate over budget ($errs/$total):" >&2
+	grep '^err' "$tmp/outcomes" | sort | uniq -c >&2
+	exit 1
+fi
+
+# The router must have converged on the promoted standby: writes land.
+curl -sf -X POST "http://$ROUTER/consume" -d '{"user":0,"item":1}' >/dev/null || {
+	echo "write through router failed after failover" >&2
 	exit 1
 }
-curl -sf -X POST "http://$STANDBY/consume" -d '{"user":0,"item":1}' >/dev/null || {
-	echo "promoted standby refused a write" >&2
+
+# Expositions: standby still exports the replication families, and the
+# router exports its own rrc_router_* families — including at least one
+# recorded failover.
+curl -sf "http://$STANDBY/metrics" >"$tmp/standby.prom"
+curl -sf "http://$ROUTER/metrics" >"$tmp/router.prom"
+"$tmp/bin/rrc-inspect" -expfmt - <"$tmp/standby.prom"
+"$tmp/bin/rrc-inspect" -expfmt - <"$tmp/router.prom"
+for fam in rrc_replica_lag_records rrc_replica_lag_seconds \
+	rrc_replica_applied_total rrc_replica_epoch; do
+	grep -q "^$fam" "$tmp/standby.prom" || {
+		echo "standby /metrics lacks $fam" >&2
+		exit 1
+	}
+done
+for fam in rrc_router_requests_total rrc_router_node_state \
+	rrc_router_node_epoch rrc_router_failovers_total; do
+	grep -q "^$fam" "$tmp/router.prom" || {
+		echo "router /metrics lacks $fam" >&2
+		exit 1
+	}
+done
+awk '/^rrc_router_failovers_total/ { if ($NF + 0 >= 1) found = 1 }
+	END { exit !found }' "$tmp/router.prom" || {
+	echo "router never recorded the failover it drove" >&2
 	exit 1
 }
 
 # Clean shutdowns, then offline forensics over the two roots: the
 # promoted node records epoch 1, and the timelines must not have forked
-# (the primary was never written past the shipped horizon).
-kill "$primary_pid" 2>/dev/null || true
-wait "$primary_pid" 2>/dev/null || true
-primary_pid=
+# (the primary died with everything acknowledged already shipped).
 kill "$standby_pid" 2>/dev/null || true
 wait "$standby_pid" 2>/dev/null || true
 standby_pid=
+kill "$router_pid" 2>/dev/null || true
+wait "$router_pid" 2>/dev/null || true
+router_pid=
 "$tmp/bin/rrc-inspect" -epoch "$tmp/standby" | grep -q 'epoch=1' || {
 	echo "rrc-inspect -epoch did not report epoch 1 on the promoted root" >&2
 	exit 1
@@ -125,4 +180,4 @@ standby_pid=
 	echo "rrc-inspect -diverge reported a fork between primary and standby" >&2
 	exit 1
 }
-echo "replica smoke: OK"
+echo "replica smoke (routed, kill-primary): OK"
