@@ -6,30 +6,77 @@
 // upstream attempts — amplification is bounded by configuration, not
 // by luck. Clients are keyed by X-RRC-Client (or remote IP), so one
 // misbehaving caller exhausting its budget cannot spend anyone else's.
+//
+// The ledger itself is bounded: the key is client-controlled, so a
+// caller minting a fresh identity per request would otherwise grow the
+// map without limit. Entries live in an LRU capped at maxClients; the
+// least-recently-seen client is evicted at the cap. Eviction only ever
+// discards banked tokens (an evicted client that returns restarts from
+// an empty balance), so the amplification bound above still holds — a
+// recycled identity earns strictly no more than a persistent one.
 package router
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultMaxBudgetClients bounds distinct clients tracked at once. At
+// two floats plus a key per entry this is a few hundred KiB worst case,
+// while staying far above any realistic concurrent-caller count — an
+// honest client is effectively never evicted.
+const defaultMaxBudgetClients = 4096
 
 type retryBudget struct {
-	ratio float64
-	burst float64
+	ratio      float64
+	burst      float64
+	maxClients int
 
 	mu      sync.Mutex
-	clients map[string]float64
+	clients map[string]*list.Element // value: *budgetEntry
+	lru     *list.List               // front = most recently seen
+}
+
+type budgetEntry struct {
+	key    string
+	tokens float64
 }
 
 func newRetryBudget(ratio, burst float64) *retryBudget {
-	return &retryBudget{ratio: ratio, burst: burst, clients: map[string]float64{}}
+	return &retryBudget{
+		ratio:      ratio,
+		burst:      burst,
+		maxClients: defaultMaxBudgetClients,
+		clients:    map[string]*list.Element{},
+		lru:        list.New(),
+	}
+}
+
+// touch finds or creates the client's entry, marking it most recently
+// seen and evicting the coldest client past the cap. Caller holds b.mu.
+func (b *retryBudget) touch(client string) *budgetEntry {
+	if el, ok := b.clients[client]; ok {
+		b.lru.MoveToFront(el)
+		return el.Value.(*budgetEntry)
+	}
+	e := &budgetEntry{key: client}
+	b.clients[client] = b.lru.PushFront(e)
+	for len(b.clients) > b.maxClients {
+		cold := b.lru.Back()
+		b.lru.Remove(cold)
+		delete(b.clients, cold.Value.(*budgetEntry).key)
+	}
+	return e
 }
 
 // arrive credits a client for one incoming request.
 func (b *retryBudget) arrive(client string) {
 	b.mu.Lock()
-	t := b.clients[client] + b.ratio
-	if t > b.burst {
-		t = b.burst
+	e := b.touch(client)
+	e.tokens += b.ratio
+	if e.tokens > b.burst {
+		e.tokens = b.burst
 	}
-	b.clients[client] = t
 	b.mu.Unlock()
 }
 
@@ -38,11 +85,16 @@ func (b *retryBudget) arrive(client string) {
 func (b *retryBudget) spend(client string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	t := b.clients[client]
-	if t < 1 {
+	el, ok := b.clients[client]
+	if !ok {
 		return false
 	}
-	b.clients[client] = t - 1
+	b.lru.MoveToFront(el)
+	e := el.Value.(*budgetEntry)
+	if e.tokens < 1 {
+		return false
+	}
+	e.tokens--
 	return true
 }
 
@@ -50,5 +102,15 @@ func (b *retryBudget) spend(client string) bool {
 func (b *retryBudget) tokens(client string) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.clients[client]
+	if el, ok := b.clients[client]; ok {
+		return el.Value.(*budgetEntry).tokens
+	}
+	return 0
+}
+
+// size reports the tracked-client count (tests).
+func (b *retryBudget) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
 }

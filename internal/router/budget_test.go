@@ -1,6 +1,9 @@
 package router
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestRetryBudgetArithmetic(t *testing.T) {
 	b := newRetryBudget(0.5, 2)
@@ -31,6 +34,29 @@ func TestRetryBudgetArithmetic(t *testing.T) {
 	// Budgets are per client: client b starts empty regardless of a.
 	if b.spend("b") {
 		t.Fatal("client b spent client a's tokens")
+	}
+}
+
+func TestRetryBudgetBoundsClientCount(t *testing.T) {
+	// The ledger key is client-controlled (X-RRC-Client / source IP): a
+	// caller minting a fresh identity per request must not grow the map
+	// without bound, and the eviction must be LRU — a busy client's
+	// balance survives a churn of drive-by identities.
+	b := newRetryBudget(0.5, 2)
+	b.maxClients = 8
+
+	for i := 0; i < 100; i++ {
+		b.arrive(fmt.Sprintf("drive-by-%d", i))
+		b.arrive("keeper") // stays hot throughout
+	}
+	if got := b.size(); got > 8 {
+		t.Fatalf("tracking %d clients, cap is 8", got)
+	}
+	if !b.spend("keeper") {
+		t.Fatal("hot client lost its banked tokens to drive-by churn")
+	}
+	if b.spend("drive-by-0") {
+		t.Fatal("evicted client retained tokens")
 	}
 }
 

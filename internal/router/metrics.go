@@ -60,9 +60,12 @@ func (rt *Router) counterHelp(name, help string) *obs.Counter {
 }
 
 // registerNodeGauges installs the per-node GaugeFuncs for a URL newly
-// added to the topology. Called with rt.mu held (from SetNodes); the
-// closures re-lookup the node at scrape time, so they survive the node
-// being dropped and re-added.
+// added to the topology. Must be called WITHOUT rt.mu held: it takes
+// the registry lock, and the closures take rt.mu under the registry
+// lock at scrape time — holding rt.mu here would invert that order and
+// deadlock against a concurrent /metrics scrape. The closures re-lookup
+// the node at scrape time, so they survive the node being dropped and
+// re-added.
 func (rt *Router) registerNodeGauges(url string) {
 	if rt.reg == nil {
 		return

@@ -205,6 +205,30 @@ func (rt *Router) probeGet(ctx context.Context, url string, epoch uint64) (int, 
 	return resp.StatusCode, body, nil
 }
 
+// foldFence folds a 412 (epoch fence) response body into the node's
+// view immediately, instead of retrying against a view that only the
+// next probe round would refresh. Both directions matter: a body epoch
+// above the fleet's raises the node's epoch (the fleet moved on without
+// us — the next attempt stamps the fresher epoch and can succeed on
+// this same node), while a body epoch at or below the fleet's marks the
+// node fenced (it refused a write on the current timeline, so it cannot
+// be the write target until a probe says otherwise).
+func (rt *Router) foldFence(n *node, body []byte) {
+	var eb epochBody
+	if json.Unmarshal(body, &eb) != nil {
+		return
+	}
+	fleet := rt.maxEpoch()
+	n.mu.Lock()
+	if eb.Epoch > n.v.Epoch {
+		n.v.Epoch = eb.Epoch
+	}
+	if eb.Epoch <= fleet {
+		n.v.Fenced = true
+	}
+	n.mu.Unlock()
+}
+
 // maybeFailover runs the consecutive-probe-failure promotion policy:
 // when no write target has existed for ProbeFails straight rounds and
 // AutoPromote is on, promote the best eligible standby. The streak

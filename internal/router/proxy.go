@@ -112,6 +112,12 @@ func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoin
 			if !retryableStatus(res.status, false) {
 				return rt.forward(w, res)
 			}
+			if res.status == http.StatusPreconditionFailed {
+				// The fence body carries the node's true epoch. Fold it in
+				// now: re-attempting with the same stale view would just
+				// re-fail every retry until the next probe round.
+				rt.foldFence(n, res.body)
+			}
 		}
 		if attempts >= rt.cfg.MaxAttempts || !rt.budget.spend(client) {
 			break

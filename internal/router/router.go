@@ -159,13 +159,16 @@ type Router struct {
 	// noTargetStreak counts consecutive probe rounds that ended with
 	// no reachable unfenced primary — the failover trigger.
 	noTargetStreak int
-	topoMod        time.Time // mtime of the last loaded topology file
+	topoStamp      FileStamp // stamp of the last loaded topology file
 
 	budget *retryBudget
 	rr     atomic.Uint64 // read candidate rotation
 
-	stop chan struct{}
-	done chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool // Start ran: done will eventually close
+	stop      chan struct{}
+	done      chan struct{}
 
 	reg       *obs.Registry
 	failovers *obs.Counter
@@ -194,11 +197,11 @@ func New(cfg Config) (*Router, error) {
 
 	urls := cfg.Nodes
 	if cfg.TopologyPath != "" {
-		loaded, mod, err := LoadTopology(cfg.TopologyPath)
+		loaded, stamp, err := LoadTopology(cfg.TopologyPath)
 		if err != nil {
 			return nil, err
 		}
-		urls, rt.topoMod = loaded, mod
+		urls, rt.topoStamp = loaded, stamp
 	}
 	if len(urls) == 0 {
 		return nil, errors.New("router: no backend nodes configured")
@@ -208,21 +211,23 @@ func New(cfg Config) (*Router, error) {
 }
 
 // Start probes every node once synchronously (so the router is usable
-// the moment it returns) and launches the probe loop.
+// the moment it returns) and launches the probe loop. Idempotent.
 func (rt *Router) Start() {
-	rt.probeRound()
-	go rt.run()
+	rt.startOnce.Do(func() {
+		rt.started.Store(true)
+		rt.probeRound()
+		go rt.run()
+	})
 }
 
-// Stop halts the probe loop.
+// Stop halts the probe loop. Safe to call from multiple goroutines and
+// before Start (then it only marks the router stopped — there is no
+// loop to wait out, and a later Start exits immediately).
 func (rt *Router) Stop() {
-	select {
-	case <-rt.stop:
-		return // already stopped
-	default:
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	if rt.started.Load() {
+		<-rt.done
 	}
-	close(rt.stop)
-	<-rt.done
 }
 
 func (rt *Router) run() {
@@ -244,9 +249,9 @@ func (rt *Router) run() {
 // new ones start unprobed; removed ones stop being candidates.
 func (rt *Router) SetNodes(urls []string) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	next := make([]*node, 0, len(urls))
 	nextBy := make(map[string]*node, len(urls))
+	var added []string
 	for _, u := range urls {
 		if _, dup := nextBy[u]; dup {
 			continue
@@ -254,13 +259,24 @@ func (rt *Router) SetNodes(urls []string) {
 		n, ok := rt.byURL[u]
 		if !ok {
 			n = &node{url: u}
-			rt.registerNodeGauges(u)
+			added = append(added, u)
 		}
 		next = append(next, n)
 		nextBy[u] = n
 	}
 	rt.nodes = next
 	rt.byURL = nextBy
+	rt.mu.Unlock()
+
+	// Gauge registration takes the registry lock, and the registered
+	// closures take rt.mu at scrape time (while the exporter holds the
+	// registry lock) — so registering under rt.mu would order the two
+	// locks both ways and deadlock against a concurrent /metrics scrape.
+	// Register only after releasing rt.mu; the nodes are already
+	// published above, so a scrape racing this loop finds them.
+	for _, u := range added {
+		rt.registerNodeGauges(u)
+	}
 }
 
 // Nodes returns the current topology order.

@@ -34,6 +34,7 @@ type fakeNode struct {
 	caughtUp bool
 
 	consumeStatus   int           // 0 → 200
+	consumeMinEpoch uint64        // >0: /consume 412s (body = this epoch) below it
 	recommendStatus int           // 0 → 200
 	recommendDelay  time.Duration // per-request stall before answering
 
@@ -106,7 +107,19 @@ func (f *fakeNode) handler() http.Handler {
 		}
 		f.mu.Lock()
 		status := f.consumeStatus
+		minEpoch := f.consumeMinEpoch
 		f.mu.Unlock()
+		if minEpoch > 0 {
+			theirs, _ := strconv.ParseUint(r.Header.Get("X-RRC-Epoch"), 10, 64)
+			if theirs < minEpoch {
+				// The real fenced-ingest 412: an ErrorBody carrying the
+				// node's true epoch.
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusPreconditionFailed)
+				fmt.Fprintf(w, `{"error":"fenced","epoch":%d}`+"\n", minEpoch)
+				return
+			}
+		}
 		if status != 0 {
 			if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 				w.Header().Set("Retry-After", "1")
@@ -431,6 +444,90 @@ func TestRouterAutoPromotesOnPrimaryLoss(t *testing.T) {
 	if rt.failovers.Value() == 0 {
 		t.Fatal("rrc_router_failovers_total not incremented")
 	}
+}
+
+func TestRouterWriteFoldsFenceEpoch(t *testing.T) {
+	// The node's ingest path demands epoch 7 while its probed view says
+	// 2: the first write 412s, and the router must fold the fence
+	// body's epoch into its view so the retry stamps the fresher epoch
+	// — not deterministically re-fail until the next probe round.
+	n := &fakeNode{epoch: 2, caughtUp: true, consumeMinEpoch: 7}
+	rt := startFakes(t, []*fakeNode{n}, func(c *Config) {
+		c.ProbeInterval = time.Hour // only the fence fold can refresh the epoch
+		c.RetryBudget = 1
+	})
+
+	rr := post(rt.Routes(), "/consume", `{"user":0,"item":1}`, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if got := n.consumes.Load(); got != 2 {
+		t.Fatalf("%d consume attempts, want 2 (412 fence, then success)", got)
+	}
+	if got := n.lastEpochHdr.Load(); got != 7 {
+		t.Fatalf("retry stamped epoch %d, want the fence body's 7", got)
+	}
+}
+
+func TestRouterTopologyChangeDoesNotDeadlockScrape(t *testing.T) {
+	// Regression: SetNodes used to register per-node gauges while
+	// holding rt.mu, while a /metrics scrape holds the registry lock
+	// and calls gauge closures that take rt.mu — an AB-BA deadlock when
+	// a topology change that adds a node races a scrape. Hammer both
+	// sides concurrently; a regression hangs the test.
+	n := &fakeNode{caughtUp: true}
+	rt := startFakes(t, []*fakeNode{n}, nil)
+	h := rt.Routes()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			rt.SetNodes([]string{n.ts.URL, fmt.Sprintf("http://added-%d.invalid:1", i)})
+		}
+	}()
+	for {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("/metrics status %d", rr.Code)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestRouterStopIsSafeWhenMisused(t *testing.T) {
+	n := &fakeNode{caughtUp: true}
+	n.ts = httptest.NewServer(n.handler())
+	t.Cleanup(n.ts.Close)
+
+	// Stop before Start must return immediately, not wait on a probe
+	// loop that never ran.
+	never, err := New(Config{Nodes: []string{n.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	never.Stop()
+
+	// Concurrent Stops must not double-close (panic).
+	rt, err := New(Config{Nodes: []string{n.ts.URL}, ProbeInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.Stop()
+		}()
+	}
+	wg.Wait()
 }
 
 func TestRouterOwnEndpoints(t *testing.T) {

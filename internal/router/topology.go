@@ -12,18 +12,29 @@ import (
 	"time"
 )
 
+// FileStamp is the topology watch key. Mtime alone misses a second
+// rewrite landing within the same second on filesystems with coarse
+// (1s) timestamp granularity, so the file size is compared too — a
+// same-size same-second rewrite is the only edit still missed, and the
+// next touch of the file picks it up.
+type FileStamp struct {
+	Mod  time.Time
+	Size int64
+}
+
 // LoadTopology reads and validates a topology file, returning the node
-// URLs and the file's mtime (the watch key).
-func LoadTopology(path string) ([]string, time.Time, error) {
+// URLs and the file's stamp (the watch key).
+func LoadTopology(path string) ([]string, FileStamp, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, time.Time{}, err
+		return nil, FileStamp{}, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, time.Time{}, err
+		return nil, FileStamp{}, err
 	}
+	stamp := FileStamp{Mod: st.ModTime(), Size: st.Size()}
 	var nodes []string
 	sc := bufio.NewScanner(f)
 	line := 0
@@ -35,22 +46,22 @@ func LoadTopology(path string) ([]string, time.Time, error) {
 		}
 		u, err := url.Parse(raw)
 		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, time.Time{}, fmt.Errorf("%s:%d: %q is not a base URL (want http://host:port)", path, line, raw)
+			return nil, FileStamp{}, fmt.Errorf("%s:%d: %q is not a base URL (want http://host:port)", path, line, raw)
 		}
 		nodes = append(nodes, strings.TrimRight(raw, "/"))
 	}
 	if err := sc.Err(); err != nil {
-		return nil, time.Time{}, err
+		return nil, FileStamp{}, err
 	}
 	if len(nodes) == 0 {
-		return nil, time.Time{}, fmt.Errorf("%s: no nodes", path)
+		return nil, FileStamp{}, fmt.Errorf("%s: no nodes", path)
 	}
-	return nodes, st.ModTime(), nil
+	return nodes, stamp, nil
 }
 
-// reloadTopology re-reads the topology file when its mtime moved. A
-// transiently unreadable or invalid file keeps the last good topology —
-// a half-written edit must not empty the fleet.
+// reloadTopology re-reads the topology file when its stamp (mtime or
+// size) moved. A transiently unreadable or invalid file keeps the last
+// good topology — a half-written edit must not empty the fleet.
 func (rt *Router) reloadTopology() {
 	if rt.cfg.TopologyPath == "" {
 		return
@@ -59,18 +70,19 @@ func (rt *Router) reloadTopology() {
 	if err != nil {
 		return
 	}
+	now := FileStamp{Mod: st.ModTime(), Size: st.Size()}
 	rt.mu.Lock()
-	unchanged := st.ModTime().Equal(rt.topoMod)
+	unchanged := now.Mod.Equal(rt.topoStamp.Mod) && now.Size == rt.topoStamp.Size
 	rt.mu.Unlock()
 	if unchanged {
 		return
 	}
-	nodes, mod, err := LoadTopology(rt.cfg.TopologyPath)
+	nodes, stamp, err := LoadTopology(rt.cfg.TopologyPath)
 	if err != nil {
 		return
 	}
 	rt.SetNodes(nodes)
 	rt.mu.Lock()
-	rt.topoMod = mod
+	rt.topoStamp = stamp
 	rt.mu.Unlock()
 }

@@ -94,6 +94,37 @@ func TestRouterWatchesTopologyFile(t *testing.T) {
 	}
 }
 
+func TestTopologyReloadDetectsSameMtimeRewrite(t *testing.T) {
+	// On filesystems with 1s mtime granularity two edits can land on
+	// the same timestamp; the watch key must include the size so the
+	// second edit is not silently skipped.
+	path := filepath.Join(t.TempDir(), "nodes")
+	if err := os.WriteFile(path, []byte("http://a:8395\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mtime := time.Now().Truncate(time.Second)
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{TopologyPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite with the mtime pinned: only the size moves.
+	if err := os.WriteFile(path, []byte("http://a:8395\nhttp://b:8396\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	rt.reloadTopology()
+	if got := rt.Nodes(); len(got) != 2 {
+		t.Fatalf("same-mtime rewrite not applied: %v", got)
+	}
+	rt.Stop() // never Started: must return without blocking
+}
+
 func mustStatus(rt *Router) Status {
 	st, _ := rt.statusSnapshot()
 	return st
