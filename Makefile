@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos replica-chaos replica-smoke router-chaos
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench obs-race metrics-smoke shard-chaos replica-chaos replica-smoke router-chaos partition-chaos
 
 ## check: everything CI should gate on — formatting, vet, race-enabled tests
 ## (obs-race first: the metric hot paths are the newest concurrency surface,
 ## shard-chaos next: panic/fault injection into live sharded traffic,
 ## replica-chaos after: failover/fencing/rejoin over a live pair,
-## router-chaos last: the routed fleet end to end — kill the primary under
-## live traffic through rrc-router and lose nothing),
-## and the fuzz targets over their seed corpora
-check: fmt vet obs-race shard-chaos replica-chaos router-chaos race fuzz-smoke
+## router-chaos then the routed fleet end to end — kill the primary under
+## live traffic through rrc-router and lose nothing,
+## partition-chaos last: P replicated pairs behind key routing — one
+## pair's primary killed must not cost the other partitions a single
+## error), and the fuzz targets over their seed corpora
+check: fmt vet obs-race shard-chaos replica-chaos router-chaos partition-chaos race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +55,15 @@ replica-chaos:
 ## plus the router's own retry-budget/hedging/topology unit suites
 router-chaos:
 	$(GO) test -race -count=1 -run Router ./cmd/rrc-server ./internal/router
+
+## partition-chaos: the partitioned-fleet chaos suite, unconditionally
+## re-run under the race detector — P=3 replicated pairs behind
+## key-routed rrc-router, one pair's primary SIGKILLed under live mixed
+## traffic: the other partitions must serve error-free, the victim must
+## converge unaided with zero acked-write loss, and no epoch may leak
+## across partitions; plus the partition identity/ownership unit suites
+partition-chaos:
+	$(GO) test -race -count=1 -run Partition ./cmd/rrc-server ./internal/shard ./internal/router ./internal/replica
 
 ## replica-smoke: end-to-end primary+standby+router soak over real
 ## sockets — traffic flows through rrc-router, the primary is SIGKILLed

@@ -1,8 +1,12 @@
 // Command rrc-router is the stateless front end for an rrc-server
-// primary/standby pair. Point clients at the router; it health-probes
-// every backend, routes writes to the current primary (by replication
-// epoch), spreads reads over healthy nodes within a staleness bound,
-// and drives or follows failover automatically.
+// fleet: one replicated primary/standby pair, or several pairs each
+// owning a partition of the user-key space. Point clients at the
+// router; it health-probes every backend, routes keyed requests to the
+// owning partition (shard.UserShard over the "user" field), routes
+// writes to each partition's current primary (by replication epoch),
+// spreads reads over healthy nodes within a staleness bound, and
+// drives or follows failover automatically — per partition, so one
+// pair's outage never sheds another pair's keys.
 //
 // Endpoints (mirrors the rrc-server traffic surface):
 //
@@ -17,13 +21,28 @@
 //	POST /recommend/user   → proxied to any healthy node within -max-lag
 //
 // Topology comes from -nodes (comma-separated base URLs) or -topology
-// (a file, one URL per line, re-read on mtime change — editing it is
-// the whole "add a node" procedure). Requests carry propagated
-// deadlines (X-RRC-Deadline-Ms) and the fleet's max epoch
-// (X-RRC-Epoch, which fences deposed primaries on contact); retries
-// are bounded per client by a token-bucket retry budget. Usage:
+// (a file, re-read on mtime change — editing it is the whole "add a
+// node" or "resize" procedure). A flat file — one URL per line — is a
+// single partition owning every key. A partitioned file names each
+// pair's slice, and may open a resize window whose moving keys the
+// router drains (writes) and dual-routes (reads) until cutover:
+//
+//	partitions 2
+//	partition 0 http://a:8395 http://b:8396
+//	partition 1 http://c:8395 http://d:8396
+//	# optional resize window:
+//	next-partitions 3
+//	next 0 http://a:8395 http://b:8396
+//	...
+//
+// Requests carry propagated deadlines (X-RRC-Deadline-Ms) and each
+// partition's epoch (X-RRC-Epoch, which fences deposed primaries on
+// contact); a node answering 421 (it owns a different slice than the
+// file claims) is folded out of rotation and counted. Retries are
+// bounded per client by a token-bucket retry budget. Usage:
 //
 //	rrc-router -addr :8394 -nodes http://a:8395,http://b:8396 -auto-promote
+//	rrc-router -addr :8394 -topology fleet.topo -auto-promote
 package main
 
 import (

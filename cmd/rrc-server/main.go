@@ -92,6 +92,8 @@ func main() {
 		maxSessions   = flag.Int("max-sessions", sessions.DefaultMaxUsers, "in-memory session bound; least-recently-used windows are evicted past it")
 		corruptSkip   = flag.Bool("wal-skip-corrupt", false, "quarantine CRC-failed log records instead of refusing to start")
 
+		partitionFlag = flag.String("partition", "", "partition identity index/count[@generation] (e.g. 1/3): this node owns only its slice of the user-key space and answers 421 for the rest; fixed per events dir unless the generation is bumped (requires -events-dir)")
+
 		followURL       = flag.String("follow", "", "run as a warm standby tailing this primary's WAL stream (read-only until promoted)")
 		autoPromote     = flag.Bool("auto-promote", false, "with -follow: promote automatically after repeated primary health-probe failures")
 		peersCSV        = flag.String("peers", "", "comma-separated peer base URLs; a restarting primary checks their epochs and starts fenced if deposed")
@@ -107,6 +109,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrc-server:", err)
 		os.Exit(2)
+	}
+	var partition shard.PartitionID
+	if *partitionFlag != "" {
+		if *eventsDir == "" {
+			fmt.Fprintln(os.Stderr, "rrc-server: -partition requires -events-dir (key ownership is an online-session contract)")
+			os.Exit(2)
+		}
+		partition, err = shard.ParsePartitionID(*partitionFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrc-server:", err)
+			os.Exit(2)
+		}
 	}
 	model, err := core.LoadFile(*modelPath)
 	if err == nil {
@@ -129,6 +143,7 @@ func main() {
 
 		eventsDir:     *eventsDir,
 		shards:        *shards,
+		partition:     partition,
 		fsync:         fsync,
 		fsyncInterval: *fsyncInterval,
 		snapshotEvery: *snapshotEvery,
@@ -257,8 +272,9 @@ type serverOptions struct {
 	probeEvery    int           // degraded-mode primary probe period; 0 → 16
 
 	// Online-session fields; zero values defer to wal/sessions defaults.
-	eventsDir     string // "" disables /consume and /recommend/user
-	shards        int    // online failure domains; 0 → 1
+	eventsDir     string            // "" disables /consume and /recommend/user
+	shards        int               // online failure domains; 0 → 1
+	partition     shard.PartitionID // user-key slice this node owns; zero → 0/1 (whole key space)
 	fsync         wal.SyncPolicy
 	fsyncInterval time.Duration
 	snapshotEvery int
@@ -509,9 +525,22 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 type readyResponse struct {
 	Status string   `json:"status"`
 	Shards []string `json:"shards,omitempty"`
+	// Partition is the user-key slice this node owns; nil when online
+	// sessions are off. rrc-router probes it to catch a node whose
+	// -partition disagrees with the topology file before any traffic is
+	// misrouted.
+	Partition *partitionInfo `json:"partition,omitempty"`
 	// Replication reports the node's role, epoch, fence, and (follower)
 	// lag; nil when the replication plane is off.
 	Replication *replStatus `json:"replication,omitempty"`
+}
+
+// partitionInfo is the /readyz partition block, mirroring the on-disk
+// marker's JSON shape.
+type partitionInfo struct {
+	Index      int `json:"partition"`
+	Count      int `json:"partitions"`
+	Generation int `json:"generation"`
 }
 
 // handleReady reports readiness: a loaded model, a healthy primary
@@ -525,6 +554,8 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		for _, st := range s.online.pool.States() {
 			resp.Shards = append(resp.Shards, st.String())
 		}
+		part := s.online.pool.Partition()
+		resp.Partition = &partitionInfo{Index: part.Index, Count: part.Count, Generation: part.Generation}
 		if !s.online.ready() {
 			resp.Status, code = "recovering", http.StatusServiceUnavailable
 		}

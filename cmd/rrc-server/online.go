@@ -34,6 +34,7 @@ import (
 	"tsppr/internal/core"
 	"tsppr/internal/obs"
 	"tsppr/internal/rec"
+	"tsppr/internal/replica"
 	"tsppr/internal/seq"
 	"tsppr/internal/shard"
 )
@@ -64,6 +65,7 @@ func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
 	}
 	pool, err := shard.Open(opts.eventsDir, shard.Config{
 		Shards:              n,
+		Partition:           opts.partition,
 		WindowCap:           opts.windowCap,
 		MaxSessionsPerShard: perShard,
 		NumUsers:            m.NumUsers(),
@@ -183,6 +185,28 @@ func writeOnlineErr(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event not durable: %w", err))
 }
 
+// refuseForeignUser is the partition ownership gate on the keyed online
+// endpoints: a node in a partitioned fleet must never apply (or answer
+// from) a key another partition owns — a misrouted write here would be
+// durable in the wrong pair's WAL, invisible to the owner, and
+// unfindable later. The 421 carries the owning partition in the flat
+// shape rrc-router folds into its view (and counts as a misdirect), so
+// a topology/-partition disagreement is loud within one request.
+func (s *server) refuseForeignUser(w http.ResponseWriter, user int) bool {
+	part := s.online.pool.Partition()
+	if part.Owns(user) {
+		return false
+	}
+	owner := shard.UserShard(user, part.Count)
+	w.Header().Set(replica.PartitionHeader, part.String())
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error":      fmt.Sprintf("user %d belongs to partition %d/%d; this node owns %s", user, owner, part.Count, part.String()),
+		"partition":  owner,
+		"partitions": part.Count,
+	})
+	return true
+}
+
 // consumeRequest is the POST /consume body.
 type consumeRequest struct {
 	User int `json:"user"`
@@ -229,6 +253,9 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0,%d)", req.Item, m.NumItems()))
 		return
 	}
+	if s.refuseForeignUser(w, req.User) {
+		return
+	}
 	lsn, winLen, err := s.online.pool.Ingest(req.User, seq.Item(req.Item))
 	if err != nil {
 		// The event is NOT durable; the caller must retry.
@@ -261,6 +288,9 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 	n, omega, err := s.clampNOmega(req.N, req.Omega)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.refuseForeignUser(w, req.User) {
 		return
 	}
 	win, ok, err := s.online.pool.WindowClone(req.User)

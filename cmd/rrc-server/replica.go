@@ -87,6 +87,10 @@ func (s *server) setupReplication() error {
 		Meta:           rs.metaSnapshot,
 		SawHigherEpoch: rs.fence,
 		Wait:           s.opts.replWait,
+		// The replication plane carries the partition identity too: a
+		// follower of the wrong pair is refused (421) before a single
+		// record crosses partitions.
+		Partition: s.online.pool.Partition,
 	}
 	s.reg.Help("rrc_replica_fenced", "1 while this node's ingest path is fenced (deposed primary), else 0.")
 	rs.fencedG = s.reg.Gauge("rrc_replica_fenced")
@@ -121,6 +125,7 @@ func (s *server) setupReplication() error {
 		Primary:     s.opts.followURL,
 		Target:      replica.PoolTarget{Pool: s.online.pool},
 		Metas:       replica.DirMetaStore{Root: root},
+		Partition:   s.online.pool.Partition(),
 		BackoffBase: s.opts.replBackoffBase,
 		BackoffMax:  s.opts.replBackoffMax,
 		Metrics:     s.reg,

@@ -1,0 +1,167 @@
+package replica_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsppr/internal/obs"
+	"tsppr/internal/replica"
+	"tsppr/internal/shard"
+)
+
+// newPartitionedPrimary is newPrimary with a partition identity: the
+// server stamps every response with X-RRC-Partition and refuses
+// cross-partition replication with 421.
+func newPartitionedPrimary(t *testing.T, pool *shard.Pool, box *metaBox, id shard.PartitionID) *httptest.Server {
+	t.Helper()
+	srv := &replica.Server{
+		Source:    replica.PoolSource{Pool: pool},
+		Meta:      box.get,
+		Wait:      50 * time.Millisecond,
+		Partition: func() shard.PartitionID { return id },
+	}
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServerPartitionCheck pins the replication-plane ownership
+// contract: a primary that knows its partition identity refuses
+// cross-partition requests with 421 and an owning-partition hint, while
+// matching, unstamped, and generation-skewed requests pass. Silent
+// cross-partition replication would copy another partition's keys into
+// this pair for good, so the refusal must be loud and machine-readable.
+func TestServerPartitionCheck(t *testing.T) {
+	dir := t.TempDir()
+	pool, err := shard.Open(dir, poolCfg(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	box := &metaBox{}
+	own := shard.PartitionID{Index: 0, Count: 2, Generation: 1}
+	ts := newPartitionedPrimary(t, pool, box, own)
+
+	get := func(stamp string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/replica/epoch", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stamp != "" {
+			req.Header.Set(replica.PartitionHeader, stamp)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Matching identity, unstamped (pre-partitioning follower), and a
+	// generation skew (mid-resize re-identity) all pass.
+	for _, stamp := range []string{own.String(), "", "0/2@7"} {
+		if resp := get(stamp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("stamp %q: status %d, want 200", stamp, resp.StatusCode)
+		} else if got := resp.Header.Get(replica.PartitionHeader); got != own.String() {
+			t.Fatalf("stamp %q: response partition header %q, want %q", stamp, got, own)
+		}
+	}
+
+	// A different partition is refused with the owning identity in both
+	// the header and the body.
+	resp := get("1/2@1")
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("cross-partition stamp: status %d, want 421", resp.StatusCode)
+	}
+	var body replica.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode 421 body: %v", err)
+	}
+	if body.Partition == nil || *body.Partition != own {
+		t.Fatalf("421 body partition hint = %+v, want %+v", body.Partition, own)
+	}
+
+	// A garbled stamp is a 400, not a silent pass.
+	if resp := get("nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbled stamp: status %d, want 400", resp.StatusCode)
+	}
+
+	// The stream endpoint runs the same gate.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/replica/stream?shard=0&from=0", nil)
+	req.Header.Set(replica.PartitionHeader, "1/2")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("cross-partition stream: status %d, want 421", sresp.StatusCode)
+	}
+}
+
+// TestFollowerPartitionMismatch points a partition-1 follower at a
+// partition-0 primary and checks it never replicates a byte: every poll
+// surfaces the MISCONFIGURED error instead of applying the stream.
+func TestFollowerPartitionMismatch(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	ppool, err := shard.Open(pdir, poolCfg(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ppool.Close()
+	ingest(t, ppool, 4, 32)
+	box := &metaBox{}
+	ts := newPartitionedPrimary(t, ppool, box, shard.PartitionID{Index: 0, Count: 2})
+
+	fpool, err := shard.Open(fdir, poolCfg(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fpool.Close()
+	reg := obs.NewRegistry()
+	f := &replica.Follower{
+		Primary:     ts.URL,
+		Target:      replica.PoolTarget{Pool: fpool},
+		Metas:       replica.DirMetaStore{Root: fdir},
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Metrics:     reg,
+		Partition:   shard.PartitionID{Index: 1, Count: 2},
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.SumCounters("rrc_replica_stream_errors_total") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never surfaced the partition mismatch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.CaughtUp() {
+		t.Fatal("misdirected follower must not report caught up")
+	}
+	if got := fingerprint(t, fpool); got != fingerprint(t, mustEmptyPool(t)) {
+		t.Fatal("misdirected follower applied records across partitions")
+	}
+}
+
+// mustEmptyPool opens a fresh empty pool for fingerprint comparison.
+func mustEmptyPool(t *testing.T) *shard.Pool {
+	t.Helper()
+	p, err := shard.Open(t.TempDir(), poolCfg(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"tsppr/internal/shard"
 	"tsppr/internal/wal"
 )
 
@@ -25,6 +26,13 @@ const (
 	NextLSNHeader = "X-RRC-Next-LSN"
 	// SnapshotLSNHeader carries the applied LSN of a served snapshot.
 	SnapshotLSNHeader = "X-RRC-Snapshot-LSN"
+	// PartitionHeader carries a node's partition identity (i/c@g, the
+	// shard.PartitionID wire form) on replication exchanges. Epochs only
+	// fence within one partition's timeline, so a follower accidentally
+	// pointed at another partition's primary must be refused before it
+	// tails a single record — cross-partition replication would graft
+	// one key range's WAL onto another's.
+	PartitionHeader = "X-RRC-Partition"
 )
 
 // Source is the primary-side surface the stream server reads: the
@@ -54,6 +62,9 @@ type ErrorBody struct {
 	DivergenceLSN uint64 `json:"divergence_lsn,omitempty"`
 	Truncate      bool   `json:"truncate,omitempty"`
 	OldestLSN     uint64 `json:"oldest_lsn,omitempty"`
+	// Partition carries the responder's partition identity on a 421
+	// (cross-partition request) — the hint the misrouted side folds in.
+	Partition *shard.PartitionID `json:"partition,omitempty"`
 }
 
 // Server is the primary-side replication handler set: the per-shard
@@ -69,6 +80,11 @@ type Server struct {
 	// an epoch above our own — the signal a deposed primary uses to
 	// fence its ingest path even before an operator notices.
 	SawHigherEpoch func(epoch uint64)
+	// Partition, when non-nil, returns this node's partition identity.
+	// Every reply carries it in PartitionHeader, and a request stamped
+	// with a different partition (index or count) is refused with 421 —
+	// cross-partition misconfiguration must fail before any record moves.
+	Partition func() shard.PartitionID
 
 	// MaxBatch bounds records per stream response; 0 → wal batch default.
 	MaxBatch int
@@ -107,6 +123,38 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 func writeUnavailable(w http.ResponseWriter, body any) {
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
+// checkPartition enforces partition identity on a replication request:
+// a requester stamping a different partition index or count is answered
+// 421 (Misdirected Request) with our identity as the hint, and nothing
+// streams. Requests without the header — ops tooling, pre-partitioning
+// followers — are let through, as are servers with no identity
+// configured. Generations may differ: a mid-resize pair re-identifies
+// one node at a time.
+func (s *Server) checkPartition(w http.ResponseWriter, r *http.Request) bool {
+	if s.Partition == nil {
+		return true
+	}
+	own := s.Partition()
+	w.Header().Set(PartitionHeader, own.String())
+	raw := r.Header.Get(PartitionHeader)
+	if raw == "" {
+		return true
+	}
+	theirs, err := shard.ParsePartitionID(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: fmt.Sprintf("bad %s: %v", PartitionHeader, err), Partition: &own})
+		return false
+	}
+	if theirs.Index != own.Index || theirs.Count != own.Count {
+		writeJSON(w, http.StatusMisdirectedRequest, ErrorBody{
+			Error:     fmt.Sprintf("request is for partition %s but this node owns %s: cross-partition replication refused", theirs, own),
+			Partition: &own,
+		})
+		return false
+	}
+	return true
 }
 
 // checkEpoch compares the requester's epoch header against ours and
@@ -173,6 +221,9 @@ func (s *Server) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) 
 // long-polled briefly before an empty 200, so steady-state lag is one
 // round trip, not one poll interval.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPartition(w, r) {
+		return
+	}
 	shard, ok := s.shardParam(w, r)
 	if !ok {
 		return
@@ -234,6 +285,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot serves the shard's newest snapshot file for reseeding,
 // its applied LSN in SnapshotLSNHeader.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPartition(w, r) {
+		return
+	}
 	shard, ok := s.shardParam(w, r)
 	if !ok {
 		return
@@ -263,6 +317,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // joining follower (or a peer startup check) uses to learn the current
 // epoch and promotion history.
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPartition(w, r) {
+		return
+	}
 	if _, ok := s.checkEpoch(w, r, -1); !ok {
 		return
 	}

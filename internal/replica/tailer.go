@@ -18,6 +18,7 @@ import (
 	"tsppr/internal/atomicio"
 	"tsppr/internal/obs"
 	"tsppr/internal/sessions"
+	"tsppr/internal/shard"
 	"tsppr/internal/wal"
 )
 
@@ -59,6 +60,12 @@ type Follower struct {
 	Primary string // primary base URL, e.g. http://10.0.0.1:8080
 	Target  Target
 	Metas   MetaStore
+
+	// Partition, when nonzero (Count >= 1), is stamped on every stream
+	// and snapshot request so a primary owning a different slice of the
+	// key space refuses us with 421 instead of shipping records whose
+	// users this node will never serve.
+	Partition shard.PartitionID
 
 	// Client, when nil, falls back to a default with sane timeouts.
 	Client *http.Client
@@ -257,6 +264,7 @@ func (f *Follower) pollOnce(ctx context.Context, st *shardTailer) (bool, error) 
 		return false, err
 	}
 	req.Header.Set(EpochHeader, strconv.FormatUint(f.Epoch(), 10))
+	f.stampPartition(req)
 	resp, err := f.client().Do(req)
 	if err != nil {
 		return false, err
@@ -273,9 +281,32 @@ func (f *Follower) pollOnce(ctx context.Context, st *shardTailer) (bool, error) 
 		return false, f.handleEpochConflict(st, resp)
 	case http.StatusGone:
 		return false, f.reseed(ctx, st, resp)
+	case http.StatusMisdirectedRequest:
+		return false, f.partitionMismatch(resp)
 	default:
 		return false, fmt.Errorf("stream: primary returned %s", resp.Status)
 	}
+}
+
+// stampPartition adds the follower's partition identity to an outbound
+// replication request, when one is configured.
+func (f *Follower) stampPartition(req *http.Request) {
+	if f.Partition.Count >= 1 {
+		req.Header.Set(PartitionHeader, f.Partition.String())
+	}
+}
+
+// partitionMismatch turns a 421 into the loudest error the tailer can
+// produce: this node is pointed at another partition's primary, and no
+// amount of retrying fixes a misconfiguration — only the operator can.
+func (f *Follower) partitionMismatch(resp *http.Response) error {
+	var body ErrorBody
+	hint := resp.Header.Get(PartitionHeader)
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Partition != nil {
+		hint = body.Partition.String()
+	}
+	return fmt.Errorf("MISCONFIGURED: primary %s owns partition %s but this node is %s — repoint -follow at our own partition's primary",
+		f.Primary, hint, f.Partition)
 }
 
 // applyStream decodes and applies every frame in a 200 stream response.
@@ -392,6 +423,7 @@ func (f *Follower) reseed(ctx context.Context, st *shardTailer, gone *http.Respo
 		return err
 	}
 	req.Header.Set(EpochHeader, strconv.FormatUint(f.Epoch(), 10))
+	f.stampPartition(req)
 	resp, err := f.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("snapshot download: %w", err)

@@ -19,6 +19,8 @@ package router
 import (
 	"container/list"
 	"sync"
+
+	"tsppr/internal/obs"
 )
 
 // defaultMaxBudgetClients bounds distinct clients tracked at once. At
@@ -31,6 +33,10 @@ type retryBudget struct {
 	ratio      float64
 	burst      float64
 	maxClients int
+	// evictions, when non-nil, counts LRU evictions at the client cap
+	// (rrc_router_budget_evictions_total) — sustained growth here means
+	// a caller is minting fresh identities per request.
+	evictions *obs.Counter
 
 	mu      sync.Mutex
 	clients map[string]*list.Element // value: *budgetEntry
@@ -65,6 +71,9 @@ func (b *retryBudget) touch(client string) *budgetEntry {
 		cold := b.lru.Back()
 		b.lru.Remove(cold)
 		delete(b.clients, cold.Value.(*budgetEntry).key)
+		if b.evictions != nil {
+			b.evictions.Inc()
+		}
 	}
 	return e
 }

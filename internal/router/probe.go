@@ -2,15 +2,26 @@
 // questions in parallel:
 //
 //	GET /readyz          — serving state, shard states, replication
-//	                       role/epoch/fence/lag (the replStatus block)
+//	                       role/epoch/fence/lag (the replStatus block),
+//	                       and the node's partition identity
 //	GET /replica/epoch   — the replication meta, carrying the highest
-//	                       epoch the router has seen in X-RRC-Epoch
+//	                       epoch the router has seen in that node's
+//	                       PARTITION in X-RRC-Epoch
 //
 // The second probe is also the fencing mechanism: rrc-server's epoch
 // check self-fences when it sees a higher epoch than its own, so a
 // deposed primary stops accepting writes the moment the router —
 // which has talked to the promoted node — probes it. No new protocol;
-// the router is just another replication-aware peer.
+// the router is just another replication-aware peer. Epochs are
+// per-partition timelines: stamping partition 1's epoch on partition
+// 0's primary could depose a perfectly healthy node, so each probe
+// carries only its own partition's epoch.
+//
+// The /readyz partition block cross-checks ownership: a node whose
+// persisted -partition identity disagrees with every slot the topology
+// assigns it is marked misplaced and excluded from all routing — a
+// misconfigured topology file serves loud errors, never another
+// partition's keys.
 package router
 
 import (
@@ -44,8 +55,16 @@ type nodeView struct {
 	Fenced     bool
 	LagRecords uint64
 	CaughtUp   bool
-	LastErr    string
-	LastProbe  time.Time
+	// Partition identity the node itself reported (via /readyz or a
+	// 421 body); PartKnown false when the node never said.
+	PartKnown bool
+	PartIndex int
+	PartCount int
+	// Misplaced: the node's reported identity matches no slot the
+	// topology assigns it. Misplaced nodes take no traffic at all.
+	Misplaced bool
+	LastErr   string
+	LastProbe time.Time
 }
 
 // node pairs a backend URL with its latest probed view.
@@ -79,16 +98,23 @@ type NodeStatus struct {
 	Epoch      uint64 `json:"epoch"`
 	Fenced     bool   `json:"fenced,omitempty"`
 	LagRecords uint64 `json:"lag_records,omitempty"`
+	Partition  string `json:"partition,omitempty"`
+	Misplaced  bool   `json:"misplaced,omitempty"`
 	Error      string `json:"error,omitempty"`
 }
 
 func (n *node) status() NodeStatus {
 	v := n.view()
-	return NodeStatus{
+	ns := NodeStatus{
 		URL: n.url, Reachable: v.Reachable, Ready: v.Ready,
 		Status: v.Status, Role: v.Role, Epoch: v.Epoch,
-		Fenced: v.Fenced, LagRecords: v.LagRecords, Error: v.LastErr,
+		Fenced: v.Fenced, LagRecords: v.LagRecords,
+		Misplaced: v.Misplaced, Error: v.LastErr,
 	}
+	if v.PartKnown {
+		ns.Partition = fmt.Sprintf("%d/%d", v.PartIndex, v.PartCount)
+	}
+	return ns
 }
 
 // readyBody mirrors rrc-server's readyResponse — only the fields the
@@ -102,6 +128,10 @@ type readyBody struct {
 		LagRecords uint64 `json:"lag_records"`
 		CaughtUp   bool   `json:"caught_up"`
 	} `json:"replication"`
+	Partition *struct {
+		Index int `json:"partition"`
+		Count int `json:"partitions"`
+	} `json:"partition"`
 }
 
 // epochBody covers both shapes /replica/epoch answers with: the meta on
@@ -110,31 +140,76 @@ type epochBody struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// partSlot is one (index, count) assignment the topology gives a node.
+// A node legitimately holds up to two during a resize: its current
+// slot and its re-identified next slot.
+type partSlot struct{ index, count int }
+
+// probeJob is one node's probe work for a round: the partition epoch
+// to stamp and the topology slots the node may legitimately claim.
+type probeJob struct {
+	n     *node
+	epoch uint64
+	slots []partSlot
+}
+
 // probeRound probes every node in parallel, updates views, then runs
-// the failover policy on the refreshed picture.
+// the per-partition failover policy on the refreshed picture.
 func (rt *Router) probeRound() {
-	nodes := rt.snapshotNodes()
-	if len(nodes) == 0 {
+	jobs := rt.probeJobs()
+	if len(jobs) == 0 {
 		return
 	}
-	epoch := rt.maxEpoch()
 	var wg sync.WaitGroup
-	for _, n := range nodes {
+	for _, j := range jobs {
 		wg.Add(1)
-		go func(n *node) {
+		go func(j probeJob) {
 			defer wg.Done()
-			rt.probeNode(n, epoch)
-		}(n)
+			rt.probeNode(j)
+		}(j)
 	}
 	wg.Wait()
 	rt.maybeFailover()
+}
+
+// probeJobs assembles the round's work under the topology lock: one
+// job per distinct node, stamped with its own partition's epoch
+// (current layout wins for nodes present in both layouts).
+func (rt *Router) probeJobs() []probeJob {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	byNode := map[*node]*probeJob{}
+	var order []*node
+	for li, layout := range [2][]*partition{rt.parts, rt.nextParts} {
+		count := len(layout)
+		for _, p := range layout {
+			epoch := epochIn(p.nodes)
+			for _, n := range p.nodes {
+				j, ok := byNode[n]
+				if !ok {
+					j = &probeJob{n: n, epoch: epoch}
+					byNode[n] = j
+					order = append(order, n)
+				} else if li == 0 && j.epoch < epoch {
+					j.epoch = epoch
+				}
+				j.slots = append(j.slots, partSlot{index: p.index, count: count})
+			}
+		}
+	}
+	jobs := make([]probeJob, 0, len(order))
+	for _, n := range order {
+		jobs = append(jobs, *byNode[n])
+	}
+	return jobs
 }
 
 // probeNode refreshes one node's view. The node counts reachable when
 // either endpoint answered with parseable JSON — /replica/epoch can
 // legitimately 412 (stale router epoch on one side or the other) and
 // the body still tells us the node's true epoch.
-func (rt *Router) probeNode(n *node, epoch uint64) {
+func (rt *Router) probeNode(j probeJob) {
+	n, epoch := j.n, j.epoch
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	defer cancel()
 	v := nodeView{LastProbe: time.Now()}
@@ -155,6 +230,16 @@ func (rt *Router) probeNode(n *node, epoch uint64) {
 			} else {
 				v.Role, v.CaughtUp = rolePrimary, true
 			}
+			if pb := rb.Partition; pb != nil {
+				v.PartKnown = true
+				v.PartIndex, v.PartCount = pb.Index, pb.Count
+				if misplacedIn(j.slots, pb.Index, pb.Count) {
+					v.Misplaced = true
+					v.LastErr = fmt.Sprintf(
+						"node owns partition %d/%d but the topology assigns %v — misconfiguration, node excluded from routing",
+						pb.Index, pb.Count, j.slots)
+				}
+			}
 		} else {
 			err = fmt.Errorf("readyz: %w", jerr)
 		}
@@ -174,7 +259,7 @@ func (rt *Router) probeNode(n *node, epoch uint64) {
 				v.Epoch = eb.Epoch
 			}
 			if code == http.StatusPreconditionFailed && eb.Epoch < epoch {
-				// The node answered from a lower epoch than the fleet's:
+				// The node answered from a lower epoch than its partition's:
 				// our probe just deposed it (its SawHigherEpoch fired).
 				v.Fenced = true
 			}
@@ -183,7 +268,23 @@ func (rt *Router) probeNode(n *node, epoch uint64) {
 	n.setView(v)
 }
 
-// probeGet issues one probe request, stamping the router's epoch when
+// misplacedIn reports whether a node's self-reported identity matches
+// none of the slots the topology assigns it. A degenerate 0/1 identity
+// (the node was never started with -partition) is never misplaced — it
+// predates partitioning and the topology file is the only authority.
+func misplacedIn(slots []partSlot, index, count int) bool {
+	if count <= 1 && index == 0 {
+		return false
+	}
+	for _, s := range slots {
+		if s.index == index && s.count == count {
+			return false
+		}
+	}
+	return true
+}
+
+// probeGet issues one probe request, stamping the partition epoch when
 // nonzero, and returns the status code and a bounded body.
 func (rt *Router) probeGet(ctx context.Context, url string, epoch uint64) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -208,17 +309,18 @@ func (rt *Router) probeGet(ctx context.Context, url string, epoch uint64) (int, 
 // foldFence folds a 412 (epoch fence) response body into the node's
 // view immediately, instead of retrying against a view that only the
 // next probe round would refresh. Both directions matter: a body epoch
-// above the fleet's raises the node's epoch (the fleet moved on without
-// us — the next attempt stamps the fresher epoch and can succeed on
-// this same node), while a body epoch at or below the fleet's marks the
-// node fenced (it refused a write on the current timeline, so it cannot
-// be the write target until a probe says otherwise).
+// above the partition's raises the node's epoch (the partition moved on
+// without us — the next attempt stamps the fresher epoch and can
+// succeed on this same node), while a body epoch at or below the
+// partition's marks the node fenced (it refused a write on the current
+// timeline, so it cannot be the write target until a probe says
+// otherwise).
 func (rt *Router) foldFence(n *node, body []byte) {
 	var eb epochBody
 	if json.Unmarshal(body, &eb) != nil {
 		return
 	}
-	fleet := rt.maxEpoch()
+	fleet := rt.epochForNode(n)
 	n.mu.Lock()
 	if eb.Epoch > n.v.Epoch {
 		n.v.Epoch = eb.Epoch
@@ -229,67 +331,99 @@ func (rt *Router) foldFence(n *node, body []byte) {
 	n.mu.Unlock()
 }
 
-// maybeFailover runs the consecutive-probe-failure promotion policy:
-// when no write target has existed for ProbeFails straight rounds and
-// AutoPromote is on, promote the best eligible standby. The streak
-// gate makes a single flapped probe harmless; the "best standby"
-// choice prefers caught-up followers on the highest epoch with the
-// least lag, minimizing the acked-but-unshipped window the deposed
-// primary will truncate on rejoin.
-func (rt *Router) maybeFailover() {
-	rt.mu.Lock()
-	if rt.writeTargetLocked() != nil {
-		rt.noTargetStreak = 0
-		rt.mu.Unlock()
-		return
-	}
-	rt.noTargetStreak++
-	streak := rt.noTargetStreak
-	rt.mu.Unlock()
-
-	if !rt.cfg.AutoPromote || streak < rt.cfg.ProbeFails {
-		return
-	}
-	cand := rt.promoteCandidate()
-	if cand == nil {
-		return
-	}
-	if err := rt.promoteNode(cand); err != nil {
-		log.Printf("rrc-router: promote %s failed: %v", cand.url, err)
-		return
-	}
-	rt.failovers.Inc()
-	rt.mu.Lock()
-	rt.noTargetStreak = 0
-	rt.mu.Unlock()
-	log.Printf("rrc-router: no write target for %d probe rounds: promoted %s", streak, cand.url)
+// misdirectBody is the online-plane 421 shape: the owning partition
+// hint rrc-server attaches when asked for a key it does not own.
+type misdirectBody struct {
+	Partition  *int `json:"partition"`
+	Partitions int  `json:"partitions"`
 }
 
-// writeTargetLocked is writeTarget for callers already holding rt.mu.
-func (rt *Router) writeTargetLocked() *node {
-	var best *node
-	var bestEpoch uint64
-	for _, n := range rt.nodes {
-		v := n.view()
-		if !v.Reachable || v.Fenced || v.Role != rolePrimary {
+// foldMisdirect folds a 421 (cross-partition request) into the node's
+// view like a fence: the node told us it owns a different key range
+// than we routed, so it leaves rotation immediately and loudly. The
+// next probe round re-checks; if the topology was fixed (or the node
+// re-identified during a resize cutover) the node returns on its own.
+func (rt *Router) foldMisdirect(n *node, body []byte) {
+	rt.misdirects.Inc()
+	var mb misdirectBody
+	hint := "an unknown partition"
+	if json.Unmarshal(body, &mb) == nil && mb.Partition != nil {
+		hint = fmt.Sprintf("partition %d/%d", *mb.Partition, mb.Partitions)
+	}
+	n.mu.Lock()
+	n.v.Misplaced = true
+	if mb.Partition != nil {
+		n.v.PartKnown = true
+		n.v.PartIndex, n.v.PartCount = *mb.Partition, mb.Partitions
+	}
+	n.v.LastErr = fmt.Sprintf("421: node owns %s, not the partition the topology routed — node excluded from routing", hint)
+	n.mu.Unlock()
+	log.Printf("rrc-router: MISROUTE: %s refused a request for a key it does not own (it owns %s) — topology file and the node's -partition disagree", n.url, hint)
+}
+
+// maybeFailover runs the consecutive-probe-failure promotion policy
+// independently for every partition: when a partition has had no write
+// target for ProbeFails straight rounds and AutoPromote is on, promote
+// its best eligible standby. The streak gate makes a single flapped
+// probe harmless; the "best standby" choice prefers caught-up
+// followers on the highest epoch with the least lag, minimizing the
+// acked-but-unshipped window the deposed primary will truncate on
+// rejoin. Partitions fail over without reference to each other — one
+// pair's outage never touches another pair's timeline.
+func (rt *Router) maybeFailover() {
+	type pending struct {
+		index  int
+		key    string
+		streak int
+		nodes  []*node
+	}
+	var due []pending
+	rt.mu.Lock()
+	for _, p := range rt.parts {
+		if writeTargetIn(p.nodes) != nil {
+			p.noTargetStreak = 0
 			continue
 		}
-		if best == nil || v.Epoch > bestEpoch {
-			best, bestEpoch = n, v.Epoch
+		p.noTargetStreak++
+		if rt.cfg.AutoPromote && p.noTargetStreak >= rt.cfg.ProbeFails {
+			due = append(due, pending{
+				index: p.index, key: p.key, streak: p.noTargetStreak,
+				nodes: append([]*node(nil), p.nodes...),
+			})
 		}
 	}
-	return best
+	rt.mu.Unlock()
+
+	for _, d := range due {
+		cand := promoteCandidate(d.nodes)
+		if cand == nil {
+			continue
+		}
+		if err := rt.promoteNode(cand); err != nil {
+			log.Printf("rrc-router: partition %d: promote %s failed: %v", d.index, cand.url, err)
+			continue
+		}
+		rt.failovers.Inc()
+		rt.mu.Lock()
+		for _, p := range rt.parts {
+			if p.key == d.key {
+				p.noTargetStreak = 0
+			}
+		}
+		rt.mu.Unlock()
+		log.Printf("rrc-router: partition %d: no write target for %d probe rounds: promoted %s", d.index, d.streak, cand.url)
+	}
 }
 
-// promoteCandidate picks the standby to promote: reachable, unfenced
-// followers only, caught-up ones first, then highest epoch, then least
-// record lag.
-func (rt *Router) promoteCandidate() *node {
+// promoteCandidate picks the standby to promote within one partition:
+// reachable, unfenced, correctly-placed followers only, caught-up ones
+// first, then highest epoch, then least record lag.
+func promoteCandidate(nodes []*node) *node {
 	var best *node
 	var bestV nodeView
-	for _, n := range rt.snapshotNodes() {
+	for _, n := range nodes {
 		v := n.view()
-		if !v.Reachable || v.Fenced || v.Role != roleFollower {
+		if !v.Reachable || v.Fenced || v.Misplaced || v.Role != roleFollower {
 			continue
 		}
 		if best == nil {

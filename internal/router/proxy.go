@@ -2,17 +2,26 @@
 // upstream attempts:
 //
 //   - The body is buffered once (capped), so an attempt can be replayed
-//     without trusting the client to resend.
+//     without trusting the client to resend — and so user-keyed
+//     endpoints can parse the routing key before picking a backend.
+//   - User-keyed requests (/consume, /recommend/user) route to the
+//     partition owning shard.UserShard(user, P). A flat P=1 fleet
+//     skips the key parse entirely — the pre-partitioning fast path.
 //   - The request runs under min(router default, X-RRC-Deadline-Ms);
 //     every attempt is additionally bounded by TryTimeout and carries
 //     the remaining budget downstream in the same header.
-//   - Reads retry across distinct nodes on 429/503/412/5xx or any
-//     transport error; writes re-pick the write target after a short
-//     backoff, and retry ONLY outcomes that provably never applied:
-//     dial-level transport errors (the request never left) and
-//     429/503/412 (the contract says "not durable"). Anything
-//     ambiguous — an error after the request was sent — is answered
-//     502 without a retry, because replaying it could double-apply.
+//   - Reads retry across distinct nodes of the owning partition (or
+//     the whole fleet for stateless endpoints) on 429/503/412/421/5xx
+//     or any transport error; writes re-pick the partition's write
+//     target after a short backoff, and retry ONLY outcomes that
+//     provably never applied: dial-level transport errors (the request
+//     never left) and 429/503/412/421 (the contract says "not
+//     durable"). Anything ambiguous — an error after the request was
+//     sent — is answered 502 without a retry, because replaying it
+//     could double-apply.
+//   - During a resize, users whose replica set moves get writes
+//     drained (503 + Retry-After until cutover) and reads dual-routed:
+//     the next owner's nodes first, the current owner as fallback.
 //   - Every retry and hedge spends the client's retry budget; when the
 //     budget or MaxAttempts runs out the router forwards the last
 //     definitive backend response, else sheds 503 + Retry-After.
@@ -28,6 +37,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"tsppr/internal/shard"
 )
 
 // maxProxyBody caps buffered request and response bodies (16 MiB —
@@ -46,18 +57,104 @@ type upstreamResult struct {
 	body        []byte
 }
 
-// proxy builds the handler for one proxied endpoint.
-func (rt *Router) proxy(endpoint string, isWrite bool) http.Handler {
+// routePlan is one request's placement decision, taken once before the
+// attempt loop: which partition owns the key, and whether a resize
+// window changes how it routes.
+type routePlan struct {
+	keyed   bool // a user key was parsed (P>1 or resizing)
+	user    int
+	partIdx int  // owning partition in the current layout (0 when !keyed)
+	moving  bool // resize moves this user's replica set
+	nextIdx int  // owning partition in the next layout (when moving)
+}
+
+// routePlan places one request. Flat fleets (P=1, no resize) never
+// parse the body — the pre-partitioning behavior, byte for byte. The
+// error return is a client error: a partitioned fleet cannot place a
+// request whose user key it cannot read.
+func (rt *Router) routePlan(keyed bool, body []byte) (routePlan, error) {
+	var plan routePlan
+	if !keyed {
+		return plan, nil
+	}
+	rt.mu.Lock()
+	p, np := len(rt.parts), len(rt.nextParts)
+	rt.mu.Unlock()
+	if p <= 1 && np == 0 {
+		return plan, nil
+	}
+	user, err := userKey(body)
+	if err != nil {
+		return plan, err
+	}
+	plan.keyed, plan.user = true, user
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.parts) == 0 {
+		return plan, nil
+	}
+	plan.partIdx = shard.UserShard(user, len(rt.parts))
+	if len(rt.nextParts) > 0 {
+		plan.nextIdx = shard.UserShard(user, len(rt.nextParts))
+		plan.moving = rt.parts[plan.partIdx].key != rt.nextParts[plan.nextIdx].key
+	}
+	return plan, nil
+}
+
+// writeNodes snapshots the owning partition's node list for a write.
+func (rt *Router) writeNodes(plan routePlan) []*node {
+	nodes, _ := rt.partNodes(plan.partIdx)
+	return nodes
+}
+
+// nextPartNodes snapshots one resize-target partition's node list.
+func (rt *Router) nextPartNodes(i int) []*node {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if i < 0 || i >= len(rt.nextParts) {
+		return nil
+	}
+	return append([]*node(nil), rt.nextParts[i].nodes...)
+}
+
+// readNodesFor lists read candidates for a plan, in priority order.
+// Moving users dual-route: the next owner's candidates first (it is
+// accumulating their future state), the current owner as fallback.
+func (rt *Router) readNodesFor(plan routePlan, tried map[*node]bool) []*node {
+	if plan.moving {
+		out := rt.readCandidatesIn(rt.nextPartNodes(plan.nextIdx), tried)
+		seen := map[*node]bool{}
+		for _, n := range out {
+			seen[n] = true
+		}
+		cur, _ := rt.partNodes(plan.partIdx)
+		for _, n := range rt.readCandidatesIn(cur, tried) {
+			if !seen[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	if plan.keyed {
+		nodes, _ := rt.partNodes(plan.partIdx)
+		return rt.readCandidatesIn(nodes, tried)
+	}
+	return rt.readCandidatesIn(rt.snapshotNodes(), tried)
+}
+
+// proxy builds the handler for one proxied endpoint. keyed endpoints
+// route by the request's user field when the fleet is partitioned.
+func (rt *Router) proxy(endpoint string, isWrite, keyed bool) http.Handler {
 	em := rt.endpointMetrics(endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		code := rt.serveProxy(w, r, endpoint, isWrite)
+		code := rt.serveProxy(w, r, endpoint, isWrite, keyed)
 		em.observe(code, start)
 	})
 }
 
 // serveProxy runs the attempt loop and returns the status it wrote.
-func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request, endpoint string, isWrite bool) int {
+func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request, endpoint string, isWrite, keyed bool) int {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
 	if err != nil {
 		code := http.StatusBadRequest
@@ -67,6 +164,12 @@ func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request, endpoint st
 		}
 		writeError(w, code, fmt.Errorf("reading request body: %w", err))
 		return code
+	}
+
+	plan, err := rt.routePlan(keyed, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return http.StatusBadRequest
 	}
 
 	deadline := rt.cfg.Deadline
@@ -80,17 +183,30 @@ func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request, endpoint st
 	rt.budget.arrive(client)
 
 	if isWrite {
-		return rt.proxyWrite(ctx, w, endpoint, body, client)
+		if plan.moving {
+			// Resize drain: the user's replica set is changing hands.
+			// Accepting the write on the old owner would strand it; on
+			// the new owner it would race the state it has not finished
+			// inheriting. Shed with a hint — the window ends at cutover.
+			rt.shed.Inc()
+			w.Header().Set("Retry-After", rt.retryAfterHint())
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("user %d is moving partitions (resize in progress): writes drain until cutover", plan.user))
+			return http.StatusServiceUnavailable
+		}
+		return rt.proxyWrite(ctx, w, endpoint, body, client, plan)
 	}
-	return rt.proxyRead(ctx, w, endpoint, body, client)
+	return rt.proxyRead(ctx, w, endpoint, body, client, plan)
 }
 
-// proxyWrite is the /consume attempt loop.
-func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string) int {
+// proxyWrite is the /consume attempt loop, scoped to the owning
+// partition: only its nodes are ever write targets, and only its
+// epoch is stamped.
+func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string, plan routePlan) int {
 	var last *upstreamResult
 	attempts := 0
 	for ctx.Err() == nil {
-		n := rt.writeTarget()
+		n := writeTargetIn(rt.writeNodes(plan))
 		if n == nil {
 			break // shed below; the prober (or a promotion) must restore a target
 		}
@@ -112,11 +228,18 @@ func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoin
 			if !retryableStatus(res.status, false) {
 				return rt.forward(w, res)
 			}
-			if res.status == http.StatusPreconditionFailed {
+			switch res.status {
+			case http.StatusPreconditionFailed:
 				// The fence body carries the node's true epoch. Fold it in
 				// now: re-attempting with the same stale view would just
 				// re-fail every retry until the next probe round.
 				rt.foldFence(n, res.body)
+			case http.StatusMisdirectedRequest:
+				// The node refused ownership of this key — the write
+				// provably did not apply. Fold the misconfiguration in so
+				// the re-pick skips the node (and the operator hears about
+				// it), rather than hammering the same wrong door.
+				rt.foldMisdirect(n, res.body)
 			}
 		}
 		if attempts >= rt.cfg.MaxAttempts || !rt.budget.spend(client) {
@@ -131,28 +254,34 @@ func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, endpoin
 	if last != nil {
 		return rt.forward(w, last)
 	}
-	return rt.shedRequest(w, "no write target")
+	return rt.shedRequest(w, fmt.Sprintf("no write target for partition %d", plan.partIdx))
 }
 
 // proxyRead is the read attempt loop: distinct nodes per attempt (the
 // tried set), optional hedging inside each attempt.
-func (rt *Router) proxyRead(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string) int {
+func (rt *Router) proxyRead(ctx context.Context, w http.ResponseWriter, endpoint string, body []byte, client string, plan routePlan) int {
 	tried := map[*node]bool{}
 	var last *upstreamResult
 	attempts := 0
 	for ctx.Err() == nil {
-		cands := rt.readCandidates(tried)
+		cands := rt.readNodesFor(plan, tried)
 		if len(cands) == 0 {
 			break
 		}
 		n := cands[0]
 		tried[n] = true
-		res, err := rt.attemptHedged(ctx, n, endpoint, body, client, tried)
+		res, err := rt.attemptHedged(ctx, n, endpoint, body, client, plan, tried)
 		attempts++
 		if err == nil {
 			last = res
 			if !retryableStatus(res.status, true) {
 				return rt.forward(w, res)
+			}
+			if res.status == http.StatusMisdirectedRequest {
+				// Reads dual-route during a resize, so a 421 from the next
+				// owner before its re-identity lands is expected — fold and
+				// fall through to the other candidates.
+				rt.foldMisdirect(n, res.body)
 			}
 		}
 		if attempts >= rt.cfg.MaxAttempts || !rt.budget.spend(client) {
@@ -168,9 +297,10 @@ func (rt *Router) proxyRead(ctx context.Context, w http.ResponseWriter, endpoint
 
 // attemptHedged wraps attempt with tail-latency hedging: if the first
 // attempt has not resolved within HedgeDelay, a budget-gated second
-// attempt fires at another untried node and the first good response
-// wins. The loser is cancelled on return via the shared context.
-func (rt *Router) attemptHedged(ctx context.Context, n *node, endpoint string, body []byte, client string, tried map[*node]bool) (*upstreamResult, error) {
+// attempt fires at another untried eligible node and the first good
+// response wins. The loser is cancelled on return via the shared
+// context.
+func (rt *Router) attemptHedged(ctx context.Context, n *node, endpoint string, body []byte, client string, plan routePlan, tried map[*node]bool) (*upstreamResult, error) {
 	if rt.cfg.HedgeDelay <= 0 {
 		return rt.attempt(ctx, n, endpoint, body)
 	}
@@ -209,7 +339,7 @@ func (rt *Router) attemptHedged(ctx context.Context, n *node, endpoint string, b
 			if inFlight != 1 {
 				continue
 			}
-			cands := rt.readCandidates(tried)
+			cands := rt.readNodesFor(plan, tried)
 			if len(cands) == 0 || !rt.budget.spend(client) {
 				continue
 			}
@@ -229,8 +359,9 @@ func (rt *Router) attemptHedged(ctx context.Context, n *node, endpoint string, b
 
 // attempt makes one upstream round trip, bounded by TryTimeout within
 // the request deadline, and buffers the whole response. The outbound
-// request carries the fleet's max epoch (fencing any deposed node
-// before it can ack a write) and the attempt's remaining deadline.
+// request carries the epoch of the node's own partition (fencing any
+// deposed node before it can ack a write — and never cross-fencing
+// another partition's timeline) and the attempt's remaining deadline.
 func (rt *Router) attempt(ctx context.Context, n *node, endpoint string, body []byte) (*upstreamResult, error) {
 	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
 	defer cancel()
@@ -239,7 +370,7 @@ func (rt *Router) attempt(ctx context.Context, n *node, endpoint string, body []
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if e := rt.maxEpoch(); e > 0 {
+	if e := rt.epochForNode(n); e > 0 {
 		req.Header.Set("X-RRC-Epoch", strconv.FormatUint(e, 10))
 	}
 	if dl, ok := tctx.Deadline(); ok {
@@ -268,12 +399,14 @@ func (rt *Router) attempt(ctx context.Context, n *node, endpoint string, body []
 
 // retryableStatus classifies a backend status. 429/503 mean "not done,
 // come back" by contract (shed, breaker, draining, recovering); 412 is
-// an epoch fence (the write provably did not apply — re-pick and
-// retry). Reads may additionally retry any 5xx: they are idempotent,
-// so a different node is always worth one more try.
+// an epoch fence and 421 an ownership refusal (both prove the request
+// did not apply — re-pick and retry). Reads may additionally retry any
+// 5xx: they are idempotent, so a different node is always worth one
+// more try.
 func retryableStatus(status int, isRead bool) bool {
 	switch status {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusPreconditionFailed:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusPreconditionFailed, http.StatusMisdirectedRequest:
 		return true
 	}
 	return isRead && status >= http.StatusInternalServerError

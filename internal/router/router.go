@@ -1,27 +1,45 @@
 // Package router implements the stateless epoch-aware front end that
-// sits between clients and an rrc-server primary/standby pair. The
+// sits between clients and a fleet of rrc-server replicated pairs. The
 // serving layer is stateful (each node owns per-user repeat-consumption
 // windows), so which node answers matters: writes must reach the one
 // node that can make them durable on the current timeline, and reads
 // must come from a node whose window state is fresh enough to rank
 // from. The router turns that placement problem into configuration:
 //
-//   - Topology comes from a static node list or a watched topology
-//     file; nodes are added and removed without restarting the router.
+//   - Topology comes from a static node list, a static partition
+//     layout, or a watched topology file; nodes are added, removed, and
+//     repartitioned without restarting the router.
+//   - The fleet is P partitions, each a replicated primary/standby
+//     pair. Partition i owns exactly the users with
+//     shard.UserShard(user, P) == i — the same hash the nodes
+//     themselves shard by, so router and storage agree on ownership
+//     for every key. A flat topology is the degenerate P=1 fleet and
+//     behaves exactly as before partitioning existed.
 //   - Every node is health-probed (GET /readyz + GET /replica/epoch) on
-//     an interval. The probe carries the highest epoch the router has
-//     seen (X-RRC-Epoch), so a deposed primary fences itself the moment
-//     the router looks at it — the existing replication contract, no
-//     new protocol.
-//   - Writes (/consume) route to the highest-epoch unfenced primary.
-//     Reads (/recommend, /recommend/user, /recommend/batch) route to
-//     any healthy node whose replication lag is within a configured
-//     staleness bound (the same quantity the nodes export as
-//     rrc_replica_lag_records).
-//   - When no write target survives ProbeFails consecutive probe
-//     rounds and AutoPromote is set, the router promotes the best
-//     caught-up standby itself (POST /admin/promote) — the same
-//     consecutive-failure policy rrc-server's -auto-promote uses.
+//     a jittered interval. The probe carries the highest epoch the
+//     router has seen for that node's partition (X-RRC-Epoch), so a
+//     deposed primary fences itself the moment the router looks at it —
+//     the existing replication contract, no new protocol. Epochs are
+//     per-partition timelines and are never stamped across partitions.
+//   - User-keyed requests (/consume, /recommend/user) parse the user id
+//     and route to its owning partition: writes to that partition's
+//     highest-epoch unfenced primary, reads to any of its healthy nodes
+//     within the staleness bound. Stateless reads (/recommend,
+//     /recommend/batch) route across all partitions' nodes.
+//   - Failover runs per partition: when a partition has no write target
+//     for ProbeFails consecutive probe rounds and AutoPromote is set,
+//     the router promotes that partition's best caught-up standby. One
+//     partition losing its primary sheds 503s only for its own key
+//     range; the rest of the fleet never notices.
+//   - A node that answers 421 (it owns a different partition than the
+//     topology says) is folded out of rotation immediately, like a 412
+//     fence — cross-partition misconfiguration is a loud error and a
+//     metric, never silent misrouting.
+//   - During a resize (the topology file carries a `next` layout) the
+//     router drains writes for users whose partition assignment moves
+//     (503 + Retry-After) and dual-routes their reads (new owner first,
+//     old owner as fallback) until the operator cuts the next layout
+//     over to current.
 //   - Requests carry propagated deadlines (X-RRC-Deadline-Ms), bounded
 //     retries under a per-client retry budget (a fully down backend
 //     can never amplify client traffic beyond the budget), and —
@@ -30,20 +48,24 @@
 // Retry safety: reads are idempotent and retry freely. A write retries
 // only when the router can prove the attempt never applied — the
 // connection was refused before the request was sent, or the backend
-// answered 429/503/412 (all "not durable" by contract). A write that
-// failed after the request was sent is answered 502 without a retry:
-// the outcome is unknown, and replaying it could double-apply the
-// event. Idempotency of ambiguous writes belongs to the caller.
+// answered 429/503/412/421 (all "not durable" by contract). A write
+// that failed after the request was sent is answered 502 without a
+// retry: the outcome is unknown, and replaying it could double-apply
+// the event. Idempotency of ambiguous writes belongs to the caller.
 package router
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,23 +82,27 @@ const DeadlineHeader = "X-RRC-Deadline-Ms"
 
 // Config tunes a Router. Zero fields pick the documented defaults.
 type Config struct {
-	// Nodes is the static topology: backend base URLs. Ignored when
-	// TopologyPath is set.
+	// Nodes is the static flat topology: one partition's backend base
+	// URLs. Ignored when Partitions or TopologyPath is set.
 	Nodes []string
-	// TopologyPath names a topology file (one base URL per line, #
-	// comments). The router re-reads it whenever its mtime changes, so
-	// nodes can be added or replaced without a restart.
+	// Partitions is the static partitioned topology: Partitions[i]
+	// lists partition i's nodes. Ignored when TopologyPath is set.
+	Partitions [][]string
+	// TopologyPath names a topology file (flat or partitioned — see
+	// package topology docs). The router re-reads it whenever its stamp
+	// changes, so nodes are added, repartitioned, or resized without a
+	// restart.
 	TopologyPath string
 
-	ProbeInterval time.Duration // health-probe period; 0 → 500ms
+	ProbeInterval time.Duration // health-probe period (jittered ±20%); 0 → 500ms
 	ProbeTimeout  time.Duration // per-probe HTTP timeout; 0 → ProbeInterval
-	ProbeFails    int           // probe rounds without a write target before failover; 0 → 3
+	ProbeFails    int           // probe rounds a partition lacks a write target before failover; 0 → 3
 
 	// AutoPromote lets the router drive failover itself: after
-	// ProbeFails rounds with no reachable unfenced primary it POSTs
-	// /admin/promote to the best caught-up standby. Off, the router
-	// only follows promotions performed elsewhere (operator or the
-	// standby's own -auto-promote).
+	// ProbeFails rounds with no reachable unfenced primary in a
+	// partition it POSTs /admin/promote to that partition's best
+	// caught-up standby. Off, the router only follows promotions
+	// performed elsewhere (operator or the standby's own -auto-promote).
 	AutoPromote bool
 
 	// MaxLagRecords bounds read staleness: a follower more than this
@@ -147,19 +173,42 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// partition is one replicated pair (or larger replica set) owning a
+// slice of the user-key space.
+type partition struct {
+	index int
+	nodes []*node
+	// key is the canonical sorted node-set identity, used to decide
+	// whether a user's owning replica set actually changes during a
+	// resize (a partition kept intact across a split never drains).
+	key string
+	// noTargetStreak counts consecutive probe rounds this partition
+	// ended with no reachable unfenced primary — the failover trigger.
+	noTargetStreak int
+}
+
+func partitionKey(nodes []*node) string {
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.url
+	}
+	sort.Strings(urls)
+	return strings.Join(urls, ",")
+}
+
 // Router is the front end. It holds no session state — only the probed
 // view of the topology — so any number of routers can run side by side.
 type Router struct {
 	cfg    Config
 	client *http.Client
 
-	mu    sync.Mutex
-	nodes []*node // topology order
-	byURL map[string]*node
-	// noTargetStreak counts consecutive probe rounds that ended with
-	// no reachable unfenced primary — the failover trigger.
-	noTargetStreak int
-	topoStamp      FileStamp // stamp of the last loaded topology file
+	mu sync.Mutex
+	// parts is the current partition layout (len = P). nextParts is
+	// the resize target layout, nil outside a resize window.
+	parts     []*partition
+	nextParts []*partition
+	byURL     map[string]*node
+	topoStamp FileStamp // stamp of the last loaded topology file
 
 	budget *retryBudget
 	rr     atomic.Uint64 // read candidate rotation
@@ -170,11 +219,12 @@ type Router struct {
 	stop      chan struct{}
 	done      chan struct{}
 
-	reg       *obs.Registry
-	failovers *obs.Counter
-	retries   *obs.Counter
-	hedges    *obs.Counter
-	shed      *obs.Counter
+	reg        *obs.Registry
+	failovers  *obs.Counter
+	retries    *obs.Counter
+	hedges     *obs.Counter
+	shed       *obs.Counter
+	misdirects *obs.Counter
 }
 
 // New builds a Router over cfg. Call Start to run the prober (and the
@@ -195,18 +245,25 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt.initMetrics()
 
-	urls := cfg.Nodes
-	if cfg.TopologyPath != "" {
-		loaded, stamp, err := LoadTopology(cfg.TopologyPath)
+	topo := Topology{Partitions: cfg.Partitions}
+	switch {
+	case cfg.TopologyPath != "":
+		loaded, stamp, err := LoadTopologyFile(cfg.TopologyPath)
 		if err != nil {
 			return nil, err
 		}
-		urls, rt.topoStamp = loaded, stamp
+		topo, rt.topoStamp = loaded, stamp
+	case len(cfg.Partitions) > 0:
+		if err := topo.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		topo = Topology{Partitions: [][]string{cfg.Nodes}}
 	}
-	if len(urls) == 0 {
+	if len(topo.Partitions) == 0 || len(topo.Partitions[0]) == 0 {
 		return nil, errors.New("router: no backend nodes configured")
 	}
-	rt.SetNodes(urls)
+	rt.SetTopology(topo)
 	return rt, nil
 }
 
@@ -230,75 +287,158 @@ func (rt *Router) Stop() {
 	}
 }
 
+// probeDelay is one probe round's sleep: ProbeInterval jittered
+// uniformly over ±20%. A fleet of routers started together (or a
+// router fleet probing a shared backend) must not synchronize its
+// probe bursts; the jitter desynchronizes rounds without changing the
+// average probe rate.
+func probeDelay(interval time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(interval) * (0.8 + 0.4*rng.Float64()))
+}
+
 func (rt *Router) run() {
 	defer close(rt.done)
-	tick := time.NewTicker(rt.cfg.ProbeInterval)
-	defer tick.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	timer := time.NewTimer(probeDelay(rt.cfg.ProbeInterval, rng))
+	defer timer.Stop()
 	for {
 		select {
 		case <-rt.stop:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		rt.reloadTopology()
 		rt.probeRound()
+		timer.Reset(probeDelay(rt.cfg.ProbeInterval, rng))
 	}
 }
 
-// SetNodes replaces the topology. Known URLs keep their probed state;
-// new ones start unprobed; removed ones stop being candidates.
-func (rt *Router) SetNodes(urls []string) {
+// SetTopology replaces the partition layout. Known URLs keep their
+// probed state; new ones start unprobed; removed ones stop being
+// candidates. Per-partition failover streaks survive for partitions
+// whose node set is unchanged.
+func (rt *Router) SetTopology(t Topology) {
 	rt.mu.Lock()
-	next := make([]*node, 0, len(urls))
-	nextBy := make(map[string]*node, len(urls))
-	var added []string
-	for _, u := range urls {
-		if _, dup := nextBy[u]; dup {
-			continue
-		}
-		n, ok := rt.byURL[u]
-		if !ok {
-			n = &node{url: u}
-			added = append(added, u)
-		}
-		next = append(next, n)
-		nextBy[u] = n
+	prevStreak := map[string]int{}
+	for _, p := range rt.parts {
+		prevStreak[p.key] = p.noTargetStreak
 	}
-	rt.nodes = next
+	nextBy := map[string]*node{}
+	var added []string
+	build := func(layout [][]string) []*partition {
+		if layout == nil {
+			return nil
+		}
+		parts := make([]*partition, 0, len(layout))
+		for i, urls := range layout {
+			p := &partition{index: i}
+			for _, u := range urls {
+				n, ok := nextBy[u]
+				if !ok {
+					if n, ok = rt.byURL[u]; !ok {
+						n = &node{url: u}
+						added = append(added, u)
+					}
+					nextBy[u] = n
+				}
+				if containsNode(p.nodes, n) {
+					continue
+				}
+				p.nodes = append(p.nodes, n)
+			}
+			p.key = partitionKey(p.nodes)
+			p.noTargetStreak = prevStreak[p.key]
+			parts = append(parts, p)
+		}
+		return parts
+	}
+	rt.parts = build(t.Partitions)
+	rt.nextParts = build(t.Next)
 	rt.byURL = nextBy
 	rt.mu.Unlock()
 
 	// Gauge registration takes the registry lock, and the registered
-	// closures take rt.mu at scrape time (while the exporter holds the
-	// registry lock) — so registering under rt.mu would order the two
-	// locks both ways and deadlock against a concurrent /metrics scrape.
-	// Register only after releasing rt.mu; the nodes are already
-	// published above, so a scrape racing this loop finds them.
+	// closures take rt.mu under the registry lock at scrape time — so
+	// registering under rt.mu would order the two locks both ways and
+	// deadlock against a concurrent /metrics scrape. Register only
+	// after releasing rt.mu; the nodes are already published above, so
+	// a scrape racing this loop finds them.
 	for _, u := range added {
 		rt.registerNodeGauges(u)
 	}
 }
 
-// Nodes returns the current topology order.
-func (rt *Router) Nodes() []string {
+func containsNode(nodes []*node, n *node) bool {
+	for _, have := range nodes {
+		if have == n {
+			return true
+		}
+	}
+	return false
+}
+
+// SetNodes replaces the topology with a single flat partition — the
+// pre-partitioning API, kept for flat deployments and tests.
+func (rt *Router) SetNodes(urls []string) {
+	rt.SetTopology(Topology{Partitions: [][]string{urls}})
+}
+
+// P reports the current partition count.
+func (rt *Router) P() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	out := make([]string, len(rt.nodes))
-	for i, n := range rt.nodes {
-		out[i] = n.url
+	return len(rt.parts)
+}
+
+// Nodes returns the current topology order: every partition's nodes in
+// partition order, then resize-target nodes not already listed.
+func (rt *Router) Nodes() []string {
+	var out []string
+	for _, n := range rt.snapshotNodes() {
+		out = append(out, n.url)
 	}
 	return out
 }
 
-// snapshotNodes returns the node list under the lock.
+// snapshotNodes returns every distinct node across the current and
+// resize-target layouts, in topology order.
 func (rt *Router) snapshotNodes() []*node {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return append([]*node(nil), rt.nodes...)
+	return rt.snapshotNodesLocked()
 }
 
-// maxEpoch is the highest replication epoch the router has observed —
-// what it stamps on every outbound request so stale nodes fence.
+func (rt *Router) snapshotNodesLocked() []*node {
+	var out []*node
+	seen := map[*node]bool{}
+	for _, layout := range [2][]*partition{rt.parts, rt.nextParts} {
+		for _, p := range layout {
+			for _, n := range p.nodes {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// partNodes snapshots one current partition's node list. The second
+// return is false when the index is stale (a concurrent topology
+// change shrank the layout).
+func (rt *Router) partNodes(i int) ([]*node, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if i < 0 || i >= len(rt.parts) {
+		return nil, false
+	}
+	return append([]*node(nil), rt.parts[i].nodes...), true
+}
+
+// maxEpoch is the highest replication epoch observed anywhere in the
+// fleet — display only. Epochs are per-partition timelines; routing
+// and fencing always use partition-scoped epochs.
 func (rt *Router) maxEpoch() uint64 {
 	var max uint64
 	for _, n := range rt.snapshotNodes() {
@@ -309,15 +449,50 @@ func (rt *Router) maxEpoch() uint64 {
 	return max
 }
 
-// writeTarget picks the one node writes may go to: reachable, role
-// primary, unfenced, highest epoch. Nil when no such node exists —
-// writes shed until the prober (or a promotion) restores one.
-func (rt *Router) writeTarget() *node {
+// epochIn is the highest epoch observed among nodes — the fencing
+// stamp for requests routed within that partition.
+func epochIn(nodes []*node) uint64 {
+	var max uint64
+	for _, n := range nodes {
+		if e := n.view().Epoch; e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// epochForNode is the epoch stamp for a request sent to n: the epoch
+// of the partition n belongs to (current layout first, then the resize
+// target). Stamping another partition's epoch could wrongly fence a
+// healthy primary, so an unknown node gets 0 (no stamp).
+func (rt *Router) epochForNode(n *node) uint64 {
+	rt.mu.Lock()
+	var nodes []*node
+	for _, layout := range [2][]*partition{rt.parts, rt.nextParts} {
+		for _, p := range layout {
+			if containsNode(p.nodes, n) {
+				nodes = append([]*node(nil), p.nodes...)
+				break
+			}
+		}
+		if nodes != nil {
+			break
+		}
+	}
+	rt.mu.Unlock()
+	return epochIn(nodes)
+}
+
+// writeTargetIn picks the one node writes may go to within a
+// partition: reachable, role primary, unfenced, not misplaced, highest
+// epoch. Nil when no such node exists — that partition's writes shed
+// until the prober (or a promotion) restores one.
+func writeTargetIn(nodes []*node) *node {
 	var best *node
 	var bestEpoch uint64
-	for _, n := range rt.snapshotNodes() {
+	for _, n := range nodes {
 		v := n.view()
-		if !v.Reachable || v.Fenced || v.Role != rolePrimary {
+		if !v.Reachable || v.Fenced || v.Misplaced || v.Role != rolePrimary {
 			continue
 		}
 		if best == nil || v.Epoch > bestEpoch {
@@ -327,38 +502,43 @@ func (rt *Router) writeTarget() *node {
 	return best
 }
 
-// readCandidates lists nodes eligible for reads, rotated for load
-// spread, minus exclude. Eligibility degrades gracefully: fully
-// healthy in-bound nodes first; if none, any reachable unfenced node
-// (probe state may be a round stale); if none, every node — a request
-// is cheaper to fail on the wire than to shed on a guess. Fenced nodes
-// are never offered: a deposed primary's unshipped tail makes its
-// windows divergent, not merely stale.
-func (rt *Router) readCandidates(exclude map[*node]bool) []*node {
-	nodes := rt.snapshotNodes()
+// readCandidatesIn lists nodes eligible for reads among nodes, rotated
+// for load spread, minus exclude. Eligibility degrades gracefully:
+// fully healthy in-bound nodes first; if none, any reachable unfenced
+// node (probe state may be a round stale); if none, every node — a
+// request is cheaper to fail on the wire than to shed on a guess.
+// Fenced nodes are never offered: a deposed primary's unshipped tail
+// makes its windows divergent, not merely stale. Misplaced nodes (they
+// report owning a different partition) are never offered either:
+// another partition's windows are the wrong data, not stale data.
+func (rt *Router) readCandidatesIn(nodes []*node, exclude map[*node]bool) []*node {
 	pick := func(ok func(nodeView) bool) []*node {
 		var out []*node
 		for _, n := range nodes {
 			if exclude[n] {
 				continue
 			}
-			if ok(n.view()) {
+			v := n.view()
+			if v.Fenced || v.Misplaced {
+				continue
+			}
+			if ok(v) {
 				out = append(out, n)
 			}
 		}
 		return out
 	}
 	out := pick(func(v nodeView) bool {
-		if !v.Reachable || v.Fenced || !v.Ready {
+		if !v.Reachable || !v.Ready {
 			return false
 		}
 		return v.Role != roleFollower || v.LagRecords <= rt.cfg.MaxLagRecords
 	})
 	if len(out) == 0 {
-		out = pick(func(v nodeView) bool { return v.Reachable && !v.Fenced })
+		out = pick(func(v nodeView) bool { return v.Reachable })
 	}
 	if len(out) == 0 {
-		out = pick(func(v nodeView) bool { return !v.Fenced })
+		out = pick(func(nodeView) bool { return true })
 	}
 	if len(out) > 1 {
 		off := int(rt.rr.Add(1)) % len(out)
@@ -367,27 +547,80 @@ func (rt *Router) readCandidates(exclude map[*node]bool) []*node {
 	return out
 }
 
-// Status is the router's own /readyz and /stats body.
-type Status struct {
-	Status      string       `json:"status"`
-	WriteTarget string       `json:"write_target,omitempty"`
-	Epoch       uint64       `json:"epoch"`
-	Nodes       []NodeStatus `json:"nodes"`
+// PartitionStatus is the per-partition block in the router's own
+// /readyz body.
+type PartitionStatus struct {
+	Index       int      `json:"partition"`
+	WriteTarget string   `json:"write_target,omitempty"`
+	Epoch       uint64   `json:"epoch"`
+	Nodes       []string `json:"nodes"`
 }
 
-// statusSnapshot assembles the current routed view.
+// Status is the router's own /readyz and /stats body.
+type Status struct {
+	Status string `json:"status"`
+	// WriteTarget is the single-partition convenience field (P=1 — the
+	// pre-partitioning shape); per-partition targets live in
+	// Partitions.
+	WriteTarget string            `json:"write_target,omitempty"`
+	Epoch       uint64            `json:"epoch"`
+	Partitions  []PartitionStatus `json:"partitions,omitempty"`
+	Resize      []PartitionStatus `json:"resize,omitempty"`
+	Nodes       []NodeStatus      `json:"nodes"`
+}
+
+func partitionStatuses(parts []*partition) []PartitionStatus {
+	out := make([]PartitionStatus, 0, len(parts))
+	for _, p := range parts {
+		ps := PartitionStatus{Index: p.index, Epoch: epochIn(p.nodes)}
+		for _, n := range p.nodes {
+			ps.Nodes = append(ps.Nodes, n.url)
+		}
+		if wt := writeTargetIn(p.nodes); wt != nil {
+			ps.WriteTarget = wt.url
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// statusSnapshot assembles the current routed view. The router is 503
+// only when it can serve nothing: no partition has a write target, or
+// no read candidate exists anywhere. A single partition missing its
+// primary degrades only that key range, and /readyz says so without
+// failing the whole router.
 func (rt *Router) statusSnapshot() (Status, int) {
+	rt.mu.Lock()
+	parts := append([]*partition(nil), rt.parts...)
+	nextParts := append([]*partition(nil), rt.nextParts...)
+	rt.mu.Unlock()
+
 	st := Status{Status: "ready", Epoch: rt.maxEpoch()}
 	code := http.StatusOK
 	for _, n := range rt.snapshotNodes() {
 		st.Nodes = append(st.Nodes, n.status())
 	}
-	if wt := rt.writeTarget(); wt != nil {
-		st.WriteTarget = wt.url
-	} else {
-		st.Status, code = "no write target", http.StatusServiceUnavailable
+	st.Partitions = partitionStatuses(parts)
+	if len(nextParts) > 0 {
+		st.Resize = partitionStatuses(nextParts)
 	}
-	if len(rt.readCandidates(nil)) == 0 {
+
+	var missing []string
+	for _, ps := range st.Partitions {
+		if ps.WriteTarget == "" {
+			missing = append(missing, strconv.Itoa(ps.Index))
+		}
+	}
+	switch {
+	case len(missing) == len(st.Partitions):
+		st.Status, code = "no write target", http.StatusServiceUnavailable
+	case len(missing) > 0:
+		st.Status = "degraded: no write target for partition(s) " + strings.Join(missing, ",")
+	}
+	if len(st.Partitions) == 1 {
+		st.WriteTarget = st.Partitions[0].WriteTarget
+	}
+	if len(rt.readCandidatesIn(rt.snapshotNodes(), nil)) == 0 {
 		st.Status, code = "no backends", http.StatusServiceUnavailable
 	}
 	return st, code
@@ -414,10 +647,10 @@ func (rt *Router) Routes() http.Handler {
 	if rt.reg != nil {
 		mux.Handle("GET /metrics", rt.reg.Handler())
 	}
-	mux.Handle("POST /consume", rt.proxy("/consume", true))
-	mux.Handle("POST /recommend", rt.proxy("/recommend", false))
-	mux.Handle("POST /recommend/batch", rt.proxy("/recommend/batch", false))
-	mux.Handle("POST /recommend/user", rt.proxy("/recommend/user", false))
+	mux.Handle("POST /consume", rt.proxy("/consume", true, true))
+	mux.Handle("POST /recommend", rt.proxy("/recommend", false, false))
+	mux.Handle("POST /recommend/batch", rt.proxy("/recommend/batch", false, false))
+	mux.Handle("POST /recommend/user", rt.proxy("/recommend/user", false, true))
 	return mux
 }
 
@@ -430,6 +663,23 @@ func (rt *Router) retryAfterHint() string {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// userKey extracts the routing key from a user-keyed request body.
+// Partitioned routing cannot proxy what it cannot place, so a missing
+// or malformed user id is a 400 — but only partitioned fleets pay the
+// parse (P=1 skips it entirely).
+func userKey(body []byte) (int, error) {
+	var k struct {
+		User *int `json:"user"`
+	}
+	if err := json.Unmarshal(body, &k); err != nil {
+		return 0, fmt.Errorf("partitioned routing: parse request body: %w", err)
+	}
+	if k.User == nil || *k.User < 0 {
+		return 0, errors.New(`partitioned routing requires a non-negative "user" field`)
+	}
+	return *k.User, nil
 }
 
 // clientKey identifies the retry-budget principal: the X-RRC-Client

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tsppr/internal/obs"
+	"tsppr/internal/shard"
 )
 
 // fakeNode scripts one backend. Zero value: a ready primary at epoch 0
@@ -32,6 +33,14 @@ type fakeNode struct {
 	notReady bool
 	lag      uint64
 	caughtUp bool
+
+	// partCount >= 1 gives the node a partition identity: /readyz
+	// reports it (unless hidePartition) and keyed traffic endpoints
+	// refuse non-owned users with 421 + owning-partition hint — the
+	// real rrc-server ownership gate.
+	partIdx       int
+	partCount     int
+	hidePartition bool
 
 	consumeStatus   int           // 0 → 200
 	consumeMinEpoch uint64        // >0: /consume 412s (body = this epoch) below it
@@ -54,6 +63,32 @@ func (f *fakeNode) set(mut func(*fakeNode)) {
 	f.mu.Unlock()
 }
 
+// refuseForeignKey is the real server's ownership gate: a partitioned
+// node 421s keys it does not own, hinting at the owning partition.
+func (f *fakeNode) refuseForeignKey(w http.ResponseWriter, r *http.Request) bool {
+	f.mu.Lock()
+	idx, count := f.partIdx, f.partCount
+	f.mu.Unlock()
+	if count < 2 {
+		return false
+	}
+	var k struct {
+		User int `json:"user"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&k); err != nil {
+		return false
+	}
+	owner := shard.UserShard(k.User, count)
+	if owner == idx {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	fmt.Fprintf(w, `{"error":"user %d belongs to partition %d","partition":%d,"partitions":%d}`+"\n",
+		k.User, owner, owner, count)
+	return true
+}
+
 func (f *fakeNode) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
@@ -68,6 +103,11 @@ func (f *fakeNode) handler() http.Handler {
 				"role": role, "epoch": f.epoch, "fenced": f.fenced,
 				"lag_records": f.lag, "caught_up": f.caughtUp,
 			},
+		}
+		if f.partCount >= 1 && !f.hidePartition {
+			body["partition"] = map[string]any{
+				"partition": f.partIdx, "partitions": f.partCount,
+			}
 		}
 		code := http.StatusOK
 		if f.notReady || f.fenced {
@@ -98,6 +138,9 @@ func (f *fakeNode) handler() http.Handler {
 	})
 	mux.HandleFunc("POST /consume", func(w http.ResponseWriter, r *http.Request) {
 		f.consumes.Add(1)
+		if f.refuseForeignKey(w, r) {
+			return
+		}
 		if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil {
 			f.lastDeadlineMs.Store(ms)
 		}
@@ -147,7 +190,12 @@ func (f *fakeNode) handler() http.Handler {
 	}
 	mux.HandleFunc("POST /recommend", serveRead)
 	mux.HandleFunc("POST /recommend/batch", serveRead)
-	mux.HandleFunc("POST /recommend/user", serveRead)
+	mux.HandleFunc("POST /recommend/user", func(w http.ResponseWriter, r *http.Request) {
+		if f.refuseForeignKey(w, r) {
+			return
+		}
+		serveRead(w, r)
+	})
 	mux.HandleFunc("POST /admin/promote", func(w http.ResponseWriter, _ *http.Request) {
 		f.promotes.Add(1)
 		f.mu.Lock()

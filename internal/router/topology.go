@@ -1,13 +1,39 @@
-// Topology files: one backend base URL per line, blank lines and
-// #-comments ignored. The router polls the file's mtime each probe
-// round, so editing the file is the whole "add a node" procedure.
+// Topology files. Two formats share one loader:
+//
+// Flat (the original format): one backend base URL per line, blank
+// lines and #-comments ignored. A flat file is the degenerate
+// single-partition fleet — every node is a replica of the same pair.
+//
+// Partitioned: a `partitions N` header, then `partition <i> <url>...`
+// lines assigning nodes to partitions (repeatable; later lines append).
+// Partition i owns exactly the users with UserShard(user, N) == i, so
+// ownership must cover [0,N) and never overlap. A resize window adds
+// `next-partitions M` and `next <i> <url>...` lines describing the
+// layout being cut over to; while both layouts are present the router
+// drains writes for moving users and dual-routes their reads.
+//
+//	partitions 2
+//	partition 0 http://a:8395 http://b:8396
+//	partition 1 http://c:8395 http://d:8396
+//	# resize in progress: splitting into 3
+//	next-partitions 3
+//	next 0 http://a:8395 http://b:8396
+//	next 1 http://c:8395 http://d:8396
+//	next 2 http://e:8395 http://f:8396
+//
+// The router polls the file's stamp each probe round, so editing the
+// file is the whole "add a node" / "start a resize" / "cut over"
+// procedure.
 package router
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -22,21 +48,66 @@ type FileStamp struct {
 	Size int64
 }
 
-// LoadTopology reads and validates a topology file, returning the node
-// URLs and the file's stamp (the watch key).
-func LoadTopology(path string) ([]string, FileStamp, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, FileStamp{}, err
+// Topology is a parsed topology: the current partition layout and,
+// during a resize window, the layout being cut over to.
+type Topology struct {
+	// Partitions[i] lists partition i's nodes (a replicated pair, or
+	// more). A flat topology parses as a single partition owning the
+	// whole key space.
+	Partitions [][]string
+	// Next, when non-nil, is the resize target layout. Nodes may appear
+	// in both layouts (partitions that do not move during the resize).
+	Next [][]string
+}
+
+// Validate checks the ownership invariants: every partition has at
+// least one node and no node is assigned to two partitions within a
+// layout. Cross-layout reuse is legal — that is what an in-place
+// resize looks like.
+func (t Topology) Validate() error {
+	if len(t.Partitions) == 0 {
+		return errors.New("router: topology has no partitions")
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, FileStamp{}, err
+	if err := validateLayout(t.Partitions, "partition"); err != nil {
+		return err
 	}
-	stamp := FileStamp{Mod: st.ModTime(), Size: st.Size()}
-	var nodes []string
-	sc := bufio.NewScanner(f)
+	if t.Next != nil {
+		if err := validateLayout(t.Next, "next partition"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateLayout(layout [][]string, what string) error {
+	seen := map[string]int{}
+	for i, urls := range layout {
+		if len(urls) == 0 {
+			return fmt.Errorf("router: %s %d has no nodes — every partition's key range needs an owner", what, i)
+		}
+		for _, u := range urls {
+			j, dup := seen[u]
+			switch {
+			case dup && j == i:
+				return fmt.Errorf("router: node %s listed twice in %s %d", u, what, i)
+			case dup:
+				return fmt.Errorf("router: node %s assigned to %ss %d and %d — key ownership must not overlap", u, what, j, i)
+			}
+			seen[u] = i
+		}
+	}
+	return nil
+}
+
+// ParseTopology parses either topology format from r. name is used in
+// error messages (the file path).
+func ParseTopology(r io.Reader, name string) (Topology, error) {
+	var (
+		t           Topology
+		partitioned bool
+		sawAny      bool
+	)
+	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -44,19 +115,131 @@ func LoadTopology(path string) ([]string, FileStamp, error) {
 		if raw == "" || strings.HasPrefix(raw, "#") {
 			continue
 		}
-		u, err := url.Parse(raw)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, FileStamp{}, fmt.Errorf("%s:%d: %q is not a base URL (want http://host:port)", path, line, raw)
+		fields := strings.Fields(raw)
+		if !sawAny {
+			sawAny = true
+			partitioned = fields[0] == "partitions"
 		}
-		nodes = append(nodes, strings.TrimRight(raw, "/"))
+		if !partitioned {
+			u, err := normalizeURL(raw)
+			if err != nil {
+				return t, fmt.Errorf("%s:%d: %w", name, line, err)
+			}
+			if len(t.Partitions) == 0 {
+				t.Partitions = [][]string{nil}
+			}
+			t.Partitions[0] = append(t.Partitions[0], u)
+			continue
+		}
+		if err := parseDirective(&t, fields); err != nil {
+			return t, fmt.Errorf("%s:%d: %w", name, line, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	if !sawAny || (len(t.Partitions) == 1 && len(t.Partitions[0]) == 0) {
+		return t, fmt.Errorf("%s: no nodes", name)
+	}
+	return t, nil
+}
+
+// parseDirective applies one partitioned-format line.
+func parseDirective(t *Topology, fields []string) error {
+	switch fields[0] {
+	case "partitions":
+		if t.Partitions != nil {
+			return errors.New("duplicate partitions header")
+		}
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if len(fields) != 2 || err != nil || n < 1 {
+			return errors.New("want: partitions <count >= 1>")
+		}
+		t.Partitions = make([][]string, n)
+	case "next-partitions":
+		if t.Partitions == nil {
+			return errors.New("next-partitions before partitions header")
+		}
+		if t.Next != nil {
+			return errors.New("duplicate next-partitions header")
+		}
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if len(fields) != 2 || err != nil || n < 1 {
+			return errors.New("want: next-partitions <count >= 1>")
+		}
+		t.Next = make([][]string, n)
+	case "partition", "next":
+		layout := t.Partitions
+		if fields[0] == "next" {
+			layout = t.Next
+		}
+		if layout == nil {
+			return fmt.Errorf("%s line before its partition-count header", fields[0])
+		}
+		if len(fields) < 3 {
+			return fmt.Errorf("want: %s <index> <url> [<url>...]", fields[0])
+		}
+		i, err := strconv.Atoi(fields[1])
+		if err != nil || i < 0 || i >= len(layout) {
+			return fmt.Errorf("%s index %q out of [0,%d)", fields[0], fields[1], len(layout))
+		}
+		for _, raw := range fields[2:] {
+			u, err := normalizeURL(raw)
+			if err != nil {
+				return err
+			}
+			layout[i] = append(layout[i], u)
+		}
+	default:
+		return fmt.Errorf("unknown directive %q (want partitions/partition/next-partitions/next)", fields[0])
+	}
+	return nil
+}
+
+func normalizeURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("%q is not a base URL (want http://host:port)", raw)
+	}
+	return strings.TrimRight(raw, "/"), nil
+}
+
+// LoadTopologyFile reads, parses, and validates a topology file in
+// either format, returning the topology and the file's stamp (the
+// watch key).
+func LoadTopologyFile(path string) (Topology, FileStamp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, FileStamp{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Topology{}, FileStamp{}, err
+	}
+	stamp := FileStamp{Mod: st.ModTime(), Size: st.Size()}
+	t, err := ParseTopology(f, path)
+	if err != nil {
+		return Topology{}, FileStamp{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, FileStamp{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, stamp, nil
+}
+
+// LoadTopology reads a flat topology file, returning the node URLs and
+// the file's stamp. It refuses partitioned files — callers that can
+// route per partition use LoadTopologyFile.
+func LoadTopology(path string) ([]string, FileStamp, error) {
+	t, stamp, err := LoadTopologyFile(path)
+	if err != nil {
 		return nil, FileStamp{}, err
 	}
-	if len(nodes) == 0 {
-		return nil, FileStamp{}, fmt.Errorf("%s: no nodes", path)
+	if len(t.Partitions) != 1 || t.Next != nil {
+		return nil, FileStamp{}, fmt.Errorf("%s: partitioned topology; a flat node list was expected", path)
 	}
-	return nodes, stamp, nil
+	return t.Partitions[0], stamp, nil
 }
 
 // reloadTopology re-reads the topology file when its stamp (mtime or
@@ -77,11 +260,11 @@ func (rt *Router) reloadTopology() {
 	if unchanged {
 		return
 	}
-	nodes, stamp, err := LoadTopology(rt.cfg.TopologyPath)
+	topo, stamp, err := LoadTopologyFile(rt.cfg.TopologyPath)
 	if err != nil {
 		return
 	}
-	rt.SetNodes(nodes)
+	rt.SetTopology(topo)
 	rt.mu.Lock()
 	rt.topoStamp = stamp
 	rt.mu.Unlock()

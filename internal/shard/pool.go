@@ -47,6 +47,14 @@ type Config struct {
 	SegmentBytes  int64 // per-shard WAL rotation threshold; 0 → wal default
 	Corrupt       wal.CorruptPolicy
 
+	// Partition is the slice of the user-key space this root owns when
+	// several replicated pairs split the fleet. A zero Count leaves
+	// partitioning unconfigured: an existing partition marker wins, and
+	// a flat root stays partition 0 of 1 with nothing written. A
+	// nonzero Count is reconciled against the marker by EnsurePartition
+	// (mismatch = loud error unless the generation is bumped).
+	Partition PartitionID
+
 	// Metrics, when non-nil, receives the per-shard families
 	// (rrc_shard_*) and the shared WAL instrumentation. Nil records
 	// nothing.
@@ -86,6 +94,7 @@ func (c Config) withDefaults() Config {
 type Pool struct {
 	root   string
 	cfg    Config
+	part   PartitionID
 	shards []*Shard
 }
 
@@ -118,6 +127,10 @@ func Open(root string, cfg Config) (*Pool, error) {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
 	if err := checkLayout(root, cfg.Shards); err != nil {
+		return nil, err
+	}
+	part, err := EnsurePartition(root, cfg.Partition)
+	if err != nil {
 		return nil, err
 	}
 
@@ -156,7 +169,7 @@ func Open(root string, cfg Config) (*Pool, error) {
 		}
 		return nil, err
 	}
-	p := &Pool{root: root, cfg: cfg, shards: shards}
+	p := &Pool{root: root, cfg: cfg, part: part, shards: shards}
 	p.register(cfg.Metrics)
 	return p, nil
 }
@@ -212,6 +225,14 @@ func (p *Pool) Shard(i int) *Shard { return p.shards[i] }
 
 // ShardFor returns the shard index owning user.
 func (p *Pool) ShardFor(user int) int { return UserShard(user, len(p.shards)) }
+
+// Partition returns the pool's effective partition identity.
+func (p *Pool) Partition() PartitionID { return p.part }
+
+// OwnsUser reports whether this pool's partition owns user's keys.
+// False means the request was misrouted (or the fleet is misconfigured)
+// and must be refused with the owning-partition hint, never ingested.
+func (p *Pool) OwnsUser(user int) bool { return p.part.Owns(user) }
 
 // Ingest routes one consumption to its owning shard.
 func (p *Pool) Ingest(user int, item seq.Item) (lsn uint64, winLen int, err error) {
