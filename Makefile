@@ -85,10 +85,12 @@ metrics-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/core ./internal/dataset ./internal/wal -run '^Fuzz' -count=1
 
-## bench: regenerate BENCH_PR6.json — fixed-seed scoring throughput of the
-## engine vs the pre-refactor per-call path (ns/op, allocs/op, items/sec)
+## bench: regenerate BENCH_PR10.json — fixed-seed scoring throughput of
+## the engine (plain, float32-quantized, response-cached) vs the
+## pre-refactor per-call path (ns/op, allocs/op, items/sec); the label
+## is derived from -out, never hard-coded
 bench:
-	$(GO) run ./cmd/rrc-bench -out BENCH_PR6.json
+	$(GO) run ./cmd/rrc-bench -out BENCH_PR10.json
 
 ## fuzz: short bounded fuzzing with mutation — model loader and TSV readers
 fuzz:

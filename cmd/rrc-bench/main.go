@@ -1,24 +1,30 @@
 // Command rrc-bench measures the scoring engine's serving throughput
 // against the pre-refactor per-call scoring path on a fixed-seed workload,
-// and writes the results as JSON (BENCH_PR4.json by default).
+// and writes the results as JSON (BENCH_PR10.json by default).
 //
-// Four benchmarks run, all over the same trained model and the same pool
-// of full-window recommendation contexts:
+// The benchmarks run over the same trained model and the same pool of
+// full-window recommendation contexts:
 //
 //   - single/engine       one Top-10 engine.Recommend per op
+//   - single/quantized    the same through the float32-quantized tables
 //   - single/prerefactor  one request through the old serving path: mint a
 //     scorer, rank with a K×F matrix-vector product per candidate, then
 //     re-score every returned item (the old /recommend double-scoring)
+//   - cached/hit          one /recommend/user-shaped read answered by the
+//     LSN-keyed response cache (probe + copy, no scoring)
+//   - cached/miss         the same read falling through the cache: stale-LSN
+//     probe, engine.Recommend, in-place refill
 //   - batch/engine        a 64-request batch through the engine with the
 //     server's bounded parallel fan-out
 //   - batch/prerefactor   the same 64 requests through the old sequential
 //     batch loop
 //
 // "items/sec" is candidate-scoring throughput: the number of candidate
-// items whose preference was evaluated per wall-clock second. Seeds are
-// fixed; runs are reproducible up to scheduler noise.
+// items whose preference was (or, for a cache hit, did not have to be)
+// evaluated per wall-clock second. Seeds are fixed; runs are reproducible
+// up to scheduler noise.
 //
-//	rrc-bench -out BENCH_PR4.json
+//	rrc-bench -out BENCH_PR10.json
 package main
 
 import (
@@ -26,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -36,6 +44,7 @@ import (
 	"tsppr/internal/features"
 	"tsppr/internal/linalg"
 	"tsppr/internal/rec"
+	"tsppr/internal/rescache"
 	"tsppr/internal/sampling"
 	"tsppr/internal/seq"
 	"tsppr/internal/topk"
@@ -51,12 +60,26 @@ const (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "path to write the JSON report to")
+	out := flag.String("out", "BENCH_PR10.json", "path to write the JSON report to")
+	label := flag.String("label", "", "benchmark label recorded in the report; default derived from -out")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if *label == "" {
+		// Derived, not hard-coded: an earlier revision pinned the label to
+		// the PR that introduced it, so BENCH_PR6.json self-described as
+		// PR4 output.
+		*label = deriveLabel(*out)
+	}
+	if err := run(*out, *label); err != nil {
 		fmt.Fprintln(os.Stderr, "rrc-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// deriveLabel names a report after its output file: the basename without
+// the extension, e.g. BENCH_PR10.json → "BENCH_PR10 scoring benchmarks".
+func deriveLabel(outPath string) string {
+	base := filepath.Base(outPath)
+	return strings.TrimSuffix(base, filepath.Ext(base)) + " scoring benchmarks"
 }
 
 type result struct {
@@ -83,15 +106,19 @@ type report struct {
 	Speedup struct {
 		SingleItemsPerSec float64 `json:"single_items_per_sec"`
 		BatchItemsPerSec  float64 `json:"batch_items_per_sec"`
+		QuantizedVsEngine float64 `json:"quantized_vs_engine"`
+		CachedHitVsEngine float64 `json:"cached_hit_vs_engine"`
 	} `json:"speedup"`
 }
 
-func run(outPath string) error {
+func run(outPath, label string) error {
 	model, contexts, err := buildWorkload()
 	if err != nil {
 		return err
 	}
 	eng := engine.New(model)
+	qeng := engine.New(model)
+	qeng.SetQuantized(true)
 
 	// Candidate counts are a property of the contexts, not the scorer:
 	// both paths evaluate the same candidate sets.
@@ -108,7 +135,7 @@ func run(outPath string) error {
 	meanCands := totalCands / len(contexts)
 
 	rep := report{
-		Benchmark:  "PR4 unified scoring engine vs pre-refactor scorer",
+		Benchmark:  label,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       benchSeed,
@@ -141,10 +168,79 @@ func run(outPath string) error {
 			dst = eng.Recommend(contexts[i%len(contexts)], benchTopN, dst[:0])
 		}
 	})
+	measure("single/quantized", meanCands, func(b *testing.B) {
+		var dst []rec.Scored
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = qeng.Recommend(contexts[i%len(contexts)], benchTopN, dst[:0])
+		}
+	})
 	measure("single/prerefactor", meanCands, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			legacyServe(model, contexts[i%len(contexts)], benchTopN)
+		}
+	})
+
+	// Cache cases model the /recommend/user hot path: the hit is a probe
+	// at the user's current LSN plus a copy-out, the miss is a stale-LSN
+	// probe, a full engine ranking, and an in-place refill. Context i's
+	// entry is versioned as LSN i+1; misses probe ever-fresh LSNs so
+	// every op refills. Items/sec credits a hit with the candidates it
+	// did NOT have to score — the apples-to-apples serving throughput.
+	cache := rescache.New(rescache.Config{MaxEntries: 1 << 12})
+	fillEpoch := cache.Epoch()
+	for i, ctx := range contexts {
+		scored := eng.Recommend(ctx, benchTopN, nil)
+		items := make([]int, len(scored))
+		scores := make([]float64, len(scored))
+		for j, sc := range scored {
+			items[j] = int(sc.Item)
+			scores[j] = sc.Score
+		}
+		cache.Put(fillEpoch, ctx.User, uint64(i+1), benchOmega, benchTopN, items, scores)
+	}
+	measure("cached/hit", meanCands, func(b *testing.B) {
+		items := make([]int, 0, benchTopN)
+		scores := make([]float64, 0, benchTopN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i % len(contexts)
+			var ok bool
+			items, scores, ok = cache.Get(contexts[j].User, uint64(j+1), benchOmega, benchTopN, items[:0], scores[:0])
+			if !ok {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+	// missLSN outlives the benchmark closure: testing.Benchmark re-invokes
+	// it with growing b.N, and the cache keeps the previous round's fills,
+	// so "fresh" versions must be monotonic across rounds, not per-round.
+	missLSN := uint64(len(contexts))
+	measure("cached/miss", meanCands, func(b *testing.B) {
+		var dst []rec.Scored
+		items := make([]int, 0, benchTopN)
+		scores := make([]float64, 0, benchTopN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i % len(contexts)
+			ctx := contexts[j]
+			// Always ahead of the stored version → guaranteed miss, and
+			// the Put refreshes the same variant in place.
+			missLSN++
+			lsn := missLSN
+			var ok bool
+			items, scores, ok = cache.Get(ctx.User, lsn, benchOmega, benchTopN, items[:0], scores[:0])
+			if ok {
+				b.Fatal("unexpected cache hit")
+			}
+			dst = eng.Recommend(ctx, benchTopN, dst[:0])
+			items, scores = items[:0], scores[:0]
+			for _, sc := range dst {
+				items = append(items, int(sc.Item))
+				scores = append(scores, sc.Score)
+			}
+			cache.Put(fillEpoch, ctx.User, lsn, benchOmega, benchTopN, items, scores)
 		}
 	})
 	measure("batch/engine", batchCands, func(b *testing.B) {
@@ -164,7 +260,11 @@ func run(outPath string) error {
 
 	rep.Speedup.SingleItemsPerSec = rep.Results["single/engine"].ItemsPerSec / rep.Results["single/prerefactor"].ItemsPerSec
 	rep.Speedup.BatchItemsPerSec = rep.Results["batch/engine"].ItemsPerSec / rep.Results["batch/prerefactor"].ItemsPerSec
-	fmt.Printf("speedup: single %.2fx, batch %.2fx\n", rep.Speedup.SingleItemsPerSec, rep.Speedup.BatchItemsPerSec)
+	rep.Speedup.QuantizedVsEngine = rep.Results["single/quantized"].ItemsPerSec / rep.Results["single/engine"].ItemsPerSec
+	rep.Speedup.CachedHitVsEngine = rep.Results["cached/hit"].ItemsPerSec / rep.Results["single/engine"].ItemsPerSec
+	fmt.Printf("speedup: single %.2fx, batch %.2fx, quantized %.2fx, cached-hit %.2fx\n",
+		rep.Speedup.SingleItemsPerSec, rep.Speedup.BatchItemsPerSec,
+		rep.Speedup.QuantizedVsEngine, rep.Speedup.CachedHitVsEngine)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -65,6 +65,7 @@ import (
 	"tsppr/internal/faultinject"
 	"tsppr/internal/obs"
 	"tsppr/internal/rec"
+	"tsppr/internal/rescache"
 	"tsppr/internal/router"
 	"tsppr/internal/seq"
 	"tsppr/internal/sessions"
@@ -83,6 +84,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		responseCache = flag.Int("response-cache", rescache.DefaultMaxEntries, "bound on cached /recommend/user responses, invalidated by consume LSN (0 disables; requires -events-dir)")
+		quantize      = flag.Bool("quantize", false, "score against float32-quantized weight tables (half the cache traffic, ~1e-7 relative score error)")
 
 		eventsDir     = flag.String("events-dir", "", "enable durable online sessions: write-ahead event log + snapshots live here")
 		shards        = flag.Int("shards", 1, "online failure domains: users are hash-partitioned over this many independent WAL+session shards (fixed per events dir)")
@@ -140,8 +144,10 @@ func main() {
 		defaultOmega: *omega,
 		maxInFlight:  *maxInFlight,
 		reqTimeout:   *reqTimeout,
+		quantize:     *quantize,
 
 		eventsDir:     *eventsDir,
+		cacheEntries:  *responseCache,
 		shards:        *shards,
 		partition:     partition,
 		fsync:         fsync,
@@ -270,9 +276,11 @@ type serverOptions struct {
 	reqTimeout    time.Duration // primary-scorer deadline; 0 → 2s
 	failThreshold int           // consecutive failures before degraded; 0 → 3
 	probeEvery    int           // degraded-mode primary probe period; 0 → 16
+	quantize      bool          // engine scores against float32 tables
 
 	// Online-session fields; zero values defer to wal/sessions defaults.
 	eventsDir     string            // "" disables /consume and /recommend/user
+	cacheEntries  int               // /recommend/user response-cache bound; 0 disables
 	shards        int               // online failure domains; 0 → 1
 	partition     shard.PartitionID // user-key slice this node owns; zero → 0/1 (whole key space)
 	fsync         wal.SyncPolicy
@@ -350,6 +358,7 @@ func newServer(m *core.Model, opts serverOptions) *server {
 	s.opts.metrics = s.reg // newOnline wires the WAL and session gauges from here
 	eng := engine.New(m)
 	eng.Instrument(s.reg)
+	eng.SetQuantized(opts.quantize)
 	s.eng.Store(eng)
 	return s
 }
@@ -473,6 +482,10 @@ type statsResponse struct {
 	DroppedEvents    int64  `json:"dropped_events,omitempty"`
 	Snapshots        int64  `json:"snapshots,omitempty"`
 	SnapshotErrors   int64  `json:"snapshot_errors,omitempty"`
+
+	// Response-cache counters; nil when the cache is disabled or online
+	// sessions are off.
+	ResponseCache *rescache.Stats `json:"response_cache,omitempty"`
 
 	// Per-shard health, indexed by shard; nil when -events-dir is off.
 	Shards []shard.Status `json:"shards,omitempty"`
@@ -608,7 +621,14 @@ func (s *server) reload() error {
 	// The new engine records into the same registry series as the old.
 	eng := engine.New(m)
 	eng.Instrument(s.reg)
+	eng.SetQuantized(s.opts.quantize)
 	s.eng.Store(eng)
+	// The swap changed every score under unchanged window LSNs, so the
+	// response cache must drop wholesale — after the store, so a fill
+	// racing the swap is caught by the epoch bump either way.
+	if s.online != nil {
+		s.online.cache.Purge()
+	}
 	s.failStreak.Store(0)
 	s.degraded.Store(false)
 	s.reloads.Inc()

@@ -35,6 +35,7 @@ import (
 	"tsppr/internal/obs"
 	"tsppr/internal/rec"
 	"tsppr/internal/replica"
+	"tsppr/internal/rescache"
 	"tsppr/internal/seq"
 	"tsppr/internal/shard"
 )
@@ -44,6 +45,10 @@ import (
 // single-domain layout.
 type onlineState struct {
 	pool *shard.Pool
+	// cache holds /recommend/user responses keyed by (user, Ω, N) and
+	// versioned by consume LSN; nil when -response-cache=0. All cache
+	// methods are nil-safe, so handlers call through unconditionally.
+	cache *rescache.Cache
 }
 
 // newOnline opens the shard pool under opts.eventsDir and recovers
@@ -63,9 +68,18 @@ func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
 			perShard = 1
 		}
 	}
+	// The cache exists before the pool so the pool's store-reload hook
+	// can close over it: any shard that replaces its session store
+	// wholesale (supervised restart, truncate, reseed) may have regressed
+	// per-user LSNs, which voids every LSN-versioned entry.
+	var cache *rescache.Cache
+	if opts.cacheEntries > 0 {
+		cache = rescache.New(rescache.Config{MaxEntries: opts.cacheEntries, Metrics: opts.metrics})
+	}
 	pool, err := shard.Open(opts.eventsDir, shard.Config{
 		Shards:              n,
 		Partition:           opts.partition,
+		OnStoreReload:       func(int) { cache.Purge() },
 		WindowCap:           opts.windowCap,
 		MaxSessionsPerShard: perShard,
 		NumUsers:            m.NumUsers(),
@@ -83,7 +97,7 @@ func newOnline(opts serverOptions, m *core.Model) (*onlineState, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &onlineState{pool: pool}
+	o := &onlineState{pool: pool, cache: cache}
 	o.registerGauges(opts.metrics)
 	return o, nil
 }
@@ -152,6 +166,10 @@ func (o *onlineState) statsInto(st *statsResponse) {
 	st.RecoveredRecords = ws.RecoveredRecords
 	st.TruncatedTails = ws.TruncatedTails
 	st.SkippedCorrupt = ws.SkippedCorrupt
+	if o.cache != nil {
+		cs := o.cache.Stats()
+		st.ResponseCache = &cs
+	}
 	st.Shards = o.pool.Statuses()
 	for _, sh := range st.Shards {
 		st.Sessions += sh.Sessions
@@ -262,6 +280,10 @@ func (s *server) handleConsume(w http.ResponseWriter, r *http.Request) {
 		writeOnlineErr(w, err)
 		return
 	}
+	// Coherence is carried by the LSN keying (the next read probes with
+	// the advanced LSN and misses); dropping the dead entries now frees
+	// their memory and makes the invalidation observable on /metrics.
+	s.online.cache.InvalidateUser(req.User)
 	writeJSON(w, http.StatusOK, consumeResponse{LSN: lsn, Window: winLen})
 }
 
@@ -293,7 +315,28 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 	if s.refuseForeignUser(w, req.User) {
 		return
 	}
-	win, ok, err := s.online.pool.WindowClone(req.User)
+	cache := s.online.cache
+	if cache != nil {
+		// Cheap version probe first: the user's current applied LSN. An
+		// entry cached under exactly that LSN is current by construction
+		// — no window clone, no scoring. Probe errors (shard mid-restart)
+		// fall through to the uncached path, which surfaces them.
+		if lsn, ok, err := s.online.pool.UserLSN(req.User); err == nil && ok {
+			// Non-nil empty buffers, not nil: an empty cached Top-N must
+			// serialize as [] exactly like the uncached path's response,
+			// and appending zero elements to nil would leave nil → null.
+			if items, scores, hit := cache.Get(req.User, lsn, omega, n, []int{}, []float64{}); hit {
+				s.items.Add(int64(len(items)))
+				writeJSON(w, http.StatusOK, recommendResponse{Items: items, Scores: scores})
+				return
+			}
+		}
+	}
+	// The epoch is sampled BEFORE the window clone: if a purge (model
+	// swap, shard store reload) lands between the clone and the Put, the
+	// fill must die with the state it was computed from.
+	epoch := cache.Epoch()
+	win, lsn, ok, err := s.online.pool.WindowCloneLSN(req.User)
 	if err != nil {
 		writeOnlineErr(w, err)
 		return
@@ -305,6 +348,11 @@ func (s *server) handleRecommendUser(w http.ResponseWriter, r *http.Request) {
 	items, _ := win.Snapshot()
 	rctx := &rec.Context{User: req.User, Window: win, History: items, Omega: omega}
 	resp := s.score(r.Context(), eng, rctx, n)
+	if !resp.Degraded {
+		// Degraded answers come from the fallback scorer; caching one
+		// would keep serving it after the primary recovers.
+		cache.Put(epoch, req.User, lsn, omega, n, resp.Items, resp.Scores)
+	}
 	s.items.Add(int64(len(resp.Items)))
 	writeJSON(w, http.StatusOK, resp)
 }

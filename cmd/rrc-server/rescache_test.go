@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tsppr/internal/engine"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// cachedServer is onlineServer with the response cache enabled and the
+// serving model saved to disk so reload() can hot-swap it mid-test.
+func cachedServer(t *testing.T) (*server, []seq.Sequence) {
+	t.Helper()
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.tsppr")
+	srv, seqs := onlineServer(t, filepath.Join(dir, "events"), func(o *serverOptions) {
+		o.cacheEntries = 1 << 12
+		o.modelPath = modelPath
+	})
+	if err := srv.currentModel().SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	return srv, seqs
+}
+
+func decodeRec(t *testing.T, body []byte) recommendResponse {
+	t.Helper()
+	var resp recommendResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestResponseCacheHitsServeIdenticalBytes drives the handler twice for
+// an unchanged user and checks the cached second answer is exactly the
+// first, that the hit/miss counters moved, and that a consume in
+// between invalidates: the next read re-scores against the new window
+// rather than serving the stale entry.
+func TestResponseCacheHitsServeIdenticalBytes(t *testing.T) {
+	srv, seqs := cachedServer(t)
+	h := srv.routes()
+	for _, v := range seqs[0][:30] {
+		if rr := postJSON(t, h, "/consume", consumeRequest{User: 0, Item: int(v)}); rr.Code != http.StatusOK {
+			t.Fatalf("consume: %d %s", rr.Code, rr.Body.String())
+		}
+	}
+	first := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	if first.Code != http.StatusOK {
+		t.Fatalf("first read: %d %s", first.Code, first.Body.String())
+	}
+	second := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	if second.Code != http.StatusOK {
+		t.Fatalf("second read: %d %s", second.Code, second.Body.String())
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("cached read differs:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	st := srv.online.cache.Stats()
+	if st.Hits != 1 || st.Misses < 1 {
+		t.Fatalf("stats after repeat read = %+v", st)
+	}
+	// A different request shape is its own variant, not a hit.
+	if rr := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 3}); rr.Code != http.StatusOK {
+		t.Fatalf("n=3 read: %d", rr.Code)
+	}
+	if st = srv.online.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("different N hit the N=5 entry: %+v", st)
+	}
+
+	// Consume, then read again: the answer must track the new window.
+	item := int(seqs[0][30])
+	if rr := postJSON(t, h, "/consume", consumeRequest{User: 0, Item: item}); rr.Code != http.StatusOK {
+		t.Fatalf("consume: %d", rr.Code)
+	}
+	third := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	if third.Code != http.StatusOK {
+		t.Fatalf("post-consume read: %d", third.Code)
+	}
+	w := seq.NewWindow(srv.opts.windowCap)
+	for _, v := range seqs[0][:31] {
+		w.Push(v)
+	}
+	ref := engine.New(srv.currentModel())
+	want := ref.Recommend(&rec.Context{User: 0, Window: w, Omega: srv.opts.defaultOmega}, 5, nil)
+	got := decodeRec(t, third.Body.Bytes())
+	if len(got.Items) != len(want) {
+		t.Fatalf("post-consume read: %d items, want %d", len(got.Items), len(want))
+	}
+	for i := range want {
+		if got.Items[i] != int(want[i].Item) || got.Scores[i] != want[i].Score {
+			t.Fatalf("post-consume rank %d: got (%d,%v), want (%d,%v)",
+				i, got.Items[i], got.Scores[i], want[i].Item, want[i].Score)
+		}
+	}
+	if st = srv.online.cache.Stats(); st.Invalidations < 1 {
+		t.Fatalf("consume did not invalidate: %+v", st)
+	}
+}
+
+// TestResponseCacheEmptyResultServesJSONArrays pins the wire shape of
+// an empty cached answer: a user whose whole window is inside Ω has no
+// candidates, and the cached read must serve {"items":[],"scores":[]}
+// byte-identically to the uncached first read — not null, which is what
+// a nil-buffer fill would produce.
+func TestResponseCacheEmptyResultServesJSONArrays(t *testing.T) {
+	srv, _ := cachedServer(t)
+	h := srv.routes()
+	for i := 0; i < 3; i++ {
+		if rr := postJSON(t, h, "/consume", consumeRequest{User: 0, Item: i}); rr.Code != http.StatusOK {
+			t.Fatalf("consume: %d", rr.Code)
+		}
+	}
+	first := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	second := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("reads: %d, %d", first.Code, second.Code)
+	}
+	if st := srv.online.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("second read was not a hit: %+v", st)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("empty cached read differs:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(second.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"items", "scores"} {
+		if string(raw[field]) != "[]" {
+			t.Fatalf("%s = %s, want []", field, raw[field])
+		}
+	}
+}
+
+// TestResponseCachePurgedOnReload pins the hot-swap rule: a model
+// reload changes scores under unchanged LSNs, so it must purge the
+// cache and advance the epoch rather than keep serving old-model
+// answers.
+func TestResponseCachePurgedOnReload(t *testing.T) {
+	srv, seqs := cachedServer(t)
+	h := srv.routes()
+	for _, v := range seqs[1][:20] {
+		if rr := postJSON(t, h, "/consume", consumeRequest{User: 1, Item: int(v)}); rr.Code != http.StatusOK {
+			t.Fatalf("consume: %d", rr.Code)
+		}
+	}
+	if rr := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 1, N: 5}); rr.Code != http.StatusOK {
+		t.Fatalf("read: %d", rr.Code)
+	}
+	if srv.online.cache.Len() == 0 {
+		t.Fatal("read did not fill the cache")
+	}
+	epoch := srv.online.cache.Epoch()
+	if err := srv.reload(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.online.cache.Len() != 0 {
+		t.Fatal("reload left cached entries behind")
+	}
+	if srv.online.cache.Epoch() != epoch+1 {
+		t.Fatalf("epoch = %d, want %d", srv.online.cache.Epoch(), epoch+1)
+	}
+}
+
+// TestResponseCacheCoherence is the acceptance race: per-user writers
+// interleave /consume and /recommend/user while another goroutine
+// hot-swaps the model (the SIGHUP path) in a loop, all under -race via
+// make check. Every /recommend/user answer must be byte-identical to an
+// uncached reference engine evaluated on that user's true window at
+// that moment — a stale answer after a consume is a failure, whether it
+// came from the cache or from a torn fill.
+func TestResponseCacheCoherence(t *testing.T) {
+	srv, seqs := cachedServer(t)
+	h := srv.routes()
+	// The reference engine: same parameters the hot-swapped engines
+	// load, model I/O is bit-exact, and scoring is deterministic — so
+	// cached, freshly-scored, and post-swap answers must all coincide.
+	ref := engine.New(srv.currentModel())
+	omega := srv.opts.defaultOmega
+
+	const users, steps = 4, 120
+	stopReload := make(chan struct{})
+	var reloader sync.WaitGroup
+	reloader.Add(1)
+	go func() {
+		defer reloader.Done()
+		for {
+			select {
+			case <-stopReload:
+				return
+			default:
+				if err := srv.reload(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			shadow := seq.NewWindow(srv.opts.windowCap)
+			s := seqs[u]
+			for i := 0; i < steps; i++ {
+				item := s[i%len(s)]
+				rr := postJSON(t, h, "/consume", consumeRequest{User: u, Item: int(item)})
+				if rr.Code != http.StatusOK {
+					t.Errorf("user %d consume %d: %d %s", u, i, rr.Code, rr.Body.String())
+					return
+				}
+				shadow.Push(item)
+				// Two reads per step: the second is a repeat of an
+				// unchanged user, so across the run some must be served
+				// from the cache — and both must equal the reference.
+				for r := 0; r < 2; r++ {
+					rr = postJSON(t, h, "/recommend/user", recommendUserRequest{User: u, N: 5})
+					if rr.Code != http.StatusOK {
+						t.Errorf("user %d read %d: %d %s", u, i, rr.Code, rr.Body.String())
+						return
+					}
+					got := decodeRec(t, rr.Body.Bytes())
+					if got.Degraded {
+						t.Errorf("user %d read %d degraded", u, i)
+						return
+					}
+					want := ref.Recommend(&rec.Context{User: u, Window: shadow, Omega: omega}, 5, nil)
+					if len(got.Items) != len(want) {
+						t.Errorf("user %d step %d: %d items, want %d (stale after consume?)",
+							u, i, len(got.Items), len(want))
+						return
+					}
+					for j := range want {
+						if got.Items[j] != int(want[j].Item) || got.Scores[j] != want[j].Score {
+							t.Errorf("user %d step %d rank %d: got (%d,%v), want (%d,%v) — stale or torn response",
+								u, i, j, got.Items[j], got.Scores[j], want[j].Item, want[j].Score)
+							return
+						}
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(stopReload)
+	reloader.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// With the swapper quiesced, a repeat read must be a cache hit and
+	// still byte-identical.
+	before := srv.online.cache.Stats()
+	first := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	second := postJSON(t, h, "/recommend/user", recommendUserRequest{User: 0, N: 5})
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("quiesced reads: %d, %d", first.Code, second.Code)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("quiesced cached read differs:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	after := srv.online.cache.Stats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("no cache hit on quiesced repeat read: %+v → %+v", before, after)
+	}
+}

@@ -52,6 +52,22 @@ func TestRecommendZeroAllocsInstrumented(t *testing.T) {
 	}
 }
 
+// BenchmarkRecommendUninstrumented is the regression baseline for the
+// uninstrumented hot path: with every instrumentation guard an explicit
+// nil check (no time.Now, no Observe), it must match the pre-guard
+// engine — and -benchmem must show 0 allocs/op.
+func BenchmarkRecommendUninstrumented(b *testing.B) {
+	_, seqs, eng := defaultFixture(b)
+	ctx := &rec.Context{User: 2, Window: windowFor(seqs[2]), Omega: fixtureOmega}
+	var dst []rec.Scored
+	dst = eng.Recommend(ctx, 10, dst[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = eng.Recommend(ctx, 10, dst[:0])
+	}
+}
+
 // BenchmarkRecommendInstrumented reports the instrumented hot path's
 // cost; -benchmem must show 0 allocs/op.
 func BenchmarkRecommendInstrumented(b *testing.B) {

@@ -1,0 +1,222 @@
+package engine_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsppr/internal/core"
+	"tsppr/internal/engine"
+	"tsppr/internal/features"
+	"tsppr/internal/linalg"
+	"tsppr/internal/rec"
+	"tsppr/internal/seq"
+)
+
+// quantTol is the acceptance bound on |quantized − float64| per score.
+// The true error is far smaller — each float32-stored element carries
+// ~6e-8 relative quantization, summed over K+F ≤ 44 terms of O(1)
+// magnitude — so 1e-5 leaves two orders of headroom without ever
+// excusing a real arithmetic divergence.
+const quantTol = 1e-5
+
+// wideFixture is the golden-parity model shape from the acceptance
+// criteria: K=40 latent factors over the full F=4 feature set, per map
+// kind (IdentityMap forces K=F).
+func wideFixture(t testing.TB, rng *rand.Rand, mt core.MapKind) (*core.Model, []seq.Sequence) {
+	t.Helper()
+	seqs := make([]seq.Sequence, fixtureUsers)
+	for u := range seqs {
+		s := make(seq.Sequence, 120)
+		for i := range s {
+			if i > 0 && rng.Float64() < 0.6 {
+				s[i] = s[rng.Intn(i)]
+			} else {
+				s[i] = seq.Item(rng.Intn(fixtureItems))
+			}
+		}
+		seqs[u] = s
+	}
+	b := features.NewBuilder(fixtureItems, fixtureWindowCap, fixtureOmega)
+	for _, s := range seqs {
+		b.Add(s)
+	}
+	ex := b.Build(features.AllFeatures, features.Hyperbolic)
+	f := ex.Dim()
+	k := 40
+	if mt == core.IdentityMap {
+		k = f
+	}
+	m := &core.Model{
+		K: k, F: f, MapType: mt,
+		U: randMatrix(rng, fixtureUsers, k), V: randMatrix(rng, fixtureItems, k),
+		Extractor: ex,
+	}
+	switch mt {
+	case core.PerUserMap:
+		for u := 0; u < fixtureUsers; u++ {
+			m.A = append(m.A, randMatrix(rng, k, f))
+		}
+	case core.SharedMap:
+		m.A = []*linalg.Matrix{randMatrix(rng, k, f)}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m, seqs
+}
+
+// TestQuantizedParityGolden pins the float32 path against the float64
+// path at the serving shape (K=40, F=4): every per-item score within
+// quantTol, and the Top-N ranking — items AND order — byte-identical.
+// Fixed seeds make the near-tie risk deterministic: if this passes
+// once, it passes forever.
+func TestQuantizedParityGolden(t *testing.T) {
+	for _, mt := range []core.MapKind{core.PerUserMap, core.SharedMap, core.IdentityMap} {
+		mt := mt
+		t.Run(fmt.Sprint(mt), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(mt) + 101))
+			m, seqs := wideFixture(t, rng, mt)
+			eng := engine.New(m)
+			qeng := engine.New(m)
+			qeng.SetQuantized(true)
+			maxDelta := 0.0
+			for u, s := range seqs {
+				w := windowFor(s)
+				cands := w.Candidates(fixtureOmega, nil)
+				for _, v := range append(cands, seq.Item(fixtureItems+5)) {
+					want := eng.Score(u, v, w)
+					got := qeng.Score(u, v, w)
+					if d := math.Abs(got - want); d > maxDelta {
+						maxDelta = d
+					}
+					if math.Abs(got-want) > quantTol {
+						t.Fatalf("user %d item %d: quantized %.17g vs float64 %.17g (Δ=%g)",
+							u, v, got, want, math.Abs(got-want))
+					}
+				}
+				for _, n := range []int{1, 10, len(cands) + 7} {
+					want := eng.Recommend(&rec.Context{User: u, Window: w, Omega: fixtureOmega}, n, nil)
+					got := qeng.Recommend(&rec.Context{User: u, Window: w, Omega: fixtureOmega}, n, nil)
+					if len(got) != len(want) {
+						t.Fatalf("user %d n=%d: %d results, want %d", u, n, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Item != want[i].Item {
+							t.Fatalf("user %d n=%d rank %d: quantized ranked %d, float64 ranked %d",
+								u, n, i, got[i].Item, want[i].Item)
+						}
+						if math.Abs(got[i].Score-want[i].Score) > quantTol {
+							t.Fatalf("user %d n=%d rank %d: score Δ=%g",
+								u, n, i, math.Abs(got[i].Score-want[i].Score))
+						}
+					}
+				}
+			}
+			t.Logf("max |Δscore| = %g (bound %g)", maxDelta, quantTol)
+		})
+	}
+}
+
+// TestQuantizedParityProperty draws random models — every mask, both
+// recency variants, all map kinds, fresh parameters per seed — and
+// checks the score-level parity bound holds unconditionally. Ranking
+// order is not asserted here: a random model may put two candidates
+// within quantization distance, where either order is correct.
+func TestQuantizedParityProperty(t *testing.T) {
+	kinds := []core.MapKind{core.PerUserMap, core.SharedMap, core.IdentityMap}
+	recencies := []features.RecencyKind{features.Hyperbolic, features.Exponential}
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed*7919 + 17))
+		mask := features.Mask(1 + rng.Intn(int(features.AllFeatures)))
+		rk := recencies[rng.Intn(len(recencies))]
+		mt := kinds[rng.Intn(len(kinds))]
+		m, seqs := fixture(t, rng, mask, rk, mt)
+		qeng := engine.New(m)
+		qeng.SetQuantized(true)
+		eng := engine.New(m)
+		for u, s := range seqs {
+			w := windowFor(s)
+			for _, v := range w.Candidates(fixtureOmega, nil) {
+				want := eng.Score(u, v, w)
+				got := qeng.Score(u, v, w)
+				if math.Abs(got-want) > quantTol {
+					t.Fatalf("seed %d mask %d %s %s user %d item %d: Δ=%g",
+						seed, mask, rk, mt, u, v, math.Abs(got-want))
+				}
+			}
+		}
+	}
+}
+
+// TestSetQuantizedToggle checks the switch is observable, reversible,
+// and actually changes which tables scoring reads.
+func TestSetQuantizedToggle(t *testing.T) {
+	_, seqs, eng := defaultFixture(t)
+	if eng.Quantized() {
+		t.Fatal("engine must default to the float64 path")
+	}
+	w := windowFor(seqs[0])
+	cands := w.Candidates(fixtureOmega, nil)
+	if len(cands) == 0 {
+		t.Fatal("fixture produced no candidates")
+	}
+	exact := eng.Score(0, cands[0], w)
+	eng.SetQuantized(true)
+	if !eng.Quantized() {
+		t.Fatal("SetQuantized(true) not observable")
+	}
+	quant := eng.Score(0, cands[0], w)
+	if math.Abs(quant-exact) > quantTol {
+		t.Fatalf("quantized score diverged: %g vs %g", quant, exact)
+	}
+	eng.SetQuantized(false)
+	if eng.Quantized() {
+		t.Fatal("SetQuantized(false) not observable")
+	}
+	if got := eng.Score(0, cands[0], w); got != exact {
+		t.Fatalf("float64 path not bit-stable across toggles: %.17g vs %.17g", got, exact)
+	}
+}
+
+// TestQuantizedRecommendZeroAllocs pins the quantized hot path to the
+// same allocation discipline as the float64 path — the quantized tables
+// are precomputed, so flipping the switch must not buy speed with heap
+// churn.
+func TestQuantizedRecommendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented sync.Pool drops values by design; allocation counts are meaningless")
+	}
+	_, seqs, eng := defaultFixture(t)
+	eng.SetQuantized(true)
+	ctx := &rec.Context{User: 2, Window: windowFor(seqs[2]), Omega: fixtureOmega}
+	var dst []rec.Scored
+	dst = eng.Recommend(ctx, 10, dst[:0])
+	if len(dst) == 0 {
+		t.Fatal("no recommendations to measure")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = eng.Recommend(ctx, 10, dst[:0])
+	}); avg != 0 {
+		t.Fatalf("quantized Recommend allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		eng.Score(2, dst[0].Item, ctx.Window)
+	}); avg != 0 {
+		t.Fatalf("quantized Score allocates %.1f/op, want 0", avg)
+	}
+}
+
+func BenchmarkRecommendQuantized(b *testing.B) {
+	_, seqs, eng := defaultFixture(b)
+	eng.SetQuantized(true)
+	ctx := &rec.Context{User: 2, Window: windowFor(seqs[2]), Omega: fixtureOmega}
+	var dst []rec.Scored
+	dst = eng.Recommend(ctx, 10, dst[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = eng.Recommend(ctx, 10, dst[:0])
+	}
+}

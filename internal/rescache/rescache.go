@@ -1,0 +1,367 @@
+// Package rescache is the per-user Top-N response cache behind
+// /recommend/user. The paper's premise — repeat consumption means a
+// user's candidate set and gap features change only when the user
+// consumes — makes the cache exact, not approximate: between two
+// /consume events for a user, every /recommend/user answer for the
+// same (Ω, N) is identical, so it can be served from memory without
+// touching the engine.
+//
+// # Versioning
+//
+// Entries are keyed by (user, Ω, N) and stamped with the user's
+// applied WAL LSN — the version /consume already returns. A lookup
+// presents the user's current LSN (read from the session store) and
+// hits only on an exact match, so a consume invalidates by construction:
+// the next read probes with a higher LSN and misses. The explicit
+// InvalidateUser on the consume path is memory and metrics hygiene
+// (drop the dead entry now, count it), not the coherence mechanism.
+//
+// LSN comparison assumes per-user LSNs never regress. Two events break
+// that assumption — a shard restart that lost an unsynced WAL tail, and
+// a replication truncate/reseed that cut a divergent tail — and one
+// more changes scores under an unchanged LSN: a model hot-swap. All
+// three must Purge. Purge also advances the cache epoch; Put carries
+// the epoch its caller observed before reading the window, so a fill
+// that raced a purge (cloned its window from the pre-reload store) is
+// dropped instead of resurrecting stale state under a reused LSN.
+//
+// # Allocation discipline
+//
+// The steady state allocates nothing: lookups append into caller
+// buffers, in-place updates reuse the entry's slices, and evicted or
+// invalidated entries park on a freelist for the next insert.
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tsppr/internal/obs"
+)
+
+// DefaultMaxEntries bounds the cache when Config.MaxEntries is 0.
+const DefaultMaxEntries = 1 << 16
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxEntries is the LRU bound; 0 → DefaultMaxEntries.
+	MaxEntries int
+	// Metrics, when non-nil, receives the rrc_rescache_* families. Nil
+	// records nothing.
+	Metrics *obs.Registry
+}
+
+// variantKey identifies one cacheable response shape: a user's Top-N
+// under one (Ω, N). The user's LSN is the entry's version, not part of
+// the key — a variant holds at most one generation, and a fill for a
+// newer LSN overwrites in place.
+type variantKey struct {
+	user  int
+	omega int
+	n     int
+}
+
+// entry is one cached response. It lives on three intrusive structures
+// at once: the variant map, the global LRU list (prev/next, sentinel
+// head/tail), and its user's invalidation list (uprev/unext, headed in
+// Cache.users) — so invalidating a user is O(variants of that user),
+// never a scan.
+type entry struct {
+	key    variantKey
+	lsn    uint64
+	items  []int
+	scores []float64
+
+	prev, next   *entry // global LRU
+	uprev, unext *entry // per-user invalidation list
+}
+
+// Cache is a bounded LRU of Top-N responses. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil *Cache never hits
+// and drops every fill), so call sites need no "is caching on" guards.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	epoch   atomic.Uint64 // bumped by Purge; read lock-free by Epoch
+	entries map[variantKey]*entry
+	users   map[int]*entry // head of each user's invalidation list
+	head    *entry         // LRU sentinel: head.next is most recent
+	tail    *entry         // LRU sentinel: tail.prev is eviction victim
+	free    *entry         // recycled entries, linked through next
+
+	hits          int64
+	misses        int64
+	invalidations int64
+	evictions     int64
+
+	mHits  *obs.Counter
+	mMiss  *obs.Counter
+	mInval *obs.Counter
+	mEvict *obs.Counter
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	c := &Cache{
+		max:     cfg.MaxEntries,
+		entries: make(map[variantKey]*entry),
+		users:   make(map[int]*entry),
+		head:    &entry{},
+		tail:    &entry{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	c.instrument(cfg.Metrics)
+	return c
+}
+
+// instrument registers the rrc_rescache_* families on reg. All handles
+// are nil-safe, so a cache without a registry records nothing extra.
+func (c *Cache) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("rrc_rescache_hits_total", "Response-cache lookups answered without scoring.")
+	c.mHits = reg.Counter("rrc_rescache_hits_total")
+	reg.Help("rrc_rescache_misses_total", "Response-cache lookups that fell through to the engine.")
+	c.mMiss = reg.Counter("rrc_rescache_misses_total")
+	reg.Help("rrc_rescache_invalidations_total", "Response-cache entries dropped by consume invalidation or purge.")
+	c.mInval = reg.Counter("rrc_rescache_invalidations_total")
+	reg.Help("rrc_rescache_evictions_total", "Response-cache entries evicted by the LRU bound.")
+	c.mEvict = reg.Counter("rrc_rescache_evictions_total")
+	reg.Help("rrc_rescache_entries", "Response-cache entries currently held.")
+	reg.GaugeFunc("rrc_rescache_entries", func() float64 { return float64(c.Len()) })
+}
+
+// Epoch returns the cache's purge epoch. Sample it BEFORE reading the
+// window a fill will be computed from, and hand it to Put: a purge in
+// between (store reload, model swap) then voids the fill instead of
+// letting it publish a response scored against vanished state.
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// Get looks up the Top-N for (user, Ω, N) at exactly the given LSN,
+// appending items and scores to the caller's buffers on a hit. The
+// returned slices alias the (possibly grown) buffers; on a miss they
+// are the untouched inputs. A hit refreshes LRU recency.
+func (c *Cache) Get(user int, lsn uint64, omega, n int, items []int, scores []float64) ([]int, []float64, bool) {
+	if c == nil {
+		return items, scores, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[variantKey{user: user, omega: omega, n: n}]
+	if !ok || e.lsn != lsn {
+		c.misses++
+		c.mu.Unlock()
+		c.mMiss.Inc()
+		return items, scores, false
+	}
+	c.moveToFront(e)
+	items = append(items, e.items...)
+	scores = append(scores, e.scores...)
+	c.hits++
+	c.mu.Unlock()
+	c.mHits.Inc()
+	return items, scores, true
+}
+
+// Put stores the Top-N for (user, Ω, N) computed against the window
+// whose applied LSN is lsn, under the epoch the caller sampled before
+// reading that window. A fill whose epoch is stale (a purge ran in
+// between) is dropped: its window may predate a store reload whose LSNs
+// regressed, and LSN equality alone could not tell. The entry copies
+// items/scores; an existing variant is updated in place.
+func (c *Cache) Put(epoch uint64, user int, lsn uint64, omega, n int, items []int, scores []float64) {
+	if c == nil {
+		return
+	}
+	if len(items) != len(scores) {
+		panic(fmt.Sprintf("rescache: Put %d items, %d scores", len(items), len(scores)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch.Load() {
+		return
+	}
+	k := variantKey{user: user, omega: omega, n: n}
+	if e, ok := c.entries[k]; ok {
+		e.lsn = lsn
+		e.items = append(e.items[:0], items...)
+		e.scores = append(e.scores[:0], scores...)
+		c.moveToFront(e)
+		return
+	}
+	e := c.alloc()
+	e.key = k
+	e.lsn = lsn
+	e.items = append(e.items[:0], items...)
+	e.scores = append(e.scores[:0], scores...)
+	c.entries[k] = e
+	c.pushFront(e)
+	c.userLink(e)
+	for len(c.entries) > c.max {
+		victim := c.tail.prev
+		c.removeLocked(victim)
+		c.evictions++
+		c.mEvict.Inc()
+	}
+}
+
+// InvalidateUser drops every cached variant for user and returns how
+// many were dropped. The consume path calls it after a durable ingest —
+// hygiene, not coherence (see the package comment).
+func (c *Cache) InvalidateUser(user int) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	n := 0
+	for e := c.users[user]; e != nil; {
+		next := e.unext
+		c.removeLocked(e)
+		n++
+		e = next
+	}
+	c.invalidations += int64(n)
+	c.mu.Unlock()
+	c.mInval.Add(int64(n))
+	return n
+}
+
+// Purge drops every entry and advances the epoch, returning how many
+// entries were dropped. Required (not optional) on model hot-swap
+// (scores changed under unchanged LSNs) and on any wholesale session-
+// store replacement — shard restart, divergent-tail truncation, reseed
+// — where per-user LSNs may have regressed and version comparison can
+// no longer be trusted.
+func (c *Cache) Purge() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	for len(c.entries) > 0 {
+		c.removeLocked(c.tail.prev)
+	}
+	c.epoch.Add(1)
+	c.invalidations += int64(n)
+	c.mu.Unlock()
+	c.mInval.Add(int64(n))
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64  `json:"hits"`
+	Misses        int64  `json:"misses"`
+	Invalidations int64  `json:"invalidations"`
+	Evictions     int64  `json:"evictions"`
+	Entries       int    `json:"entries"`
+	Epoch         uint64 `json:"epoch"`
+}
+
+// Stats returns the cache's current counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+		Entries:       len(c.entries),
+		Epoch:         c.epoch.Load(),
+	}
+}
+
+// alloc takes an entry from the freelist, or mints one. Recycled
+// entries keep their slice capacity, which is what makes steady-state
+// inserts (at capacity, or over a stable variant set) allocation-free.
+func (c *Cache) alloc() *entry {
+	if e := c.free; e != nil {
+		c.free = e.next
+		e.next = nil
+		return e
+	}
+	return &entry{}
+}
+
+// removeLocked unlinks e from all three structures and parks it on the
+// freelist.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	c.userUnlink(e)
+	e.prev, e.next, e.lsn = nil, nil, 0
+	e.items = e.items[:0]
+	e.scores = e.scores[:0]
+	e.next = c.free
+	c.free = e
+}
+
+// pushFront inserts e as the most recently used entry.
+func (c *Cache) pushFront(e *entry) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+// moveToFront refreshes e's LRU recency.
+func (c *Cache) moveToFront(e *entry) {
+	if c.head.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	c.pushFront(e)
+}
+
+// userLink prepends e to its user's invalidation list.
+func (c *Cache) userLink(e *entry) {
+	head := c.users[e.key.user]
+	e.uprev, e.unext = nil, head
+	if head != nil {
+		head.uprev = e
+	}
+	c.users[e.key.user] = e
+}
+
+// userUnlink removes e from its user's invalidation list.
+func (c *Cache) userUnlink(e *entry) {
+	if e.uprev != nil {
+		e.uprev.unext = e.unext
+	} else if c.users[e.key.user] == e {
+		if e.unext != nil {
+			c.users[e.key.user] = e.unext
+		} else {
+			delete(c.users, e.key.user)
+		}
+	}
+	if e.unext != nil {
+		e.unext.uprev = e.uprev
+	}
+	e.uprev, e.unext = nil, nil
+}

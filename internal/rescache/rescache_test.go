@@ -1,0 +1,293 @@
+package rescache
+
+import (
+	"testing"
+
+	"tsppr/internal/obs"
+)
+
+// fill inserts a fresh response for user at lsn under the cache's
+// current epoch, as a correctly-sequenced caller would.
+func fill(c *Cache, user int, lsn uint64, omega, n int, items []int, scores []float64) {
+	c.Put(c.Epoch(), user, lsn, omega, n, items, scores)
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := New(Config{})
+	if _, _, hit := c.Get(1, 5, 3, 10, nil, nil); hit {
+		t.Fatal("hit on empty cache")
+	}
+	fill(c, 1, 5, 3, 10, []int{7, 8}, []float64{0.9, 0.4})
+	items, scores, hit := c.Get(1, 5, 3, 10, nil, nil)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if len(items) != 2 || items[0] != 7 || items[1] != 8 {
+		t.Fatalf("items = %v", items)
+	}
+	if len(scores) != 2 || scores[0] != 0.9 || scores[1] != 0.4 {
+		t.Fatalf("scores = %v", scores)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The LSN is an exact version match: a probe with any other LSN —
+// higher (user consumed) or lower (should be impossible, but must not
+// serve) — misses.
+func TestGetLSNMismatchMisses(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	for _, lsn := range []uint64{4, 6, 0} {
+		if _, _, hit := c.Get(1, lsn, 3, 10, nil, nil); hit {
+			t.Fatalf("hit at lsn %d, entry at 5", lsn)
+		}
+	}
+	if _, _, hit := c.Get(1, 5, 3, 10, nil, nil); !hit {
+		t.Fatal("exact-LSN probe should still hit")
+	}
+}
+
+// (Ω, N) are part of the variant key: the same user at the same LSN
+// with a different request shape is a different entry.
+func TestVariantKeyIsolation(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	if _, _, hit := c.Get(1, 5, 4, 10, nil, nil); hit {
+		t.Fatal("Ω mismatch must miss")
+	}
+	if _, _, hit := c.Get(1, 5, 3, 20, nil, nil); hit {
+		t.Fatal("N mismatch must miss")
+	}
+	fill(c, 1, 5, 3, 20, []int{9}, []float64{2})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 variants", c.Len())
+	}
+}
+
+// Get appends into the caller's buffers and returns slices aliasing
+// them; a miss returns the inputs untouched.
+func TestGetAppendsIntoCallerBuffers(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7, 8}, []float64{0.9, 0.4})
+	items := make([]int, 0, 8)
+	scores := make([]float64, 0, 8)
+	gi, gs, hit := c.Get(1, 5, 3, 10, items, scores)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if &gi[0] != &items[:1][0] || &gs[0] != &scores[:1][0] {
+		t.Fatal("hit did not append into caller buffers")
+	}
+	gi2, gs2, hit := c.Get(2, 5, 3, 10, gi[:0], gs[:0])
+	if hit || len(gi2) != 0 || len(gs2) != 0 {
+		t.Fatal("miss must return the inputs untouched")
+	}
+}
+
+// A Put for an existing variant updates in place: new LSN, new
+// contents, no extra entry.
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	fill(c, 1, 9, 3, 10, []int{8, 9}, []float64{2, 3})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after in-place update", c.Len())
+	}
+	if _, _, hit := c.Get(1, 5, 3, 10, nil, nil); hit {
+		t.Fatal("old LSN must no longer hit")
+	}
+	items, _, hit := c.Get(1, 9, 3, 10, nil, nil)
+	if !hit || len(items) != 2 || items[0] != 8 {
+		t.Fatalf("updated entry: hit=%v items=%v", hit, items)
+	}
+}
+
+func TestPutPanicsOnLengthMismatch(t *testing.T) {
+	c := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fill(c, 1, 5, 3, 10, []int{7, 8}, []float64{1})
+}
+
+func TestLRUEvictionAtBound(t *testing.T) {
+	c := New(Config{MaxEntries: 3})
+	for u := 0; u < 3; u++ {
+		fill(c, u, 1, 3, 10, []int{u}, []float64{1})
+	}
+	// Touch user 0 so user 1 is the LRU victim.
+	if _, _, hit := c.Get(0, 1, 3, 10, nil, nil); !hit {
+		t.Fatal("user 0 should hit")
+	}
+	fill(c, 3, 1, 3, 10, []int{3}, []float64{1})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, _, hit := c.Get(1, 1, 3, 10, nil, nil); hit {
+		t.Fatal("user 1 should have been evicted")
+	}
+	for _, u := range []int{0, 2, 3} {
+		if _, _, hit := c.Get(u, 1, 3, 10, nil, nil); !hit {
+			t.Fatalf("user %d should have survived", u)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestInvalidateUser(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	fill(c, 1, 5, 3, 20, []int{7}, []float64{1})
+	fill(c, 2, 5, 3, 10, []int{8}, []float64{1})
+	if n := c.InvalidateUser(1); n != 2 {
+		t.Fatalf("InvalidateUser(1) = %d, want 2", n)
+	}
+	if n := c.InvalidateUser(1); n != 0 {
+		t.Fatalf("second InvalidateUser(1) = %d, want 0", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, _, hit := c.Get(2, 5, 3, 10, nil, nil); !hit {
+		t.Fatal("user 2 must be untouched")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+func TestPurgeDropsAllAndBumpsEpoch(t *testing.T) {
+	c := New(Config{})
+	for u := 0; u < 4; u++ {
+		fill(c, u, 1, 3, 10, []int{u}, []float64{1})
+	}
+	e0 := c.Epoch()
+	if n := c.Purge(); n != 4 {
+		t.Fatalf("Purge = %d, want 4", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after purge", c.Len())
+	}
+	if c.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", c.Epoch(), e0+1)
+	}
+	if st := c.Stats(); st.Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4", st.Invalidations)
+	}
+}
+
+// A fill that sampled its epoch before a purge must be dropped: its
+// window may predate a store reload whose LSNs regressed.
+func TestStaleEpochPutDropped(t *testing.T) {
+	c := New(Config{})
+	epoch := c.Epoch() // handler samples, then clones its window...
+	c.Purge()          // ...a store reload purges in between...
+	c.Put(epoch, 1, 5, 3, 10, []int{7}, []float64{1})
+	if c.Len() != 0 {
+		t.Fatal("stale-epoch Put must be dropped")
+	}
+	if _, _, hit := c.Get(1, 5, 3, 10, nil, nil); hit {
+		t.Fatal("stale fill served")
+	}
+	// A correctly-sequenced fill after the purge lands.
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	if c.Len() != 1 {
+		t.Fatal("fresh-epoch Put must land")
+	}
+}
+
+// All methods are nil-receiver safe so call sites need no guards.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c.Epoch() != 0 {
+		t.Fatal("nil Epoch")
+	}
+	items, scores, hit := c.Get(1, 5, 3, 10, []int{9}, []float64{9})
+	if hit || len(items) != 1 || len(scores) != 1 {
+		t.Fatal("nil Get must miss and return inputs")
+	}
+	c.Put(0, 1, 5, 3, 10, []int{7}, []float64{1})
+	if c.InvalidateUser(1) != 0 || c.Purge() != 0 || c.Len() != 0 {
+		t.Fatal("nil mutation methods must no-op")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Metrics: reg})
+	fill(c, 1, 5, 3, 10, []int{7}, []float64{1})
+	c.Get(1, 5, 3, 10, nil, nil) // hit
+	c.Get(1, 6, 3, 10, nil, nil) // miss
+	c.InvalidateUser(1)
+	if v := reg.Counter("rrc_rescache_hits_total").Value(); v != 1 {
+		t.Fatalf("hits = %v", v)
+	}
+	if v := reg.Counter("rrc_rescache_misses_total").Value(); v != 1 {
+		t.Fatalf("misses = %v", v)
+	}
+	if v := reg.Counter("rrc_rescache_invalidations_total").Value(); v != 1 {
+		t.Fatalf("invalidations = %v", v)
+	}
+}
+
+// The steady state allocates nothing: hits append into reused caller
+// buffers, and re-fills of an existing variant reuse its slices.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	c := New(Config{})
+	fill(c, 1, 5, 3, 10, []int{7, 8, 9}, []float64{1, 2, 3})
+	items := make([]int, 0, 16)
+	scores := make([]float64, 0, 16)
+	if n := testing.AllocsPerRun(100, func() {
+		var hit bool
+		items, scores, hit = c.Get(1, 5, 3, 10, items[:0], scores[:0])
+		if !hit {
+			t.Fatal("miss in alloc loop")
+		}
+	}); n != 0 {
+		t.Fatalf("Get hit allocates %v/op", n)
+	}
+	lsn := uint64(5)
+	epoch := c.Epoch()
+	if n := testing.AllocsPerRun(100, func() {
+		lsn++
+		c.Put(epoch, 1, lsn, 3, 10, items, scores)
+	}); n != 0 {
+		t.Fatalf("in-place Put allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, hit := c.Get(1, 0, 3, 10, items[:0], scores[:0]); hit {
+			t.Fatal("stale LSN hit in alloc loop")
+		}
+	}); n != 0 {
+		t.Fatalf("Get miss allocates %v/op", n)
+	}
+}
+
+// Evicted and invalidated entries recycle through the freelist, so
+// churn over a bounded cache settles into allocation-free inserts.
+func TestFreelistRecycling(t *testing.T) {
+	c := New(Config{MaxEntries: 4})
+	items := []int{1, 2, 3}
+	scores := []float64{1, 2, 3}
+	epoch := c.Epoch()
+	for u := 0; u < 8; u++ { // warm: mint entries, start evicting
+		c.Put(epoch, u, 1, 3, 10, items, scores)
+	}
+	u := 8
+	if n := testing.AllocsPerRun(200, func() {
+		c.Put(epoch, u, 1, 3, 10, items, scores)
+		u++
+	}); n != 0 {
+		t.Fatalf("churning inserts allocate %v/op", n)
+	}
+}

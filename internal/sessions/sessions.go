@@ -45,6 +45,7 @@ type Store struct {
 type entry struct {
 	user int
 	win  *seq.Window
+	lsn  uint64 // LSN of the last event applied to this window
 	elem *list.Element
 }
 
@@ -79,6 +80,7 @@ func (s *Store) Apply(lsn uint64, user int, item seq.Item) bool {
 	}
 	e := s.touchLocked(user)
 	e.win.Push(item)
+	e.lsn = lsn
 	return true
 }
 
@@ -116,6 +118,37 @@ func (s *Store) WindowClone(user int) (*seq.Window, bool) {
 	}
 	s.lru.MoveToFront(e.elem)
 	return e.win.Clone(), true
+}
+
+// UserLSN returns the LSN of the last event applied to user's window.
+// It is the response cache's version probe: an entry cached under this
+// LSN is current. Deliberately does not touch LRU order — a probe that
+// hits the cache never materializes a read of the window, so it should
+// not count as one.
+func (s *Store) UserLSN(user int) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.users[user]
+	if !ok {
+		return 0, false
+	}
+	return e.lsn, true
+}
+
+// WindowCloneLSN is WindowClone plus the window's applied LSN, captured
+// under the same lock hold. Callers that cache the scored result keyed
+// by LSN need the pair to be atomic: cloning and then asking for the
+// LSN separately could tag a pre-consume window with a post-consume
+// LSN, making a stale cache entry look current forever.
+func (s *Store) WindowCloneLSN(user int) (*seq.Window, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.users[user]
+	if !ok {
+		return nil, 0, false
+	}
+	s.lru.MoveToFront(e.elem)
+	return e.win.Clone(), e.lsn, true
 }
 
 // WindowLen returns the current length of user's window (0 when the

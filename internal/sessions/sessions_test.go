@@ -334,3 +334,110 @@ func TestRecoverWithoutSnapshotReplaysEverything(t *testing.T) {
 	}
 	_ = filepath.Join // keep import balanced if helpers change
 }
+
+// TestUserLSN covers the response cache's version probe: Apply stamps
+// each session with the LSN of its latest event, UserLSN reads it
+// without touching LRU recency, and unknown users report absence.
+func TestUserLSN(t *testing.T) {
+	s := mustStore(Config{WindowCap: 3})
+	if _, ok := s.UserLSN(0); ok {
+		t.Fatal("unknown user reported an LSN")
+	}
+	s.Apply(1, 0, 5)
+	s.Apply(2, 1, 6)
+	s.Apply(3, 0, 7)
+	if lsn, ok := s.UserLSN(0); !ok || lsn != 3 {
+		t.Fatalf("user 0 lsn = %d,%v, want 3", lsn, ok)
+	}
+	if lsn, ok := s.UserLSN(1); !ok || lsn != 2 {
+		t.Fatalf("user 1 lsn = %d,%v, want 2", lsn, ok)
+	}
+	// A duplicate LSN is not applied and must not re-stamp the session.
+	if s.Apply(3, 0, 7) {
+		t.Fatal("duplicate applied")
+	}
+	if lsn, _ := s.UserLSN(0); lsn != 3 {
+		t.Fatalf("over-replay moved user 0 lsn to %d", lsn)
+	}
+}
+
+// UserLSN is a read-side probe: it must not refresh LRU recency, or
+// heavy cache probing would shield hot readers from eviction and evict
+// writers instead.
+func TestUserLSNDoesNotTouchLRU(t *testing.T) {
+	s := mustStore(Config{WindowCap: 3, MaxUsers: 2})
+	s.Apply(1, 0, 1)
+	s.Apply(2, 1, 1)
+	// Probe user 0 repeatedly; it must stay the LRU victim.
+	for i := 0; i < 4; i++ {
+		if _, ok := s.UserLSN(0); !ok {
+			t.Fatal("user 0 missing")
+		}
+	}
+	s.Apply(3, 2, 1) // over the bound
+	if _, ok := s.WindowClone(0); ok {
+		t.Fatal("probed-only user 0 survived; UserLSN refreshed recency")
+	}
+	if _, ok := s.WindowClone(1); !ok {
+		t.Fatal("user 1 evicted")
+	}
+}
+
+// WindowCloneLSN must return the window and the LSN from one critical
+// section: the pair is what makes a response-cache fill attributable to
+// an exact store version.
+func TestWindowCloneLSN(t *testing.T) {
+	s := mustStore(Config{WindowCap: 3})
+	if _, _, ok := s.WindowCloneLSN(0); ok {
+		t.Fatal("unknown user cloned")
+	}
+	s.Apply(1, 0, 5)
+	s.Apply(2, 0, 6)
+	win, lsn, ok := s.WindowCloneLSN(0)
+	if !ok || lsn != 2 {
+		t.Fatalf("clone lsn = %d,%v, want 2", lsn, ok)
+	}
+	items, pushed := win.Snapshot()
+	if pushed != 2 || !reflect.DeepEqual(items, []seq.Item{5, 6}) {
+		t.Fatalf("cloned window = %v (pushed %d)", items, pushed)
+	}
+	// The clone is a copy: later applies must not leak into it.
+	s.Apply(3, 0, 7)
+	if items2, _ := win.Snapshot(); !reflect.DeepEqual(items2, items) {
+		t.Fatal("clone shares storage with the live window")
+	}
+	if _, lsn, _ := s.WindowCloneLSN(0); lsn != 3 {
+		t.Fatalf("post-apply clone lsn = %d, want 3", lsn)
+	}
+}
+
+// A restored snapshot has no per-event attribution, so every session is
+// conservatively stamped with the snapshot's applied LSN: probes after
+// restart never hit with an LSN older than any state they could see.
+func TestSnapshotRestoreStampsSessionLSNs(t *testing.T) {
+	dir := t.TempDir()
+	s := mustStore(Config{WindowCap: 4})
+	s.Apply(1, 0, 1)
+	s.Apply(2, 1, 2)
+	s.Apply(3, 1, 3)
+	if _, _, err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := LoadLatest(dir, Config{WindowCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range []int{0, 1} {
+		if lsn, ok := restored.UserLSN(user); !ok || lsn != 3 {
+			t.Fatalf("restored user %d lsn = %d,%v, want snapshot lsn 3", user, lsn, ok)
+		}
+	}
+	// Live applies after restore stamp precisely again.
+	restored.Apply(4, 0, 9)
+	if lsn, _ := restored.UserLSN(0); lsn != 4 {
+		t.Fatalf("post-restore apply lsn = %d, want 4", lsn)
+	}
+	if lsn, _ := restored.UserLSN(1); lsn != 3 {
+		t.Fatalf("untouched user moved to lsn %d", lsn)
+	}
+}

@@ -169,8 +169,13 @@ func loadSnapshot(path string, cfg Config) (*Store, snapHeader, error) {
 			return nil, hdr, fmt.Errorf("sessions: %s: user %d: %w", path, uw.User, err)
 		}
 		// Sessions are stored least-recent-first; pushing each to the
-		// LRU front replays the recency order exactly.
-		e := &entry{user: uw.User, win: win}
+		// LRU front replays the recency order exactly. The snapshot does
+		// not record per-user LSNs, so restored entries inherit the
+		// snapshot's applied LSN: a conservative over-stamp (the user's
+		// last event is ≤ it) that only matters to cache versioning,
+		// where WAL replay past the snapshot re-stamps exactly and a
+		// fresh store has no cache to be stale against.
+		e := &entry{user: uw.User, win: win, lsn: hdr.AppliedLSN}
 		e.elem = s.lru.PushFront(e)
 		s.users[uw.User] = e
 		n++

@@ -60,6 +60,15 @@ type Config struct {
 	// nothing.
 	Metrics *obs.Registry
 
+	// OnStoreReload, when non-nil, fires after a shard replaces its
+	// in-memory session store wholesale — supervised restart,
+	// divergent-tail truncation, snapshot reseed. Any of those can
+	// REGRESS per-user LSNs (an unsynced WAL tail is lost, a divergent
+	// tail is cut), so layers that version state by LSN (the response
+	// cache) must treat the event as "all versions invalid", not rely on
+	// LSN comparison. Called without shard locks held; must not block.
+	OnStoreReload func(shard int)
+
 	FailThreshold int           // consecutive append failures before the breaker trips; 0 → 3
 	RestartBudget int           // failed recovery attempts per trip before Failed; 0 → 8
 	BackoffBase   time.Duration // first restart delay; 0 → 50ms
@@ -242,6 +251,16 @@ func (p *Pool) Ingest(user int, item seq.Item) (lsn uint64, winLen int, err erro
 // WindowClone routes a window read to its owning shard.
 func (p *Pool) WindowClone(user int) (*seq.Window, bool, error) {
 	return p.shards[p.ShardFor(user)].WindowClone(user)
+}
+
+// UserLSN routes a cache-version probe to its owning shard.
+func (p *Pool) UserLSN(user int) (uint64, bool, error) {
+	return p.shards[p.ShardFor(user)].UserLSN(user)
+}
+
+// WindowCloneLSN routes an atomic window+LSN read to its owning shard.
+func (p *Pool) WindowCloneLSN(user int) (*seq.Window, uint64, bool, error) {
+	return p.shards[p.ShardFor(user)].WindowCloneLSN(user)
 }
 
 // Drain gracefully stops shard i (final snapshot, fenced appends).

@@ -187,8 +187,8 @@ func (s *Shard) TruncateAndReload(lsn uint64) error {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.gen != gen {
+		s.mu.Unlock()
 		if l2 != nil {
 			l2.Close()
 		}
@@ -197,12 +197,18 @@ func (s *Shard) TruncateAndReload(lsn uint64) error {
 	if err != nil {
 		s.lastErr = err
 		s.state = Failed
+		s.mu.Unlock()
 		return fmt.Errorf("shard %d: truncate+reload: %w", s.index, err)
 	}
 	s.log, s.store, s.rstats = l2, store, rstats
 	s.sinceSnapshot = 0
 	s.failStreak = 0
 	s.state = Serving
+	s.mu.Unlock()
+	// After the unlock: the hook is a foreign callback (cache purge) and
+	// must never run under s.mu. The truncation cut records, so per-user
+	// LSNs may have regressed — LSN-versioned layers must drop everything.
+	s.storeReloaded()
 	log.Printf("shard %d: truncated divergent tail from lsn %d and reloaded", s.index, lsn)
 	return nil
 }
@@ -250,8 +256,8 @@ func (s *Shard) Reseed(snapLSN uint64, populate func(dir string) error) error {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.gen != gen {
+		s.mu.Unlock()
 		if l2 != nil {
 			l2.Close()
 		}
@@ -260,12 +266,18 @@ func (s *Shard) Reseed(snapLSN uint64, populate func(dir string) error) error {
 	if err != nil {
 		s.lastErr = err
 		s.state = Failed
+		s.mu.Unlock()
 		return fmt.Errorf("shard %d: reseed: %w", s.index, err)
 	}
 	s.log, s.store, s.rstats = l2, store, rstats
 	s.sinceSnapshot = 0
 	s.failStreak = 0
 	s.state = Serving
+	s.mu.Unlock()
+	// After the unlock, same contract as TruncateAndReload: a reseed
+	// replaces state wholesale from a foreign snapshot, so every cached
+	// LSN-versioned read is void.
+	s.storeReloaded()
 	log.Printf("shard %d: reseeded from snapshot lsn %d (old state quarantined)", s.index, snapLSN)
 	return nil
 }

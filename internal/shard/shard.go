@@ -214,6 +214,55 @@ func (s *Shard) WindowClone(user int) (win *seq.Window, ok bool, err error) {
 	return win, ok, nil
 }
 
+// UserLSN returns the LSN of the last event applied to user's window —
+// the response cache's version probe. Fenced like every other op; read
+// panics trip the breaker.
+func (s *Shard) UserLSN(user int) (lsn uint64, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != Serving {
+		return 0, false, s.unavailableLocked()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.tripLocked(fmt.Errorf("shard %d: read panic: %v", s.index, p))
+			lsn, ok = 0, false
+			err = s.unavailableLocked()
+		}
+	}()
+	lsn, ok = s.store.UserLSN(user)
+	return lsn, ok, nil
+}
+
+// WindowCloneLSN is WindowClone plus the window's applied LSN, captured
+// atomically (see sessions.Store.WindowCloneLSN for why the pair must
+// not be read in two steps). Fenced like every other op.
+func (s *Shard) WindowCloneLSN(user int) (win *seq.Window, lsn uint64, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != Serving {
+		return nil, 0, false, s.unavailableLocked()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.tripLocked(fmt.Errorf("shard %d: read panic: %v", s.index, p))
+			win, lsn, ok = nil, 0, false
+			err = s.unavailableLocked()
+		}
+	}()
+	win, lsn, ok = s.store.WindowCloneLSN(user)
+	return win, lsn, ok, nil
+}
+
+// storeReloaded fires the pool's OnStoreReload hook (if configured)
+// after this shard's in-memory store was replaced wholesale. Callers
+// must NOT hold s.mu: the hook is a foreign callback (cache purge).
+func (s *Shard) storeReloaded() {
+	if s.cfg.OnStoreReload != nil {
+		s.cfg.OnStoreReload(s.index)
+	}
+}
+
 // appendFailedLocked records one append failure and returns the error
 // the caller should surface: the storage error itself while under the
 // breaker threshold, or the shard's UnavailableError once the streak
@@ -315,6 +364,7 @@ func (s *Shard) supervise(gen int, old *wal.Log) {
 		s.restarts++
 		s.mRestarts.Inc()
 		s.mu.Unlock()
+		s.storeReloaded()
 		log.Printf("shard %d: restarted after %d attempt(s) (snapshot lsn=%d, %d record(s) replayed)",
 			s.index, attempt, rstats.SnapshotLSN, rstats.Replayed)
 		return

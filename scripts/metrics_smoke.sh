@@ -51,6 +51,14 @@ for u in 0 1 2 3 4 5 6 7; do
 	curl -sf -X POST "http://$ADDR/consume" -d "{\"user\":$u,\"item\":3}" >/dev/null
 done
 
+# Repeated /recommend/user reads for an unchanged user: the first fills
+# the response cache, the second must be served from it, and a consume
+# in between invalidates — so hits, misses, and invalidations all move.
+curl -sf -X POST "http://$ADDR/recommend/user" -d '{"user":0,"n":5}' >/dev/null
+curl -sf -X POST "http://$ADDR/recommend/user" -d '{"user":0,"n":5}' >/dev/null
+curl -sf -X POST "http://$ADDR/consume" -d '{"user":0,"item":3}' >/dev/null
+curl -sf -X POST "http://$ADDR/recommend/user" -d '{"user":0,"n":5}' >/dev/null
+
 curl -sf "http://$ADDR/metrics" >"$tmp/scrape.prom"
 "$tmp/bin/rrc-inspect" -expfmt - <"$tmp/scrape.prom"
 for fam in rrc_http_requests_total rrc_http_request_seconds_count \
@@ -79,6 +87,25 @@ for i in 0 1 2 3; do
 done
 grep -q '^rrc_online_sessions 8$' "$tmp/scrape.prom" || {
 	echo "/metrics lacks rrc_online_sessions 8" >&2
+	exit 1
+}
+
+# Response-cache families: the repeat read above must have hit, the
+# first read missed, and the interleaved consume invalidated.
+grep -q '^rrc_rescache_hits_total 1$' "$tmp/scrape.prom" || {
+	echo "/metrics lacks rrc_rescache_hits_total 1" >&2
+	exit 1
+}
+grep -q '^rrc_rescache_misses_total 2$' "$tmp/scrape.prom" || {
+	echo "/metrics lacks rrc_rescache_misses_total 2" >&2
+	exit 1
+}
+grep -q '^rrc_rescache_invalidations_total 1$' "$tmp/scrape.prom" || {
+	echo "/metrics lacks rrc_rescache_invalidations_total 1" >&2
+	exit 1
+}
+grep -q '^rrc_rescache_entries ' "$tmp/scrape.prom" || {
+	echo "/metrics lacks rrc_rescache_entries" >&2
 	exit 1
 }
 
